@@ -1,0 +1,56 @@
+// Command slexp regenerates the paper's evaluation tables and figures on a
+// synthetic AOL-like corpus.
+//
+// Usage:
+//
+//	slexp [-profile tiny|small|paper] [-seed N] [-exp all|table4,fig3a,...]
+//
+// Each experiment prints as an aligned text table with calibration notes.
+// See DESIGN.md §4 for the experiment index and EXPERIMENTS.md for recorded
+// paper-vs-measured comparisons.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dpslog/internal/experiments"
+)
+
+func main() {
+	profile := flag.String("profile", "small", "synthetic corpus profile: tiny, small or paper")
+	seed := flag.Uint64("seed", 1, "corpus generation seed")
+	exp := flag.String("exp", "all", "comma-separated experiment ids, 'all' (paper experiments) or 'all+ext': "+
+		strings.Join(experiments.Experiments(), ",")+" + extensions "+strings.Join(experiments.ExtensionExperiments(), ","))
+	reps := flag.Int("fig6-reps", 10, "sampled outputs averaged in fig6")
+	flag.Parse()
+
+	r, err := experiments.NewRunner(experiments.Config{Profile: *profile, Seed: *seed, SampleReps: *reps})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "slexp:", err)
+		os.Exit(1)
+	}
+
+	ids := experiments.Experiments()
+	switch *exp {
+	case "all":
+	case "all+ext":
+		ids = append(ids, experiments.ExtensionExperiments()...)
+	default:
+		ids = strings.Split(*exp, ",")
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		start := time.Now()
+		tab, err := r.Run(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "slexp:", err)
+			os.Exit(1)
+		}
+		fmt.Println(tab.Render())
+		fmt.Printf("  (%s regenerated in %s)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,49 @@
+// Command slstats prints Table-3 style characteristics of a search log:
+// the raw corpus and the preprocessed corpus (unique pairs removed).
+//
+// Usage:
+//
+//	slstats [-aol] file.tsv
+//	cat file.tsv | slstats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dpslog"
+)
+
+func main() {
+	aol := flag.Bool("aol", false, "parse the 5-column AOL format instead of the canonical 4-column TSV")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "slstats:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	var l *dpslog.Log
+	var err error
+	if *aol {
+		l, err = dpslog.ReadAOL(in)
+	} else {
+		l, err = dpslog.ReadTSV(in)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "slstats:", err)
+		os.Exit(1)
+	}
+	pre, st := dpslog.Preprocess(l)
+	fmt.Printf("raw:          %s\n", dpslog.ComputeStats(l))
+	fmt.Printf("preprocessed: %s\n", dpslog.ComputeStats(pre))
+	fmt.Printf("removed:      %d unique pairs, %d tuples, %d emptied users\n",
+		st.RemovedPairs, st.RemovedMass, st.RemovedUsers)
+}

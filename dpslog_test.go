@@ -1,0 +1,312 @@
+package dpslog
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func testOptions(obj Objective) Options {
+	return Options{
+		Epsilon:   math.Log(2),
+		Delta:     0.5,
+		Objective: obj,
+		Seed:      42,
+	}
+}
+
+func testCorpus(t testing.TB) *Log {
+	t.Helper()
+	l, err := Generate("tiny", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestNewValidatesOptions(t *testing.T) {
+	if _, err := New(testOptions(ObjectiveOutputSize)); err != nil {
+		t.Fatalf("valid options rejected: %v", err)
+	}
+	bad := []Options{
+		{Epsilon: 0, Delta: 0.5},
+		{Epsilon: 1, Delta: 0},
+		{Epsilon: 1, Delta: 1},
+		{Epsilon: 1, Delta: 0.5, Objective: Objective(99)},
+		{Epsilon: 1, Delta: 0.5, Objective: ObjectiveFrequent},                                  // missing MinSupport
+		{Epsilon: 1, Delta: 0.5, Objective: ObjectiveFrequent, MinSupport: 2},                   // bad support
+		{Epsilon: 1, Delta: 0.5, Objective: ObjectiveFrequent, MinSupport: 0.1, OutputSize: -1}, // bad size
+		{Epsilon: 1, Delta: 0.5, EndToEnd: true},                                                // missing D, EpsPrime
+		{Epsilon: 1, Delta: 0.5, EndToEnd: true, D: 1},                                          // missing EpsPrime
+	}
+	for i, o := range bad {
+		if _, err := New(o); err == nil {
+			t.Errorf("case %d: invalid options accepted: %+v", i, o)
+		}
+	}
+}
+
+func TestObjectiveString(t *testing.T) {
+	for _, o := range []Objective{ObjectiveOutputSize, ObjectiveFrequent, ObjectiveDiversity} {
+		if o.String() == "" || strings.HasPrefix(o.String(), "Objective(") {
+			t.Errorf("Objective(%d).String() = %q", int(o), o.String())
+		}
+	}
+	if !strings.HasPrefix(Objective(42).String(), "Objective(") {
+		t.Error("out-of-range objective should stringify with its index")
+	}
+}
+
+func TestSanitizeOutputSize(t *testing.T) {
+	in := testCorpus(t)
+	s, err := New(testOptions(ObjectiveOutputSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Sanitize(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.Kind != "O-UMP" {
+		t.Errorf("plan kind = %q, want O-UMP", res.Plan.Kind)
+	}
+	if res.Output.Size() != res.Plan.OutputSize {
+		t.Errorf("output size %d != plan size %d", res.Output.Size(), res.Plan.OutputSize)
+	}
+	// Audit the released plan independently.
+	if err := VerifyCounts(res.Preprocessed, s.Options().Epsilon, s.Options().Delta, res.Plan.Counts); err != nil {
+		t.Errorf("released plan fails audit: %v", err)
+	}
+	// Schema identical: output records parse back to the same log.
+	var buf bytes.Buffer
+	if _, err := WriteTSV(&buf, res.Output); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Size() != res.Output.Size() {
+		t.Error("TSV round trip changed output size")
+	}
+	// Output users/pairs are subsets of the preprocessed input.
+	for i := 0; i < res.Output.NumPairs(); i++ {
+		if res.Preprocessed.PairIndex(res.Output.Pair(i).Key()) < 0 {
+			t.Errorf("output pair %v not in preprocessed input", res.Output.Pair(i).Key())
+		}
+	}
+	for k := 0; k < res.Output.NumUsers(); k++ {
+		if res.Preprocessed.UserIndex(res.Output.User(k).ID) < 0 {
+			t.Errorf("output user %s not in input", res.Output.User(k).ID)
+		}
+	}
+}
+
+func TestSanitizeDeterministic(t *testing.T) {
+	in := testCorpus(t)
+	s, err := New(testOptions(ObjectiveOutputSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := s.Sanitize(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Sanitize(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := r1.Output.Records(), r2.Output.Records()
+	if len(a) != len(b) {
+		t.Fatalf("sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs across identical runs", i)
+		}
+	}
+	// A different seed almost surely samples a different output.
+	opts := testOptions(ObjectiveOutputSize)
+	opts.Seed = 7
+	s2, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := s2.Sanitize(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := r3.Output.Records()
+	if len(c) == len(a) {
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical sampled outputs")
+		}
+	}
+}
+
+func TestSanitizeFrequent(t *testing.T) {
+	in := testCorpus(t)
+	pre, _ := Preprocess(in)
+	opts := testOptions(ObjectiveFrequent)
+	opts.MinSupport = 4.0 / float64(pre.Size())
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Sanitize(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.Kind != "F-UMP" {
+		t.Errorf("plan kind = %q, want F-UMP", res.Plan.Kind)
+	}
+	if res.Plan.Lambda <= 0 {
+		t.Error("λ not recorded for an F-UMP run")
+	}
+	if res.Plan.OutputSize > res.Plan.Lambda {
+		t.Errorf("output %d exceeds λ %d", res.Plan.OutputSize, res.Plan.Lambda)
+	}
+	// Precision of frequent pairs must be 1 (paper §6.3) on the plan
+	// supports; evaluate on the sampled output which uses exactly the plan's
+	// pair totals.
+	inFreq := FrequentPairs(res.Preprocessed, opts.MinSupport)
+	outFreq := FrequentPairs(res.Output, opts.MinSupport)
+	precision, _ := PrecisionRecall(inFreq, outFreq)
+	if precision < 0.99 {
+		t.Errorf("precision = %g, want 1", precision)
+	}
+}
+
+func TestSanitizeFrequentExplicitSize(t *testing.T) {
+	in := testCorpus(t)
+	lam, err := Lambda(in, math.Log(2), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lam < 2 {
+		t.Skipf("tiny corpus λ=%d too small", lam)
+	}
+	opts := testOptions(ObjectiveFrequent)
+	opts.MinSupport = 0.01
+	opts.OutputSize = lam
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Sanitize(in); err != nil {
+		t.Fatalf("|O| = λ should be feasible: %v", err)
+	}
+	opts.OutputSize = lam + 1000
+	s2, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Sanitize(in); err == nil {
+		t.Error("|O| > λ accepted")
+	}
+}
+
+func TestSanitizeDiversity(t *testing.T) {
+	in := testCorpus(t)
+	for _, solver := range []string{"", "spe", "greedy"} {
+		opts := testOptions(ObjectiveDiversity)
+		opts.Solver = solver
+		s, err := New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Sanitize(in)
+		if err != nil {
+			t.Fatalf("solver %q: %v", solver, err)
+		}
+		if res.Plan.Kind != "D-UMP" {
+			t.Errorf("plan kind = %q, want D-UMP", res.Plan.Kind)
+		}
+		for i, x := range res.Plan.Counts {
+			if x < 0 || x > 1 {
+				t.Errorf("solver %q: count %d at pair %d not binary", solver, x, i)
+			}
+		}
+		if div := RetainedDiversity(res.Preprocessed, res.Plan.Counts); div <= 0 {
+			t.Errorf("solver %q: zero diversity at a permissive budget", solver)
+		}
+	}
+}
+
+func TestSanitizeEndToEnd(t *testing.T) {
+	in := testCorpus(t)
+	opts := testOptions(ObjectiveOutputSize)
+	opts.EndToEnd = true
+	opts.D = 2
+	opts.EpsPrime = 1.0
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Sanitize(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Plan.NoiseApplied {
+		t.Error("NoiseApplied not set for an end-to-end run")
+	}
+	// Even with noise the released plan must satisfy Theorem 1 and the box.
+	if err := VerifyCounts(res.Preprocessed, opts.Epsilon, opts.Delta, res.Plan.Counts); err != nil {
+		t.Errorf("noisy plan fails audit: %v", err)
+	}
+	for i, x := range res.Plan.Counts {
+		if x > res.Preprocessed.PairCount(i) {
+			t.Errorf("noisy count %d exceeds input count at pair %d", x, i)
+		}
+	}
+}
+
+func TestLambdaMonotone(t *testing.T) {
+	in := testCorpus(t)
+	l1, err := Lambda(in, math.Log(1.1), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Lambda(in, math.Log(2.3), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2 < l1 {
+		t.Errorf("λ not monotone in ε: %d then %d", l1, l2)
+	}
+}
+
+func TestBreachProbabilityPublicAPI(t *testing.T) {
+	in := testCorpus(t)
+	s, err := New(testOptions(ObjectiveOutputSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Sanitize(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < res.Preprocessed.NumUsers(); k++ {
+		bp := BreachProbability(res.Preprocessed, k, res.Plan.Counts)
+		if bp > 0.5+1e-9 {
+			t.Errorf("user %d breach probability %g exceeds δ", k, bp)
+		}
+	}
+}
+
+func TestGenerateUnknownProfile(t *testing.T) {
+	if _, err := Generate("gigantic", 1); err == nil {
+		t.Error("unknown profile accepted")
+	}
+	if got := GenerateProfiles(); len(got) != 3 {
+		t.Errorf("GenerateProfiles = %v", got)
+	}
+}

@@ -1,0 +1,90 @@
+package dpslog_test
+
+import (
+	"fmt"
+	"math"
+
+	"dpslog"
+)
+
+// ExampleSanitizer_Sanitize demonstrates the basic pipeline: build a log,
+// sanitize it under (ε, δ)-probabilistic differential privacy, and audit
+// the released plan.
+func ExampleSanitizer_Sanitize() {
+	in, err := dpslog.NewLog([]dpslog.Record{
+		{User: "081", Query: "google", URL: "google.com", Count: 15},
+		{User: "082", Query: "google", URL: "google.com", Count: 7},
+		{User: "083", Query: "google", URL: "google.com", Count: 17},
+		{User: "082", Query: "car price", URL: "kbb.com", Count: 2},
+		{User: "083", Query: "car price", URL: "kbb.com", Count: 5},
+	})
+	if err != nil {
+		panic(err)
+	}
+	s, err := dpslog.New(dpslog.Options{
+		Epsilon:   math.Log(2), // e^ε = 2
+		Delta:     0.5,
+		Objective: dpslog.ObjectiveOutputSize,
+		Seed:      42,
+	})
+	if err != nil {
+		panic(err)
+	}
+	res, err := s.Sanitize(in)
+	if err != nil {
+		panic(err)
+	}
+	audit := dpslog.VerifyCounts(res.Preprocessed, math.Log(2), 0.5, res.Plan.Counts)
+	fmt.Printf("plan kind: %s\n", res.Plan.Kind)
+	fmt.Printf("audit passes: %v\n", audit == nil)
+	fmt.Printf("schema preserved: %v\n", res.Output.NumPairs() > 0 && res.Output.NumUsers() > 0)
+	// Output:
+	// plan kind: O-UMP
+	// audit passes: true
+	// schema preserved: true
+}
+
+// ExampleLambda shows the maximum differentially private output size λ —
+// the quantity the paper tabulates in Table 4 — for two budgets.
+func ExampleLambda() {
+	in, err := dpslog.NewLog([]dpslog.Record{
+		{User: "a", Query: "q1", URL: "u1", Count: 10},
+		{User: "b", Query: "q1", URL: "u1", Count: 10},
+		{User: "c", Query: "q1", URL: "u1", Count: 10},
+		{User: "a", Query: "q2", URL: "u2", Count: 10},
+		{User: "b", Query: "q2", URL: "u2", Count: 10},
+		{User: "c", Query: "q2", URL: "u2", Count: 10},
+	})
+	if err != nil {
+		panic(err)
+	}
+	tight, err := dpslog.Lambda(in, math.Log(1.1), 0.5)
+	if err != nil {
+		panic(err)
+	}
+	loose, err := dpslog.Lambda(in, math.Log(2.3), 0.8)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("λ grows with the budget: %v\n", loose >= tight)
+	// Output:
+	// λ grows with the budget: true
+}
+
+// ExamplePreprocess shows Condition 1 of Theorem 1: unique query-url pairs
+// (entirely held by one user) must be removed before optimization.
+func ExamplePreprocess() {
+	in, err := dpslog.NewLog([]dpslog.Record{
+		{User: "a", Query: "secret", URL: "only-a.com", Count: 9}, // unique
+		{User: "a", Query: "news", URL: "cnn.com", Count: 2},
+		{User: "b", Query: "news", URL: "cnn.com", Count: 3},
+	})
+	if err != nil {
+		panic(err)
+	}
+	pre, stats := dpslog.Preprocess(in)
+	fmt.Printf("removed %d unique pair(s); %d pair(s) remain\n",
+		stats.RemovedPairs, pre.NumPairs())
+	// Output:
+	// removed 1 unique pair(s); 1 pair(s) remain
+}

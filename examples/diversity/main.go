@@ -1,0 +1,58 @@
+// Diversity example: the paper's §5.3 D-UMP workload. Behavioral
+// researchers often care about *which* distinct query-url pairs survive a
+// release more than about their counts — e.g. studying the breadth of
+// topics a population searches. D-UMP maximizes the number of distinct
+// pairs retained under the differential privacy constraints, an NP-hard
+// binary program.
+//
+// This example runs all six in-repo BIP solvers on the same instance and
+// compares retained diversity and runtime — a miniature of the paper's
+// Table 7 and Figure 5.
+//
+//	go run ./examples/diversity
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"dpslog"
+)
+
+func main() {
+	in, err := dpslog.Generate("tiny", 23)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pre, _ := dpslog.Preprocess(in)
+	fmt.Printf("corpus: %s\n\n", dpslog.ComputeStats(pre))
+
+	const eExp, delta = 2.0, 0.5
+	fmt.Printf("solver          retained  of %d  runtime\n", pre.NumPairs())
+	for _, solver := range []string{"spe", "spe-violated", "branchbound", "rounding", "greedy", "feaspump"} {
+		s, err := dpslog.New(dpslog.Options{
+			Epsilon:   math.Log(eExp),
+			Delta:     delta,
+			Objective: dpslog.ObjectiveDiversity,
+			Solver:    solver,
+			Seed:      5,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		res, err := s.Sanitize(in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		pct := 100 * dpslog.RetainedDiversity(res.Preprocessed, res.Plan.Counts)
+		fmt.Printf("%-15s %-9d %4.1f%%  %s\n", solver, res.Plan.OutputSize, pct, elapsed.Round(time.Microsecond))
+	}
+
+	fmt.Println("\nEvery D-UMP release keeps each retained pair at count 1 (a single")
+	fmt.Println("multinomial trial), so the release reveals pair existence diversity")
+	fmt.Println("while the Theorem-1 constraints still bound every user's exposure.")
+}

@@ -1,0 +1,210 @@
+package dpslog
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSanitizeCombined(t *testing.T) {
+	in := testCorpus(t)
+	pre, _ := Preprocess(in)
+	opts := testOptions(ObjectiveCombined)
+	opts.MinSupport = 4.0 / float64(pre.Size())
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Sanitize(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.Kind != "C-UMP" {
+		t.Errorf("plan kind = %q, want C-UMP", res.Plan.Kind)
+	}
+	if err := VerifyCounts(res.Preprocessed, opts.Epsilon, opts.Delta, res.Plan.Counts); err != nil {
+		t.Errorf("combined plan fails audit: %v", err)
+	}
+	if res.Output.Size() != res.Plan.OutputSize {
+		t.Errorf("output size %d != plan %d", res.Output.Size(), res.Plan.OutputSize)
+	}
+}
+
+func TestSanitizeCombinedRequiresSupport(t *testing.T) {
+	opts := testOptions(ObjectiveCombined)
+	if _, err := New(opts); err == nil {
+		t.Error("ObjectiveCombined without MinSupport accepted")
+	}
+	opts.MinSupport = 0.01
+	opts.SizeWeight = -1
+	if _, err := New(opts); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+func TestSanitizeCombinedWeightSweep(t *testing.T) {
+	// As the distance weight grows, the released size must not increase.
+	in := testCorpus(t)
+	pre, _ := Preprocess(in)
+	ms := 4.0 / float64(pre.Size())
+	prev := 1 << 60
+	for _, dw := range []float64{0.1, 1, 10, 100} {
+		opts := testOptions(ObjectiveCombined)
+		opts.MinSupport = ms
+		opts.SizeWeight = 1
+		opts.DistanceWeight = dw
+		s, err := New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Sanitize(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Plan.OutputSize > prev+1 { // +1 for rounding wobble
+			t.Errorf("dw=%g: output %d grew past %d despite heavier distance weight",
+				dw, res.Plan.OutputSize, prev)
+		}
+		prev = res.Plan.OutputSize
+	}
+}
+
+func TestSanitizeQueryDiversity(t *testing.T) {
+	in := testCorpus(t)
+	s, err := New(testOptions(ObjectiveQueryDiversity))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Sanitize(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.Kind != "Q-UMP" {
+		t.Errorf("plan kind = %q, want Q-UMP", res.Plan.Kind)
+	}
+	// One pair per query at most; every retained query appears once in the
+	// output's distinct query set.
+	queries := map[string]int{}
+	for i := 0; i < res.Output.NumPairs(); i++ {
+		queries[res.Output.Pair(i).Query]++
+	}
+	for q, n := range queries {
+		if n > 1 {
+			t.Errorf("query %q retained %d pairs, want 1", q, n)
+		}
+	}
+	if err := VerifyCounts(res.Preprocessed, s.Options().Epsilon, s.Options().Delta, res.Plan.Counts); err != nil {
+		t.Errorf("query-diversity plan fails audit: %v", err)
+	}
+}
+
+func TestMinBudgetForSize(t *testing.T) {
+	in := testCorpus(t)
+	mb, err := MinBudgetForSize(in, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mb.Epsilon <= 0 {
+		t.Fatalf("ε* = %g, want > 0", mb.Epsilon)
+	}
+	if mb.OutputSize < 3 || mb.OutputSize > 5 {
+		t.Errorf("realized size %d, want ≈5", mb.OutputSize)
+	}
+	// The plan must audit at its own reported budget.
+	delta := 1 - math.Exp(-mb.Epsilon)
+	if delta <= 0 {
+		delta = 1e-9
+	}
+	if delta >= 1 {
+		delta = 0.999999
+	}
+	if err := VerifyCounts(mb.Preprocessed, mb.Epsilon+1e-9, delta+1e-9, mb.Counts); err != nil {
+		t.Errorf("min-budget plan fails audit at ε*: %v", err)
+	}
+	// And it must NOT audit at a clearly smaller budget.
+	if mb.Epsilon > 0.01 {
+		if err := VerifyCounts(mb.Preprocessed, mb.Epsilon/2, delta, mb.Counts); err == nil {
+			t.Error("plan audits at half its minimal budget; ε* is not minimal")
+		}
+	}
+}
+
+func TestMinBudgetForSizeMonotone(t *testing.T) {
+	in := testCorpus(t)
+	prev := -1.0
+	for _, target := range []int{2, 5, 10, 20} {
+		mb, err := MinBudgetForSize(in, target)
+		if err != nil {
+			t.Fatalf("target %d: %v", target, err)
+		}
+		// Integral ε* can wobble slightly below the previous value when
+		// flooring sheds more mass; allow a small tolerance.
+		if mb.Epsilon < prev-0.05 {
+			t.Errorf("ε*(%d) = %g dropped below previous %g", target, mb.Epsilon, prev)
+		}
+		if mb.Epsilon > prev {
+			prev = mb.Epsilon
+		}
+	}
+}
+
+func TestMinBudgetForSizeRejectsBadTarget(t *testing.T) {
+	in := testCorpus(t)
+	if _, err := MinBudgetForSize(in, 0); err == nil {
+		t.Error("zero target accepted")
+	}
+	if _, err := MinBudgetForSize(in, 1<<30); err == nil {
+		t.Error("absurd target accepted")
+	}
+}
+
+func TestSanitizeBoundSensitivity(t *testing.T) {
+	in := testCorpus(t)
+	opts := testOptions(ObjectiveOutputSize)
+	opts.EndToEnd = true
+	opts.D = 1 // tight bound: some users will likely be dropped
+	opts.EpsPrime = 1.0
+	opts.BoundSensitivity = true
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Sanitize(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dropped users must be absent from the bounded log and the output.
+	for _, id := range res.DroppedUsers {
+		if res.Preprocessed.UserIndex(id) != -1 {
+			t.Errorf("dropped user %s still in the bounded log", id)
+		}
+		if res.Output.UserIndex(id) != -1 {
+			t.Errorf("dropped user %s appears in the output", id)
+		}
+	}
+	// The released plan still audits against the bounded log.
+	if err := VerifyCounts(res.Preprocessed, opts.Epsilon, opts.Delta, res.Plan.Counts); err != nil {
+		t.Errorf("bounded release fails audit: %v", err)
+	}
+	// A vacuous bound must drop nobody.
+	loose := opts
+	loose.D = 1 << 20
+	s2, err := New(loose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := s2.Sanitize(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.DroppedUsers) != 0 {
+		t.Errorf("vacuous bound dropped users %v", res2.DroppedUsers)
+	}
+}
+
+func TestBoundSensitivityRequiresEndToEnd(t *testing.T) {
+	opts := testOptions(ObjectiveOutputSize)
+	opts.BoundSensitivity = true
+	if _, err := New(opts); err == nil {
+		t.Error("BoundSensitivity without EndToEnd accepted")
+	}
+}

@@ -1,0 +1,285 @@
+package dpslog
+
+// Integration and property tests across the full pipeline: random corpora
+// through every objective, auditing every release, exercising the exact
+// Definition-2 checker on enumerable logs, and injecting failures to prove
+// the audit actually rejects bad plans.
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"dpslog/internal/dp"
+)
+
+// randomCorpus builds a random small log with guaranteed shared pairs.
+func randomCorpus(seed uint64) (*Log, error) {
+	r := rand.New(rand.NewPCG(seed, 99))
+	var recs []Record
+	users := 4 + r.IntN(8)
+	queries := 3 + r.IntN(8)
+	for u := 0; u < users; u++ {
+		n := 2 + r.IntN(8)
+		for i := 0; i < n; i++ {
+			q := r.IntN(queries)
+			recs = append(recs, Record{
+				User:  string(rune('A' + u)),
+				Query: string(rune('a' + q)),
+				URL:   string(rune('p' + q%4)),
+				Count: 1 + r.IntN(5),
+			})
+		}
+	}
+	return NewLog(recs)
+}
+
+// TestQuickEveryReleaseAudits: for random corpora, parameters and
+// objectives, every release must (a) pass the Theorem-1 audit, (b) have
+// identical schema, (c) contain only users/pairs from the preprocessed
+// input, (d) respect the per-pair input-count cap.
+func TestQuickEveryReleaseAudits(t *testing.T) {
+	objectives := []Objective{ObjectiveOutputSize, ObjectiveFrequent, ObjectiveDiversity, ObjectiveQueryDiversity, ObjectiveCombined}
+	f := func(seed uint64, eExpRaw, deltaRaw uint8, objRaw uint8) bool {
+		in, err := randomCorpus(seed)
+		if err != nil {
+			return false
+		}
+		eExp := 1.01 + float64(eExpRaw%200)/100  // 1.01 .. 3.0
+		delta := 0.05 + float64(deltaRaw%90)/100 // 0.05 .. 0.94
+		obj := objectives[int(objRaw)%len(objectives)]
+		opts := Options{Epsilon: math.Log(eExp), Delta: delta, Objective: obj, Seed: seed}
+		if obj == ObjectiveFrequent || obj == ObjectiveCombined {
+			opts.MinSupport = 0.05
+		}
+		s, err := New(opts)
+		if err != nil {
+			return false
+		}
+		res, err := s.Sanitize(in)
+		if err != nil {
+			t.Logf("seed %d obj %v: %v", seed, obj, err)
+			return false
+		}
+		if err := VerifyCounts(res.Preprocessed, opts.Epsilon, opts.Delta, res.Plan.Counts); err != nil {
+			t.Logf("audit: %v", err)
+			return false
+		}
+		if res.Output.Size() != res.Plan.OutputSize {
+			return false
+		}
+		for i := 0; i < res.Output.NumPairs(); i++ {
+			key := res.Output.Pair(i).Key()
+			pi := res.Preprocessed.PairIndex(key)
+			if pi < 0 {
+				return false
+			}
+			if res.Output.PairCount(i) > res.Preprocessed.PairCount(pi) {
+				return false
+			}
+		}
+		for k := 0; k < res.Output.NumUsers(); k++ {
+			if res.Preprocessed.UserIndex(res.Output.User(k).ID) < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickBreachBoundsHold: the closed-form per-user breach probability
+// and worst-case ratio of every release respect (ε, δ).
+func TestQuickBreachBoundsHold(t *testing.T) {
+	f := func(seed uint64, deltaRaw uint8) bool {
+		in, err := randomCorpus(seed)
+		if err != nil {
+			return false
+		}
+		delta := 0.05 + float64(deltaRaw%90)/100
+		opts := Options{Epsilon: math.Log(2), Delta: delta, Objective: ObjectiveOutputSize, Seed: seed}
+		s, err := New(opts)
+		if err != nil {
+			return false
+		}
+		res, err := s.Sanitize(in)
+		if err != nil {
+			return false
+		}
+		for k := 0; k < res.Preprocessed.NumUsers(); k++ {
+			if BreachProbability(res.Preprocessed, k, res.Plan.Counts) > delta+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestExactDefinition2OnPipeline runs the enumeration-based Definition 2
+// checker over an actual sanitizer plan on a tiny enumerable corpus — the
+// strongest end-to-end privacy statement in the suite.
+func TestExactDefinition2OnPipeline(t *testing.T) {
+	recs := []Record{
+		{User: "A", Query: "q1", URL: "u1", Count: 3},
+		{User: "B", Query: "q1", URL: "u1", Count: 2},
+		{User: "A", Query: "q2", URL: "u2", Count: 1},
+		{User: "C", Query: "q2", URL: "u2", Count: 2},
+		{User: "B", Query: "q3", URL: "u3", Count: 2},
+		{User: "C", Query: "q3", URL: "u3", Count: 1},
+	}
+	in, err := NewLog(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget chosen so a non-empty plan exists: user C holds 2/3 of q2-u2
+	// (coef ln 3 ≈ 1.1) and 1/3 of q3-u3.
+	p := dp.Params{Eps: 1.4, Delta: 0.8}
+	s, err := New(Options{Epsilon: p.Eps, Delta: p.Delta, Objective: ObjectiveOutputSize, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Sanitize(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.OutputSize == 0 {
+		t.Fatal("empty plan; exact check would be vacuous")
+	}
+	if err := dp.ExactCheck(res.Preprocessed, p, res.Plan.Counts); err != nil {
+		t.Errorf("exact Definition-2 check failed on a released plan: %v", err)
+	}
+}
+
+// TestFailureInjectionAuditRejects corrupts released plans in several ways
+// and requires the audit to reject each corruption.
+func TestFailureInjectionAuditRejects(t *testing.T) {
+	in := testCorpus(t)
+	s, err := New(testOptions(ObjectiveOutputSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Sanitize(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := res.Preprocessed
+	eps, delta := s.Options().Epsilon, s.Options().Delta
+	base := res.Plan.Counts
+
+	corruptions := map[string]func([]int) []int{
+		"inflate-everything": func(c []int) []int {
+			out := append([]int(nil), c...)
+			for i := range out {
+				out[i] += pre.PairCount(i) * 10
+			}
+			return out
+		},
+		"negative-count": func(c []int) []int {
+			out := append([]int(nil), c...)
+			out[0] = -1
+			return out
+		},
+		"wrong-length": func(c []int) []int {
+			return append(append([]int(nil), c...), 7)
+		},
+	}
+	for name, corrupt := range corruptions {
+		if err := VerifyCounts(pre, eps, delta, corrupt(base)); err == nil {
+			t.Errorf("%s: corrupted plan passed the audit", name)
+		}
+	}
+	// Sampling must also refuse a plan that puts mass on a unique pair of
+	// an unpreprocessed log; simulate by auditing against the RAW input.
+	raw := in
+	counts := make([]int, raw.NumPairs())
+	placed := false
+	for i := 0; i < raw.NumPairs(); i++ {
+		if raw.Pair(i).IsUnique() {
+			counts[i] = 1
+			placed = true
+			break
+		}
+	}
+	if placed {
+		if err := VerifyCounts(raw, eps, delta, counts); err == nil {
+			t.Error("unique-pair mass passed the audit against the raw log")
+		}
+	}
+}
+
+// TestTightenedParametersRejectReleasedPlan: a plan released at (ε, δ) must
+// fail the audit at a sufficiently tighter (ε′, δ′) — the audit is not
+// vacuously permissive.
+func TestTightenedParametersRejectReleasedPlan(t *testing.T) {
+	in := testCorpus(t)
+	s, err := New(testOptions(ObjectiveOutputSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Sanitize(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.OutputSize == 0 {
+		t.Skip("empty plan")
+	}
+	if err := VerifyCounts(res.Preprocessed, 1e-6, 1e-6, res.Plan.Counts); err == nil {
+		t.Error("non-empty plan audits at a near-zero budget")
+	}
+}
+
+// TestSanitizeStatisticalShapePreservation: over many sampled outputs, the
+// per-pair expected user shares converge to the input histogram shares —
+// the defining property of the §3.2 randomization (law of large numbers
+// over Multinomial expectations).
+func TestSanitizeStatisticalShapePreservation(t *testing.T) {
+	recs := []Record{
+		{User: "A", Query: "g", URL: "g.com", Count: 15},
+		{User: "B", Query: "g", URL: "g.com", Count: 7},
+		{User: "C", Query: "g", URL: "g.com", Count: 17},
+		{User: "A", Query: "b", URL: "a.com", Count: 4},
+		{User: "B", Query: "b", URL: "a.com", Count: 4},
+	}
+	in, err := NewLog(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares := map[string]float64{}
+	const reps = 400
+	totalG := 0
+	for rep := 0; rep < reps; rep++ {
+		s, err := New(Options{Epsilon: math.Log(4), Delta: 0.9, Objective: ObjectiveOutputSize, Seed: uint64(rep)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Sanitize(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gi := res.Output.PairIndex(PairKey{Query: "g", URL: "g.com"})
+		if gi < 0 {
+			continue
+		}
+		for _, e := range res.Output.Pair(gi).Entries {
+			shares[res.Output.User(e.User).ID] += float64(e.Count)
+		}
+		totalG += res.Output.PairCount(gi)
+	}
+	if totalG == 0 {
+		t.Fatal("google pair never released")
+	}
+	// Input shares 15/39, 7/39, 17/39.
+	want := map[string]float64{"A": 15.0 / 39, "B": 7.0 / 39, "C": 17.0 / 39}
+	for user, w := range want {
+		got := shares[user] / float64(totalG)
+		if math.Abs(got-w) > 0.05 {
+			t.Errorf("user %s sampled share %.3f, want ≈%.3f", user, got, w)
+		}
+	}
+}

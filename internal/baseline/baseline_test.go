@@ -1,0 +1,148 @@
+package baseline
+
+import (
+	"testing"
+
+	"dpslog/internal/gen"
+	"dpslog/internal/searchlog"
+)
+
+func corpus(t testing.TB) *searchlog.Log {
+	t.Helper()
+	_, pre, _, err := gen.GeneratePreprocessed(gen.Tiny(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pre
+}
+
+func TestSanitizeValidates(t *testing.T) {
+	l := corpus(t)
+	if _, err := Sanitize(l, Options{Epsilon: 0}); err == nil {
+		t.Error("ε = 0 accepted")
+	}
+	if _, err := Sanitize(l, Options{Epsilon: 1, D: -1}); err == nil {
+		t.Error("negative D accepted")
+	}
+	if _, err := Sanitize(l, Options{Epsilon: 1, Threshold: -1}); err == nil {
+		t.Error("negative threshold accepted")
+	}
+}
+
+func TestReleaseHasNoUserIDs(t *testing.T) {
+	l := corpus(t)
+	rel, err := Sanitize(l, Options{Epsilon: 2, D: 5, Threshold: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.SupportsUserAnalysis() {
+		t.Error("baseline release claims user analysis support")
+	}
+	// The release type structurally has no user field; assert content sanity.
+	for _, pc := range rel.Pairs {
+		if pc.Query == "" || pc.URL == "" {
+			t.Errorf("malformed release row %+v", pc)
+		}
+		if pc.Count < 1 {
+			t.Errorf("released count %g below threshold 1", pc.Count)
+		}
+	}
+}
+
+func TestThresholdFilters(t *testing.T) {
+	l := corpus(t)
+	low, err := Sanitize(l, Options{Epsilon: 4, D: 5, Threshold: 0.5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := Sanitize(l, Options{Epsilon: 4, D: 5, Threshold: 1e6, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(high.Pairs) != 0 {
+		t.Errorf("absurd threshold released %d pairs", len(high.Pairs))
+	}
+	if len(low.Pairs) == 0 {
+		t.Error("permissive threshold released nothing")
+	}
+}
+
+func TestActivityBounding(t *testing.T) {
+	// One hyperactive user with 30 pairs; D = 3 must truncate them and cap
+	// any pair's aggregate contribution from that user.
+	b := searchlog.NewBuilder()
+	for i := 0; i < 30; i++ {
+		q := string(rune('a' + i%26))
+		u := string(rune('0' + i/26))
+		b.Add("hyper", q+u, "url", 2)
+		b.Add("other", q+u, "url", 1)
+	}
+	l := b.Log()
+	rel, err := Sanitize(l, Options{Epsilon: 1000, D: 3, Threshold: 0.1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.BoundedUsers != 2 { // both users hold 30 pairs
+		t.Errorf("BoundedUsers = %d, want 2", rel.BoundedUsers)
+	}
+	// With ε huge the noise is negligible: at most 2·3 pairs can carry any
+	// bounded mass, the rest must have been thresholded away.
+	if len(rel.Pairs) > 6 {
+		t.Errorf("released %d pairs despite D = 3 per user", len(rel.Pairs))
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	l := corpus(t)
+	a, err := Sanitize(l, Options{Epsilon: 2, D: 10, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sanitize(l, Options{Epsilon: 2, D: 10, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Pairs) != len(b.Pairs) {
+		t.Fatalf("different release sizes %d vs %d", len(a.Pairs), len(b.Pairs))
+	}
+	for i := range a.Pairs {
+		if a.Pairs[i] != b.Pairs[i] {
+			t.Fatalf("row %d differs across identical runs", i)
+		}
+	}
+}
+
+func TestRecallGrowsWithEpsilon(t *testing.T) {
+	l := corpus(t)
+	s := 4.0 / float64(l.Size())
+	var prev float64 = -1
+	grew := false
+	for _, eps := range []float64{0.2, 1, 5, 25} {
+		rel, err := Sanitize(l, Options{Epsilon: eps, D: 10, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := rel.FrequentRecall(l, s)
+		if rec < 0 || rec > 1 {
+			t.Fatalf("recall %g out of range", rec)
+		}
+		if rec > prev {
+			grew = true
+		}
+		prev = rec
+	}
+	if !grew {
+		t.Error("recall never improved as ε grew by two orders of magnitude")
+	}
+}
+
+func TestFrequentRecallEdge(t *testing.T) {
+	l := corpus(t)
+	empty := &Release{}
+	if got := empty.FrequentRecall(l, 0.99); got != 1 {
+		t.Errorf("no frequent pairs: recall = %g, want 1 (vacuous)", got)
+	}
+	if got := empty.FrequentRecall(l, 1e-9); got != 0 {
+		t.Errorf("empty release with frequent pairs: recall = %g, want 0", got)
+	}
+}

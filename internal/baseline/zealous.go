@@ -1,0 +1,131 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dpslog/internal/rng"
+	"dpslog/internal/searchlog"
+)
+
+// This file implements the second prior-work mechanism of the paper's §2:
+// ZEALOUS (Götz, Machanavajjhala, Wang, Xiao & Gehrke, "Publishing Search
+// Logs — A Comparative Study of Privacy Guarantees"). ZEALOUS releases
+// noisy aggregate counts like Korolova et al., but with a characteristic
+// *two-threshold* structure that achieves (ε, δ)-probabilistic differential
+// privacy — the same notion (Definition 2) the paper adopts:
+//
+//  1. contribution bounding: keep at most M items per user;
+//  2. pre-threshold: drop items whose bounded count is below τ₁ (this is
+//     what bounds the probability mass of disclosing rare items — the δ
+//     part);
+//  3. noise: add Lap(2M/ε) to the surviving counts;
+//  4. post-threshold: drop items whose noisy count is below τ₂.
+//
+// Like Korolova et al., the release carries no user-IDs, so the comparison
+// with the paper's schema-preserving mechanism is the same: stronger
+// aggregate coverage, zero per-user structure.
+
+// ZealousOptions parameterize the ZEALOUS mechanism.
+type ZealousOptions struct {
+	// Epsilon is the ε of the probabilistic differential privacy guarantee.
+	Epsilon float64
+	// Delta is the δ; it drives the default pre-threshold τ₁.
+	Delta float64
+	// M bounds each user's contribution (items kept per user); 0 means 20.
+	M int
+	// Tau1 is the pre-noise threshold; 0 derives it from δ as
+	// τ₁ = 1 + (2M/ε)·ln(M/δ) (the shape of the original analysis: rare
+	// items must be suppressed with probability ≥ 1−δ).
+	Tau1 float64
+	// Tau2 is the post-noise threshold; 0 derives τ₂ = τ₁ + (2M/ε)·ln 2.
+	Tau2 float64
+	// Seed drives the Laplace noise.
+	Seed uint64
+}
+
+func (o ZealousOptions) validate() error {
+	if !(o.Epsilon > 0) {
+		return fmt.Errorf("baseline: ZEALOUS ε must be positive, got %g", o.Epsilon)
+	}
+	if !(o.Delta > 0 && o.Delta < 1) {
+		return fmt.Errorf("baseline: ZEALOUS δ must lie in (0,1), got %g", o.Delta)
+	}
+	if o.M < 0 || o.Tau1 < 0 || o.Tau2 < 0 {
+		return fmt.Errorf("baseline: ZEALOUS M/τ₁/τ₂ must be non-negative")
+	}
+	return nil
+}
+
+// SanitizeZealous runs the ZEALOUS two-threshold mechanism over the log's
+// query-url pairs.
+func SanitizeZealous(l *searchlog.Log, opts ZealousOptions) (*Release, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	m := opts.M
+	if m == 0 {
+		m = 20
+	}
+	scale := 2 * float64(m) / opts.Epsilon
+	tau1 := opts.Tau1
+	if tau1 == 0 {
+		tau1 = 1 + scale*math.Log(float64(m)/opts.Delta)
+	}
+	tau2 := opts.Tau2
+	if tau2 == 0 {
+		tau2 = tau1 + scale*math.Ln2
+	}
+	g := rng.New(opts.Seed ^ 0x5EA10005)
+
+	// Step 1: contribution bounding, heaviest pairs first (as in Sanitize).
+	bounded := map[searchlog.PairKey]int{}
+	boundedUsers := 0
+	for k := 0; k < l.NumUsers(); k++ {
+		u := l.User(k)
+		pairs := append([]searchlog.UserPair(nil), u.Pairs...)
+		if len(pairs) > m {
+			sort.Slice(pairs, func(a, b int) bool {
+				if pairs[a].Count != pairs[b].Count {
+					return pairs[a].Count > pairs[b].Count
+				}
+				return pairs[a].Pair < pairs[b].Pair
+			})
+			pairs = pairs[:m]
+			boundedUsers++
+		}
+		for _, up := range pairs {
+			bounded[l.Pair(up.Pair).Key()] += up.Count
+		}
+	}
+
+	// Deterministic order for reproducible noise.
+	keys := make([]searchlog.PairKey, 0, len(bounded))
+	for key := range bounded {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].Query != keys[b].Query {
+			return keys[a].Query < keys[b].Query
+		}
+		return keys[a].URL < keys[b].URL
+	})
+
+	rel := &Release{BoundedUsers: boundedUsers}
+	for _, key := range keys {
+		c := bounded[key]
+		// Step 2: pre-threshold.
+		if float64(c) < tau1 {
+			continue
+		}
+		// Step 3: noise.
+		noisy := float64(c) + g.Laplace(scale)
+		// Step 4: post-threshold.
+		if noisy < tau2 {
+			continue
+		}
+		rel.Pairs = append(rel.Pairs, PairCount{Query: key.Query, URL: key.URL, Count: noisy})
+	}
+	return rel, nil
+}

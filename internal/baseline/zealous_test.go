@@ -1,0 +1,106 @@
+package baseline
+
+import (
+	"testing"
+
+	"dpslog/internal/searchlog"
+)
+
+func TestZealousValidates(t *testing.T) {
+	l := corpus(t)
+	bad := []ZealousOptions{
+		{Epsilon: 0, Delta: 0.1},
+		{Epsilon: 1, Delta: 0},
+		{Epsilon: 1, Delta: 1},
+		{Epsilon: 1, Delta: 0.1, M: -1},
+		{Epsilon: 1, Delta: 0.1, Tau1: -1},
+		{Epsilon: 1, Delta: 0.1, Tau2: -1},
+	}
+	for i, o := range bad {
+		if _, err := SanitizeZealous(l, o); err == nil {
+			t.Errorf("case %d: invalid options accepted: %+v", i, o)
+		}
+	}
+}
+
+func TestZealousTwoThresholdStructure(t *testing.T) {
+	// A pair below τ₁ must never be released even with enormous positive
+	// noise potential — the pre-threshold is checked on the *exact* count.
+	b := searchlog.NewBuilder()
+	b.Add("a", "rare", "u", 1)
+	b.Add("b", "rare", "u", 1)
+	for _, u := range []string{"a", "b", "c", "d", "e"} {
+		b.Add(u, "popular", "u", 40)
+	}
+	l := b.Log()
+	for seed := uint64(0); seed < 30; seed++ {
+		rel, err := SanitizeZealous(l, ZealousOptions{
+			Epsilon: 5, Delta: 0.1, M: 5, Tau1: 10, Tau2: 12, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pc := range rel.Pairs {
+			if pc.Query == "rare" {
+				t.Fatalf("seed %d: pre-threshold leaked a rare pair", seed)
+			}
+			if pc.Count < 12 {
+				t.Fatalf("seed %d: post-threshold leaked count %g < τ₂", seed, pc.Count)
+			}
+		}
+	}
+}
+
+func TestZealousReleasesPopularPairs(t *testing.T) {
+	b := searchlog.NewBuilder()
+	for _, u := range []string{"a", "b", "c", "d", "e", "f"} {
+		b.Add(u, "head", "u", 100)
+	}
+	l := b.Log()
+	rel, err := SanitizeZealous(l, ZealousOptions{Epsilon: 2, Delta: 0.1, M: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rel.Pairs) != 1 || rel.Pairs[0].Query != "head" {
+		t.Errorf("head pair not released: %+v", rel.Pairs)
+	}
+	if rel.SupportsUserAnalysis() {
+		t.Error("ZEALOUS release claims user analysis support")
+	}
+}
+
+func TestZealousDefaultThresholdsFromDelta(t *testing.T) {
+	l := corpus(t)
+	// Smaller δ must raise τ₁, suppressing more pairs.
+	loose, err := SanitizeZealous(l, ZealousOptions{Epsilon: 5, Delta: 0.5, M: 5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := SanitizeZealous(l, ZealousOptions{Epsilon: 5, Delta: 1e-6, M: 5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tight.Pairs) > len(loose.Pairs) {
+		t.Errorf("tighter δ released more pairs: %d > %d", len(tight.Pairs), len(loose.Pairs))
+	}
+}
+
+func TestZealousDeterministic(t *testing.T) {
+	l := corpus(t)
+	a, err := SanitizeZealous(l, ZealousOptions{Epsilon: 2, Delta: 0.1, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SanitizeZealous(l, ZealousOptions{Epsilon: 2, Delta: 0.1, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Pairs) != len(b.Pairs) {
+		t.Fatalf("sizes differ: %d vs %d", len(a.Pairs), len(b.Pairs))
+	}
+	for i := range a.Pairs {
+		if a.Pairs[i] != b.Pairs[i] {
+			t.Fatalf("row %d differs", i)
+		}
+	}
+}

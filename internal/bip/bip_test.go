@@ -1,0 +1,319 @@
+package bip
+
+import (
+	"math"
+	"testing"
+
+	"dpslog/internal/rng"
+)
+
+// smallProblem builds a 6-column, 3-row packing BIP with a known optimum.
+func smallProblem() *Problem {
+	return &Problem{
+		NumCols: 6,
+		Rows: [][]Term{
+			{{Col: 0, Coef: 0.9}, {Col: 1, Coef: 0.2}, {Col: 2, Coef: 0.3}},
+			{{Col: 2, Coef: 0.4}, {Col: 3, Coef: 0.5}, {Col: 4, Coef: 0.1}},
+			{{Col: 0, Coef: 0.2}, {Col: 4, Coef: 0.2}, {Col: 5, Coef: 0.6}},
+		},
+		RHS: []float64{1.0, 1.0, 1.0},
+	}
+}
+
+// randomProblem generates a random packing BIP in the D-UMP coefficient
+// regime (ln t_ijk with modest counts). density is the probability that a
+// column participates in a row; real search logs are very sparse (a pair is
+// held by a handful of users).
+func randomProblem(g *rng.RNG, nCols, nRows int, budget, density float64) *Problem {
+	p := &Problem{NumCols: nCols, RHS: make([]float64, nRows), Rows: make([][]Term, nRows)}
+	for i := 0; i < nRows; i++ {
+		p.RHS[i] = budget
+		for j := 0; j < nCols; j++ {
+			if g.Float64() < density {
+				// ln(c/(c-k)) for c in 2..20, k in 1..c-1.
+				c := 2 + g.IntN(19)
+				k := 1 + g.IntN(c-1)
+				p.Rows[i] = append(p.Rows[i], Term{Col: j, Coef: math.Log(float64(c) / float64(c-k))})
+			}
+		}
+	}
+	return p
+}
+
+func TestValidate(t *testing.T) {
+	p := smallProblem()
+	if err := p.Validate(); err != nil {
+		t.Errorf("valid problem rejected: %v", err)
+	}
+	bad := &Problem{NumCols: 2, Rows: [][]Term{{{Col: 5, Coef: 1}}}, RHS: []float64{1}}
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-range column accepted")
+	}
+	bad2 := &Problem{NumCols: 2, Rows: [][]Term{{{Col: 0, Coef: -1}}}, RHS: []float64{1}}
+	if err := bad2.Validate(); err == nil {
+		t.Error("negative coefficient accepted")
+	}
+	bad3 := &Problem{NumCols: 2, Rows: [][]Term{{{Col: 0, Coef: 1}}}, RHS: []float64{0}}
+	if err := bad3.Validate(); err == nil {
+		t.Error("zero rhs accepted")
+	}
+	bad4 := &Problem{NumCols: 2, Rows: [][]Term{{{Col: 0, Coef: 1}}}, RHS: []float64{1, 2}}
+	if err := bad4.Validate(); err == nil {
+		t.Error("row/rhs length mismatch accepted")
+	}
+}
+
+func TestFeasibleAndObjective(t *testing.T) {
+	p := smallProblem()
+	all := []bool{true, true, true, true, true, true}
+	if p.Feasible(all, 0) {
+		t.Error("selecting everything should violate row 0 (0.9+0.2+0.3)")
+	}
+	none := make([]bool, 6)
+	if !p.Feasible(none, 0) {
+		t.Error("empty selection infeasible")
+	}
+	if Objective(all) != 6 || Objective(none) != 0 {
+		t.Error("Objective miscounts")
+	}
+}
+
+func TestExhaustiveOracle(t *testing.T) {
+	p := smallProblem()
+	sol, err := Exhaustive(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Feasible(sol.Y, 0) {
+		t.Fatal("exhaustive returned infeasible selection")
+	}
+	// Dropping column 0 (0.9) leaves rows: {0.2,0.3}=0.5, {0.4,0.5,0.1}=1.0,
+	// {0.2,0.6}=0.8 — all feasible with 5 columns. 6 is infeasible.
+	if sol.Objective != 5 {
+		t.Errorf("optimum = %d, want 5", sol.Objective)
+	}
+	big := &Problem{NumCols: 23}
+	if _, err := Exhaustive(big); err == nil {
+		t.Error("exhaustive accepted 23 columns")
+	}
+}
+
+func TestAllSolversFeasibleAndReasonable(t *testing.T) {
+	g := rng.New(100)
+	for trial := 0; trial < 25; trial++ {
+		p := randomProblem(g, 4+g.IntN(10), 2+g.IntN(5), 0.3+g.Float64(), 0.4)
+		opt, err := Exhaustive(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range Names() {
+			s, err := New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sol, err := s.Solve(p)
+			if err != nil {
+				t.Fatalf("trial %d solver %s: %v", trial, name, err)
+			}
+			if !p.Feasible(sol.Y, 0) {
+				t.Fatalf("trial %d solver %s returned infeasible selection", trial, name)
+			}
+			if sol.Objective != Objective(sol.Y) {
+				t.Fatalf("trial %d solver %s objective mismatch", trial, name)
+			}
+			if sol.Objective > opt.Objective {
+				t.Fatalf("trial %d solver %s beat the exhaustive optimum: %d > %d",
+					trial, name, sol.Objective, opt.Objective)
+			}
+		}
+	}
+}
+
+func TestBranchBoundExactOnSmallInstances(t *testing.T) {
+	g := rng.New(200)
+	for trial := 0; trial < 20; trial++ {
+		p := randomProblem(g, 4+g.IntN(9), 2+g.IntN(4), 0.4+g.Float64(), 0.4)
+		opt, err := Exhaustive(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, err := BranchBound{NodeLimit: 100000}.Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sol.Optimal {
+			t.Fatalf("trial %d: node budget exhausted on a small instance", trial)
+		}
+		if sol.Objective != opt.Objective {
+			t.Fatalf("trial %d: branch&bound %d != optimum %d", trial, sol.Objective, opt.Objective)
+		}
+	}
+}
+
+func TestSPEMatchesPaperBehaviour(t *testing.T) {
+	// SPE must remove the pair with the global maximum coefficient first.
+	p := &Problem{
+		NumCols: 3,
+		Rows: [][]Term{
+			{{Col: 0, Coef: 2.0}, {Col: 1, Coef: 0.1}},
+			{{Col: 1, Coef: 0.1}, {Col: 2, Coef: 0.3}},
+		},
+		RHS: []float64{0.5, 0.5},
+	}
+	sol, err := SPE{}.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Y[0] {
+		t.Error("SPE kept the most sensitive column 0 (coef 2.0)")
+	}
+	if !sol.Y[1] || !sol.Y[2] {
+		t.Errorf("SPE dropped more than necessary: %v", sol.Y)
+	}
+	if sol.Objective != 2 {
+		t.Errorf("objective = %d, want 2", sol.Objective)
+	}
+}
+
+func TestSPENoRemovalsWhenFeasible(t *testing.T) {
+	p := &Problem{
+		NumCols: 2,
+		Rows:    [][]Term{{{Col: 0, Coef: 0.1}, {Col: 1, Coef: 0.1}}},
+		RHS:     []float64{1.0},
+	}
+	for _, s := range []Solver{SPE{}, SPEViolated{}} {
+		sol, err := s.Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Objective != 2 {
+			t.Errorf("%s: objective = %d, want 2 (no eliminations needed)", s.Name(), sol.Objective)
+		}
+	}
+}
+
+func TestSPEViolatedAtLeastAsSelective(t *testing.T) {
+	// On an instance where one row is violated and another is slack, the
+	// violated-row variant must not touch columns confined to the slack row.
+	p := &Problem{
+		NumCols: 3,
+		Rows: [][]Term{
+			{{Col: 0, Coef: 1.0}, {Col: 1, Coef: 0.9}}, // violated (1.9 > 1)
+			{{Col: 2, Coef: 0.95}},                     // satisfied alone
+		},
+		RHS: []float64{1.0, 1.0},
+	}
+	sol, err := SPEViolated{}.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Y[2] {
+		t.Error("spe-violated dropped a column from a satisfied row")
+	}
+	if !p.Feasible(sol.Y, 0) {
+		t.Error("infeasible result")
+	}
+}
+
+func TestGreedyOrdersBySensitivity(t *testing.T) {
+	// Budget admits only one column; greedy must take the least sensitive.
+	p := &Problem{
+		NumCols: 2,
+		Rows:    [][]Term{{{Col: 0, Coef: 0.8}, {Col: 1, Coef: 0.3}}},
+		RHS:     []float64{0.5},
+	}
+	sol, err := Greedy{}.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Y[0] || !sol.Y[1] {
+		t.Errorf("greedy picked %v, want column 1 only", sol.Y)
+	}
+}
+
+func TestRoundingFeasibleOnFractionalLP(t *testing.T) {
+	// The LP relaxation of this instance is fractional (classic knapsack
+	// structure); rounding must still return a feasible integral point.
+	p := &Problem{
+		NumCols: 3,
+		Rows:    [][]Term{{{Col: 0, Coef: 0.7}, {Col: 1, Coef: 0.7}, {Col: 2, Coef: 0.7}}},
+		RHS:     []float64{1.0},
+	}
+	sol, err := Rounding{}.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Feasible(sol.Y, 0) {
+		t.Fatal("rounding returned infeasible selection")
+	}
+	if sol.Objective != 1 {
+		t.Errorf("objective = %d, want 1", sol.Objective)
+	}
+}
+
+func TestFeasPumpFindsFeasible(t *testing.T) {
+	g := rng.New(300)
+	for trial := 0; trial < 10; trial++ {
+		p := randomProblem(g, 12, 4, 0.5, 0.4)
+		sol, err := FeasPump{}.Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !p.Feasible(sol.Y, 0) {
+			t.Fatalf("trial %d: feaspump infeasible", trial)
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	names := Names()
+	if len(names) != 6 {
+		t.Errorf("Names() = %v, want 6 solvers", names)
+	}
+	for _, n := range names {
+		s, err := New(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Name() != n {
+			t.Errorf("solver registered as %q reports name %q", n, s.Name())
+		}
+	}
+	if _, err := New("nope"); err == nil {
+		t.Error("unknown solver accepted")
+	}
+	for _, n := range ComparisonSet() {
+		if _, err := New(n); err != nil {
+			t.Errorf("comparison set member %q not registered", n)
+		}
+	}
+}
+
+func TestSolversScaleToMediumInstance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("medium instance in -short mode")
+	}
+	g := rng.New(400)
+	p := randomProblem(g, 400, 80, 0.6, 0.02)
+	results := map[string]int{}
+	for _, name := range ComparisonSet() {
+		s, err := New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, err := s.Solve(p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !p.Feasible(sol.Y, 0) {
+			t.Fatalf("%s: infeasible on medium instance", name)
+		}
+		results[name] = sol.Objective
+	}
+	// All solvers should retain a nontrivial fraction of columns.
+	for name, obj := range results {
+		if obj <= 0 {
+			t.Errorf("%s retained nothing", name)
+		}
+	}
+}

@@ -1,0 +1,359 @@
+package bip
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dpslog/internal/lp"
+	"dpslog/internal/rng"
+)
+
+// relaxation builds the LP relaxation of the BIP with optional fixings:
+// fixed[j] ∈ {-1 free, 0, 1}. The objective maximizes Σ y_j.
+func relaxation(p *Problem, fixed []int8) *lp.Problem {
+	rel := lp.NewProblem(lp.Maximize)
+	for j := 0; j < p.NumCols; j++ {
+		lo, hi := 0.0, 1.0
+		if fixed != nil {
+			switch fixed[j] {
+			case 0:
+				hi = 0
+			case 1:
+				lo = 1
+			}
+		}
+		rel.AddVariable(1, lo, hi)
+	}
+	for i, row := range p.Rows {
+		r := rel.AddConstraint(lp.LE, p.RHS[i])
+		for _, t := range row {
+			rel.SetCoef(r, t.Col, t.Coef)
+		}
+	}
+	return rel
+}
+
+// greedyFill adds unselected columns to y in the given order while all rows
+// stay feasible, updating lhs in place. Columns already true are skipped.
+func greedyFill(p *Problem, y []bool, lhs []float64, order []int) {
+	cols := p.transpose()
+	for _, j := range order {
+		if y[j] {
+			continue
+		}
+		ok := true
+		for _, t := range cols[j] {
+			if lhs[t.Col]+t.Coef > p.RHS[t.Col]+1e-9 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		y[j] = true
+		for _, t := range cols[j] {
+			lhs[t.Col] += t.Coef
+		}
+	}
+}
+
+// ascendingSensitivity orders columns by their largest coefficient (the
+// pair's worst single-user domination), least sensitive first.
+func ascendingSensitivity(p *Problem) []int {
+	order := make([]int, p.NumCols)
+	for j := range order {
+		order[j] = j
+	}
+	maxes := make([]float64, p.NumCols)
+	for j := range maxes {
+		maxes[j] = p.maxCoef(j)
+	}
+	sort.SliceStable(order, func(a, b int) bool { return maxes[order[a]] < maxes[order[b]] })
+	return order
+}
+
+// roundDown converts an LP point into a feasible selection by keeping only
+// coordinates at (numerically) one. Because the matrix is non-negative and
+// the LP point feasible, the result is always feasible.
+func roundDown(p *Problem, x []float64) []bool {
+	y := make([]bool, p.NumCols)
+	for j, v := range x {
+		if v >= 1-1e-7 {
+			y[j] = true
+		}
+	}
+	return y
+}
+
+// Greedy is the constraint-aware greedy insertion heuristic (the stand-in
+// for scip's primal heuristics in the Table 7 comparison): columns are
+// considered least-sensitive first and added while every user-log budget
+// still holds.
+type Greedy struct{}
+
+// Name implements Solver.
+func (Greedy) Name() string { return "greedy" }
+
+// Solve implements Solver.
+func (Greedy) Solve(p *Problem) (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	y := make([]bool, p.NumCols)
+	lhs := make([]float64, len(p.Rows))
+	greedyFill(p, y, lhs, ascendingSensitivity(p))
+	return &Solution{Y: y, Objective: Objective(y)}, nil
+}
+
+// Rounding solves the exact LP relaxation once and rounds it greedily: take
+// every variable at 1, then add the remaining columns in descending
+// fractional value. This mirrors how an exact LP solver (qsopt_ex) is
+// typically used for BIPs without branching.
+type Rounding struct{}
+
+// Name implements Solver.
+func (Rounding) Name() string { return "rounding" }
+
+// Solve implements Solver.
+func (Rounding) Solve(p *Problem) (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	sol, err := lp.Solve(relaxation(p, nil), lp.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("bip/rounding: relaxation: %w", err)
+	}
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("bip/rounding: relaxation status %v", sol.Status)
+	}
+	y := roundDown(p, sol.X)
+	lhs := p.LHS(y)
+	order := make([]int, p.NumCols)
+	for j := range order {
+		order[j] = j
+	}
+	sort.SliceStable(order, func(a, b int) bool { return sol.X[order[a]] > sol.X[order[b]] })
+	greedyFill(p, y, lhs, order)
+	return &Solution{Y: y, Objective: Objective(y), Nodes: sol.Iterations}, nil
+}
+
+// FeasPump is the feasibility pump heuristic (the NEOS feaspump stand-in):
+// alternate between rounding the current LP point and re-solving an LP that
+// minimizes the L1 distance to the rounded point, perturbing on cycles, then
+// polish the first feasible point greedily.
+type FeasPump struct {
+	// MaxIter bounds pump rounds; 0 means 25.
+	MaxIter int
+	// Seed drives the cycle-breaking perturbation; the zero value is a fixed
+	// default so runs stay reproducible.
+	Seed uint64
+}
+
+// Name implements Solver.
+func (FeasPump) Name() string { return "feaspump" }
+
+// Solve implements Solver.
+func (f FeasPump) Solve(p *Problem) (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	maxIter := f.MaxIter
+	if maxIter <= 0 {
+		maxIter = 25
+	}
+	seed := f.Seed
+	if seed == 0 {
+		seed = 0xfeedbeef
+	}
+	g := rng.New(seed)
+
+	sol, err := lp.Solve(relaxation(p, nil), lp.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("bip/feaspump: relaxation: %w", err)
+	}
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("bip/feaspump: relaxation status %v", sol.Status)
+	}
+	x := sol.X
+	nodes := sol.Iterations
+	round := func(x []float64) []bool {
+		y := make([]bool, len(x))
+		for j, v := range x {
+			y[j] = v >= 0.5
+		}
+		return y
+	}
+	hash := func(y []bool) uint64 {
+		h := uint64(1469598103934665603)
+		for _, v := range y {
+			h *= 1099511628211
+			if v {
+				h ^= 1
+			} else {
+				h ^= 2
+			}
+		}
+		return h
+	}
+	seen := map[uint64]bool{}
+	yHat := round(x)
+	best := roundDown(p, x) // guaranteed-feasible fallback
+	for iter := 0; iter < maxIter; iter++ {
+		if p.Feasible(yHat, 0) {
+			best = yHat
+			break
+		}
+		h := hash(yHat)
+		if seen[h] {
+			// Cycle: flip a random tenth of the coordinates.
+			flips := 1 + len(yHat)/10
+			for f := 0; f < flips; f++ {
+				j := g.IntN(len(yHat))
+				yHat[j] = !yHat[j]
+			}
+			h = hash(yHat)
+		}
+		seen[h] = true
+		// Distance LP: minimize Σ_{ŷ=0} y_j − Σ_{ŷ=1} y_j (equals L1 distance
+		// up to a constant).
+		dist := lp.NewProblem(lp.Minimize)
+		for j := 0; j < p.NumCols; j++ {
+			c := 1.0
+			if yHat[j] {
+				c = -1.0
+			}
+			dist.AddVariable(c, 0, 1)
+		}
+		for i, row := range p.Rows {
+			r := dist.AddConstraint(lp.LE, p.RHS[i])
+			for _, t := range row {
+				dist.SetCoef(r, t.Col, t.Coef)
+			}
+		}
+		dsol, err := lp.Solve(dist, lp.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("bip/feaspump: distance LP: %w", err)
+		}
+		if dsol.Status != lp.Optimal {
+			break
+		}
+		nodes += dsol.Iterations
+		x = dsol.X
+		yHat = round(x)
+		if p.Feasible(yHat, 0) {
+			best = yHat
+			break
+		}
+		// Keep the best feasible round-down seen along the way.
+		if rd := roundDown(p, x); Objective(rd) > Objective(best) {
+			best = rd
+		}
+	}
+	lhs := p.LHS(best)
+	greedyFill(p, best, lhs, ascendingSensitivity(p))
+	return &Solution{Y: best, Objective: Objective(best), Nodes: nodes}, nil
+}
+
+// BranchBound is an LP-based branch & bound (the Matlab bintprog algorithm):
+// depth-first search branching on the most fractional relaxation variable,
+// with round-down primal heuristics at every node and a node budget for the
+// large instances of the Table 7 comparison. Within the budget it proves
+// optimality; beyond it, it reports the best incumbent.
+type BranchBound struct {
+	// NodeLimit bounds explored nodes; 0 means 400.
+	NodeLimit int
+}
+
+// Name implements Solver.
+func (BranchBound) Name() string { return "branchbound" }
+
+// Solve implements Solver.
+func (bb BranchBound) Solve(p *Problem) (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	nodeLimit := bb.NodeLimit
+	if nodeLimit <= 0 {
+		nodeLimit = 400
+	}
+	// Incumbent from the greedy heuristic.
+	gsol, err := Greedy{}.Solve(p)
+	if err != nil {
+		return nil, err
+	}
+	incumbent := gsol.Y
+	incObj := gsol.Objective
+
+	type node struct {
+		fixed []int8
+	}
+	root := make([]int8, p.NumCols)
+	for j := range root {
+		root[j] = -1
+	}
+	stack := []node{{fixed: root}}
+	nodes := 0
+	exhausted := true
+	for len(stack) > 0 {
+		if nodes >= nodeLimit {
+			exhausted = false
+			break
+		}
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nodes++
+
+		sol, err := lp.Solve(relaxation(p, nd.fixed), lp.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("bip/branchbound: node LP: %w", err)
+		}
+		if sol.Status == lp.Infeasible {
+			continue
+		}
+		if sol.Status != lp.Optimal {
+			continue
+		}
+		bound := int(math.Floor(sol.Objective + 1e-6))
+		if bound <= incObj {
+			continue
+		}
+		// Primal heuristic: round down, honoring fixed-to-one variables
+		// (they are at 1 in any feasible LP point of this node).
+		cand := roundDown(p, sol.X)
+		lhs := p.LHS(cand)
+		greedyFill(p, cand, lhs, ascendingSensitivity(p))
+		if o := Objective(cand); o > incObj {
+			incObj, incumbent = o, cand
+		}
+		// Find the most fractional variable.
+		branch := -1
+		bestFrac := 1e-6
+		for j, v := range sol.X {
+			if nd.fixed[j] != -1 {
+				continue
+			}
+			frac := math.Min(v, 1-v)
+			if frac > bestFrac {
+				bestFrac, branch = frac, j
+			}
+		}
+		if branch < 0 {
+			// Integral relaxation: it is feasible and integral, hence a
+			// candidate solution.
+			cand := roundDown(p, sol.X)
+			if o := Objective(cand); o > incObj && p.Feasible(cand, 0) {
+				incObj, incumbent = o, cand
+			}
+			continue
+		}
+		f0 := append([]int8(nil), nd.fixed...)
+		f0[branch] = 0
+		f1 := append([]int8(nil), nd.fixed...)
+		f1[branch] = 1
+		// Explore the fix-to-one child first (depth-first: push last).
+		stack = append(stack, node{fixed: f0}, node{fixed: f1})
+	}
+	return &Solution{Y: incumbent, Objective: incObj, Optimal: exhausted, Nodes: nodes}, nil
+}

@@ -1,0 +1,155 @@
+// Package bip implements the binary integer program of the paper's D-UMP
+// (Equation 8) and five solvers for it:
+//
+//	maximize   Σ_j y_j
+//	subject to Σ_{j∈row i} a_ij·y_j ≤ rhs_i   for every row i
+//	           y_j ∈ {0, 1}
+//
+// with a sparse, non-negative constraint matrix (one row per user log,
+// coefficients ln t_ijk, identical right-hand sides min{ε, ln 1/(1−δ)}).
+//
+// The paper compares its SPE heuristic (Algorithm 2) against Matlab
+// bintprog and the NEOS solvers qsopt_ex, scip and feaspump (Table 7,
+// Figure 5). Those solvers are closed-source services, so this package
+// substitutes the canonical algorithm each one represents, behind a common
+// Solver interface:
+//
+//	spe          — the paper's Sensitive query-url Pair Eliminating heuristic
+//	spe-violated — ablation: eliminate only from currently violated rows
+//	branchbound  — LP-based branch & bound (the bintprog algorithm)
+//	feaspump     — feasibility pump + greedy improvement (NEOS feaspump)
+//	rounding     — exact LP relaxation + guided rounding (qsopt_ex-style)
+//	greedy       — constraint-aware greedy insertion (stand-in for scip's
+//	               primal heuristics)
+package bip
+
+import (
+	"fmt"
+	"math"
+)
+
+// Term is a sparse matrix entry within a row.
+type Term struct {
+	Col  int
+	Coef float64
+}
+
+// Problem is a packing-style binary integer program. Coefficients must be
+// non-negative and right-hand sides positive; both properties hold for every
+// D-UMP instance by construction (coefficients are ln t_ijk > 0).
+type Problem struct {
+	NumCols int
+	Rows    [][]Term
+	RHS     []float64
+
+	colRows [][]Term // transpose: per column, (row, coef); built lazily
+}
+
+// Validate checks the packing structure.
+func (p *Problem) Validate() error {
+	if p.NumCols < 0 {
+		return fmt.Errorf("bip: negative column count")
+	}
+	if len(p.Rows) != len(p.RHS) {
+		return fmt.Errorf("bip: %d rows but %d right-hand sides", len(p.Rows), len(p.RHS))
+	}
+	for i, rhs := range p.RHS {
+		if !(rhs > 0) || math.IsInf(rhs, 1) || math.IsNaN(rhs) {
+			return fmt.Errorf("bip: row %d has non-positive rhs %g", i, rhs)
+		}
+		for _, t := range p.Rows[i] {
+			if t.Col < 0 || t.Col >= p.NumCols {
+				return fmt.Errorf("bip: row %d references column %d out of range", i, t.Col)
+			}
+			if !(t.Coef >= 0) || math.IsInf(t.Coef, 1) {
+				return fmt.Errorf("bip: row %d column %d has invalid coefficient %g", i, t.Col, t.Coef)
+			}
+		}
+	}
+	return nil
+}
+
+// transpose returns the per-column view, building it on first use.
+func (p *Problem) transpose() [][]Term {
+	if p.colRows != nil {
+		return p.colRows
+	}
+	p.colRows = make([][]Term, p.NumCols)
+	for i, row := range p.Rows {
+		for _, t := range row {
+			p.colRows[t.Col] = append(p.colRows[t.Col], Term{Col: i, Coef: t.Coef})
+		}
+	}
+	return p.colRows
+}
+
+// LHS computes every row's activity under the selection y.
+func (p *Problem) LHS(y []bool) []float64 {
+	lhs := make([]float64, len(p.Rows))
+	for i, row := range p.Rows {
+		for _, t := range row {
+			if y[t.Col] {
+				lhs[i] += t.Coef
+			}
+		}
+	}
+	return lhs
+}
+
+// Feasible reports whether the selection satisfies every row within tol.
+func (p *Problem) Feasible(y []bool, tol float64) bool {
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	for i, lhs := range p.LHS(y) {
+		if lhs > p.RHS[i]+tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Objective counts the selected columns.
+func Objective(y []bool) int {
+	n := 0
+	for _, v := range y {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// maxCoef returns the largest coefficient attached to a column, or 0 for a
+// column absent from every row (always selectable).
+func (p *Problem) maxCoef(col int) float64 {
+	max := 0.0
+	for _, t := range p.transpose()[col] {
+		if t.Coef > max {
+			max = t.Coef
+		}
+	}
+	return max
+}
+
+// Solution is a feasible selection with its objective value.
+type Solution struct {
+	Y         []bool
+	Objective int
+	// Optimal reports whether the solver proved optimality (branch & bound
+	// within its node budget; false for heuristics even when they happen to
+	// find the optimum).
+	Optimal bool
+	// Nodes counts branch & bound nodes or heuristic iterations, for the
+	// runtime comparisons of Figure 5.
+	Nodes int
+}
+
+// Solver is a D-UMP BIP solver.
+type Solver interface {
+	// Name is the registry key, e.g. "spe".
+	Name() string
+	// Solve returns a feasible solution. Implementations must never return
+	// an infeasible selection; heuristics return their best effort.
+	Solve(p *Problem) (*Solution, error)
+}

@@ -1,0 +1,235 @@
+// Package dp implements the paper's privacy machinery: the
+// (ε, δ)-probabilistic differential privacy parameters (Definition 2), the
+// per-user-log linear constraints of Theorem 1 (Equation 4), a verifier that
+// audits a plan of output counts against those conditions, an exact
+// Definition-2 checker for small enumerable logs, and the §4.2 end-to-end
+// pieces (sensitivity bounding and the Laplace mechanism over the optimal
+// counts).
+package dp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dpslog/internal/searchlog"
+)
+
+// Params are the probabilistic differential privacy parameters of
+// Definition 2.
+type Params struct {
+	// Eps is ε > 0; the paper's grids are expressed as e^ε.
+	Eps float64
+	// Delta is δ ∈ (0, 1), the probability mass allowed for the
+	// privacy-breaching output set Ω₁.
+	Delta float64
+}
+
+// FromEExp builds Params from the paper's e^ε parameterization.
+func FromEExp(eExpEps, delta float64) Params {
+	return Params{Eps: math.Log(eExpEps), Delta: delta}
+}
+
+// Validate checks the parameter ranges.
+func (p Params) Validate() error {
+	if !(p.Eps > 0) || math.IsInf(p.Eps, 1) || math.IsNaN(p.Eps) {
+		return fmt.Errorf("dp: ε must be positive and finite, got %g", p.Eps)
+	}
+	if !(p.Delta > 0 && p.Delta < 1) {
+		return fmt.Errorf("dp: δ must lie in (0, 1), got %g", p.Delta)
+	}
+	return nil
+}
+
+// Budget returns the combined right-hand side min{ε, ln 1/(1−δ)} that merges
+// Conditions 2 and 3 of Theorem 1 into one linear constraint per user log
+// (Equation 4 of the paper).
+func (p Params) Budget() float64 {
+	return math.Min(p.Eps, math.Log(1/(1-p.Delta)))
+}
+
+// Term is one coefficient of a user's DP constraint: pair index and
+// ln t_ijk = ln(c_ij / (c_ij − c_ijk)).
+type Term struct {
+	Pair int
+	Coef float64
+}
+
+// Row is the linear DP constraint contributed by one user log A_k:
+// Σ_t x[t.Pair]·t.Coef ≤ Budget.
+type Row struct {
+	User  int
+	Terms []Term
+}
+
+// Constraints is the full DP constraint system for a preprocessed log.
+type Constraints struct {
+	// Rows has one entry per user log, in user-index order.
+	Rows []Row
+	// Budget is min{ε, ln 1/(1−δ)}.
+	Budget float64
+	// NumPairs is the variable count (pair count of the log).
+	NumPairs int
+}
+
+// ErrNotPreprocessed reports a log still containing unique pairs; constraint
+// coefficients would be infinite for them (Condition 1 of Theorem 1).
+var ErrNotPreprocessed = errors.New("dp: log contains unique query-url pairs; run searchlog.Preprocess first")
+
+// Coef returns ln t_ijk = ln(c_ij/(c_ij − c_ijk)). It is +Inf when the user
+// holds the whole pair, which is exactly the unique-pair case preprocessing
+// removes.
+func Coef(cij, cijk int) float64 {
+	if cijk <= 0 {
+		return 0
+	}
+	if cijk >= cij {
+		return math.Inf(1)
+	}
+	return math.Log(float64(cij) / float64(cij-cijk))
+}
+
+// Build derives the Theorem-1 constraint system from a preprocessed log.
+func Build(l *searchlog.Log, p Params) (*Constraints, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if !searchlog.IsPreprocessed(l) {
+		return nil, ErrNotPreprocessed
+	}
+	c := &Constraints{
+		Rows:     make([]Row, l.NumUsers()),
+		Budget:   p.Budget(),
+		NumPairs: l.NumPairs(),
+	}
+	for k := 0; k < l.NumUsers(); k++ {
+		u := l.User(k)
+		row := Row{User: k, Terms: make([]Term, 0, len(u.Pairs))}
+		for _, up := range u.Pairs {
+			coef := Coef(l.PairCount(up.Pair), up.Count)
+			if math.IsInf(coef, 1) {
+				return nil, fmt.Errorf("dp: user %d holds all of pair %d (c_ijk = c_ij = %d): %w",
+					k, up.Pair, up.Count, ErrNotPreprocessed)
+			}
+			row.Terms = append(row.Terms, Term{Pair: up.Pair, Coef: coef})
+		}
+		c.Rows[k] = row
+	}
+	return c, nil
+}
+
+// LHS returns Σ x·coef for one row given the plan of output counts.
+func (c *Constraints) LHS(row int, counts []int) float64 {
+	s := 0.0
+	for _, t := range c.Rows[row].Terms {
+		s += float64(counts[t.Pair]) * t.Coef
+	}
+	return s
+}
+
+// Violation describes one user-log constraint exceeded by a plan.
+type Violation struct {
+	User   int
+	LHS    float64
+	Budget float64
+}
+
+func (v Violation) Error() string {
+	return fmt.Sprintf("dp: user %d constraint violated: %.9g > budget %.9g", v.User, v.LHS, v.Budget)
+}
+
+// Verify audits a plan of output counts against the full Theorem-1 system:
+// Condition 1 (unique pairs zeroed — vacuous for a preprocessed log) and the
+// merged Conditions 2/3 per user log. It returns all violations. tol guards
+// against floating-point noise; 0 means 1e-9.
+func (c *Constraints) Verify(counts []int, tol float64) []Violation {
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	var out []Violation
+	for k := range c.Rows {
+		if lhs := c.LHS(k, counts); lhs > c.Budget+tol {
+			out = append(out, Violation{User: k, LHS: lhs, Budget: c.Budget})
+		}
+	}
+	return out
+}
+
+// VerifyLog is the standalone audit used by the public API: it rebuilds the
+// constraints for the (possibly non-preprocessed) input log and checks a
+// plan expressed over that log's pair indices. Unique pairs must have a zero
+// planned count (Condition 1), every user row must satisfy the merged budget
+// (Conditions 2/3), and counts must be non-negative.
+func VerifyLog(l *searchlog.Log, p Params, counts []int) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if len(counts) != l.NumPairs() {
+		return fmt.Errorf("dp: %d counts for %d pairs", len(counts), l.NumPairs())
+	}
+	budget := p.Budget()
+	for i, x := range counts {
+		if x < 0 {
+			return fmt.Errorf("dp: negative planned count %d for pair %d", x, i)
+		}
+		if x > 0 && l.Pair(i).IsUnique() {
+			return fmt.Errorf("dp: unique pair %d has positive planned count %d (Condition 1)", i, x)
+		}
+	}
+	for k := 0; k < l.NumUsers(); k++ {
+		u := l.User(k)
+		lhs := 0.0
+		for _, up := range u.Pairs {
+			if counts[up.Pair] == 0 {
+				continue
+			}
+			coef := Coef(l.PairCount(up.Pair), up.Count)
+			lhs += float64(counts[up.Pair]) * coef
+		}
+		if lhs > budget+1e-9 {
+			return Violation{User: k, LHS: lhs, Budget: budget}
+		}
+	}
+	return nil
+}
+
+// BreachProbability returns the exact probability that user k appears in the
+// output (Equation 2): 1 − Π_{(i,j)∈A_k} ((c_ij−c_ijk)/c_ij)^{x_ij}. Under a
+// verified plan this is ≤ δ for every user.
+func BreachProbability(l *searchlog.Log, k int, counts []int) float64 {
+	u := l.User(k)
+	logSurvive := 0.0
+	for _, up := range u.Pairs {
+		x := counts[up.Pair]
+		if x == 0 {
+			continue
+		}
+		cij := l.PairCount(up.Pair)
+		if up.Count >= cij {
+			return 1 // unique pair with positive count: certain breach
+		}
+		logSurvive += float64(x) * math.Log(float64(cij-up.Count)/float64(cij))
+	}
+	return 1 - math.Exp(logSurvive)
+}
+
+// WorstCaseRatio returns the exact supremum over Ω₂ of
+// Pr[R(D′)=O]/Pr[R(D)=O] for the neighbor removing user k (Equation 3):
+// Π_{(i,j)∈A_k} (c_ij/(c_ij−c_ijk))^{x_ij}. Under a verified plan this is
+// ≤ e^ε for every user.
+func WorstCaseRatio(l *searchlog.Log, k int, counts []int) float64 {
+	u := l.User(k)
+	logRatio := 0.0
+	for _, up := range u.Pairs {
+		x := counts[up.Pair]
+		if x == 0 {
+			continue
+		}
+		coef := Coef(l.PairCount(up.Pair), up.Count)
+		if math.IsInf(coef, 1) {
+			return math.Inf(1)
+		}
+		logRatio += float64(x) * coef
+	}
+	return math.Exp(logRatio)
+}

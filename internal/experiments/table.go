@@ -1,0 +1,87 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6) on a synthetic AOL-like corpus: Table 3 (dataset
+// characteristics), Table 4 (maximum output size λ), Figures 3(a)–3(c) and
+// Tables 5–6 (F-UMP utility), Figure 4 and Tables 7(a)–7(b) (D-UMP
+// diversity and the BIP solver comparison), Figure 5 (solver runtimes) and
+// Figure 6 (triplet histogram difference ratios).
+//
+// Figures are rendered as tables (one row per series). Solves are cached by
+// the merged privacy budget min{ε, ln 1/(1−δ)}, which the constraint system
+// depends on exclusively — the paper's 7×7 grid collapses to a handful of
+// distinct LP solves.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	// ID is the experiment identifier, e.g. "table4" or "fig3a".
+	ID string
+	// Title restates the paper's caption.
+	Title string
+	// Header holds the column headings; Header[0] labels the row-label
+	// column.
+	Header []string
+	// Rows holds one label + len(Header)-1 cells each.
+	Rows []Row
+	// Notes collect calibration or deviation remarks for EXPERIMENTS.md.
+	Notes []string
+}
+
+// Row is one labeled table row.
+type Row struct {
+	Label string
+	Cells []string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(label string, cells ...string) {
+	t.Rows = append(t.Rows, Row{Label: label, Cells: cells})
+}
+
+// Note appends a note line.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render produces an aligned plain-text table.
+func (t *Table) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s\n", strings.ToUpper(t.ID), t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		if len(r.Label) > widths[0] {
+			widths[0] = len(r.Label)
+		}
+		for i, c := range r.Cells {
+			if i+1 < len(widths) && len(c) > widths[i+1] {
+				widths[i+1] = len(c)
+			}
+		}
+	}
+	line := func(label string, cells []string) {
+		fmt.Fprintf(&sb, "  %-*s", widths[0], label)
+		for i, c := range cells {
+			w := 0
+			if i+1 < len(widths) {
+				w = widths[i+1]
+			}
+			fmt.Fprintf(&sb, "  %*s", w, c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Header[0], t.Header[1:])
+	for _, r := range t.Rows {
+		line(r.Label, r.Cells)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "  note: %s\n", n)
+	}
+	return sb.String()
+}

@@ -1,0 +1,167 @@
+// Package gen synthesizes AOL-like click-through search logs. The paper's
+// corpus is the (retracted, non-redistributable) 2006 AOL release; every
+// quantity the sanitization mechanism consumes is a function of the
+// query-url(-user) histogram shape, so the substitution preserving that
+// shape is what matters (see DESIGN.md §2):
+//
+//   - Zipf-distributed query popularity → a small head of pairs shared by
+//     many users and a huge tail of unique pairs (the preprocessing step
+//     removes the tail, exactly as in Table 3 where 163,681 raw pairs shrink
+//     to 6,043),
+//   - per-query Zipf url choice → clicked urls concentrated on a few
+//     results per query,
+//   - heavy-tailed user activity → a few prolific users, many light ones.
+//
+// Three calibrated profiles are provided: Tiny (unit tests), Small (default
+// benchmarks) and Paper (Table-3 scale).
+package gen
+
+import (
+	"fmt"
+
+	"dpslog/internal/rng"
+	"dpslog/internal/searchlog"
+)
+
+// Profile parameterizes the synthetic corpus.
+type Profile struct {
+	// Name labels the profile in reports.
+	Name string
+	// Users is the number of user logs ("user-IDs") to generate.
+	Users int
+	// QueryVocab is the distinct query vocabulary size.
+	QueryVocab int
+	// URLVocab is the distinct url vocabulary size.
+	URLVocab int
+	// URLsPerQuery is how many candidate urls each query links to.
+	URLsPerQuery int
+	// QueryZipf is the Zipf exponent of query popularity (≈1 for web logs).
+	QueryZipf float64
+	// URLZipf is the Zipf exponent of the per-query url click distribution.
+	URLZipf float64
+	// MinClicks/MaxClicks bound each user's click volume.
+	MinClicks, MaxClicks int
+	// ActivityZipf skews users toward the light end (larger = more skew).
+	ActivityZipf float64
+	// RepeatProb is the probability that a click revisits one of the user's
+	// own earlier query-url pairs instead of sampling a fresh one. Real
+	// search users re-issue queries heavily; this drives the per-triplet
+	// counts c_ijk above 1 and keeps user logs at the AOL-like width of a
+	// handful of distinct pairs per user.
+	RepeatProb float64
+}
+
+// Validate checks the profile ranges.
+func (p Profile) Validate() error {
+	switch {
+	case p.Users <= 0:
+		return fmt.Errorf("gen: Users must be positive")
+	case p.QueryVocab <= 0 || p.URLVocab <= 0 || p.URLsPerQuery <= 0:
+		return fmt.Errorf("gen: vocabulary sizes must be positive")
+	case p.MinClicks <= 0 || p.MaxClicks < p.MinClicks:
+		return fmt.Errorf("gen: need 0 < MinClicks ≤ MaxClicks")
+	case p.QueryZipf <= 0 || p.URLZipf <= 0 || p.ActivityZipf <= 0:
+		return fmt.Errorf("gen: Zipf exponents must be positive")
+	case p.RepeatProb < 0 || p.RepeatProb >= 1:
+		return fmt.Errorf("gen: RepeatProb must lie in [0, 1)")
+	}
+	return nil
+}
+
+// Tiny is the unit-test profile: a few dozen users, enough shared pairs to
+// exercise every code path in milliseconds.
+func Tiny() Profile {
+	return Profile{
+		Name: "tiny", Users: 40, QueryVocab: 150, URLVocab: 120, URLsPerQuery: 3,
+		QueryZipf: 1.05, URLZipf: 1.3, MinClicks: 8, MaxClicks: 60, ActivityZipf: 1.1,
+		RepeatProb: 0.5,
+	}
+}
+
+// Small is the default benchmark profile: roughly a quarter of the paper's
+// preprocessed scale, so every experiment grid completes in seconds while
+// preserving the sparsity regime (most raw pairs unique, a shared core
+// surviving preprocessing).
+func Small() Profile {
+	return Profile{
+		Name: "small", Users: 600, QueryVocab: 12000, URLVocab: 9000, URLsPerQuery: 4,
+		QueryZipf: 1.02, URLZipf: 1.25, MinClicks: 12, MaxClicks: 250, ActivityZipf: 1.2,
+		RepeatProb: 0.55,
+	}
+}
+
+// Paper approximates the paper's experimental corpus (Table 3: 2,500 user
+// logs, ≈163k raw pairs, ≈6k pairs and |D| ≈ 53k after preprocessing).
+func Paper() Profile {
+	return Profile{
+		Name: "paper", Users: 2500, QueryVocab: 70000, URLVocab: 50000, URLsPerQuery: 4,
+		QueryZipf: 1.02, URLZipf: 1.25, MinClicks: 15, MaxClicks: 600, ActivityZipf: 1.25,
+		RepeatProb: 0.55,
+	}
+}
+
+// Profiles returns the named profile.
+func Profiles(name string) (Profile, error) {
+	switch name {
+	case "tiny":
+		return Tiny(), nil
+	case "small":
+		return Small(), nil
+	case "paper":
+		return Paper(), nil
+	}
+	return Profile{}, fmt.Errorf("gen: unknown profile %q (have tiny, small, paper)", name)
+}
+
+// Generate synthesizes a corpus for the profile, deterministically in the
+// seed. The returned log is raw (not preprocessed).
+func Generate(p Profile, seed uint64) (*searchlog.Log, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	g := rng.New(seed)
+	queryDist := rng.NewZipf(g, p.QueryZipf, p.QueryVocab)
+	urlDist := rng.NewZipf(g, p.URLZipf, p.URLsPerQuery)
+	activity := rng.NewZipf(g, p.ActivityZipf, p.MaxClicks-p.MinClicks+1)
+
+	b := searchlog.NewBuilder()
+	type pair struct{ q, u int }
+	for k := 0; k < p.Users; k++ {
+		user := fmt.Sprintf("%06d", k)
+		clicks := p.MinClicks + activity.Sample()
+		var history []pair
+		for c := 0; c < clicks; c++ {
+			var pr pair
+			if len(history) > 0 && g.Float64() < p.RepeatProb {
+				// Revisit one of the user's own earlier clicks, proportional
+				// to how often the pair was already clicked (Pólya-urn
+				// rich-get-richer): navigational queries accumulate heavy
+				// per-user counts, exactly like real search histories.
+				pr = history[g.IntN(len(history))]
+			} else {
+				q := queryDist.Sample()
+				r := urlDist.Sample()
+				// Per-query url candidates map into the global url
+				// vocabulary via a fixed mixing hash so that popular urls
+				// are shared across queries, like real search results.
+				u := int((uint64(q)*2654435761 + uint64(r)*40503) % uint64(p.URLVocab))
+				pr = pair{q: q, u: u}
+			}
+			// Every click (fresh or repeat) feeds the urn.
+			history = append(history, pr)
+			b.Add(user, fmt.Sprintf("q%05d", pr.q), fmt.Sprintf("url%05d.example.com", pr.u), 1)
+		}
+	}
+	return b.BuildLog()
+}
+
+// GeneratePreprocessed generates a corpus and applies the unique-pair
+// preprocessing in one step, returning both logs and the removal stats.
+func GeneratePreprocessed(p Profile, seed uint64) (raw, pre *searchlog.Log, st searchlog.PreprocessStats, err error) {
+	raw, err = Generate(p, seed)
+	if err != nil {
+		return nil, nil, searchlog.PreprocessStats{}, err
+	}
+	pre, st = searchlog.Preprocess(raw)
+	return raw, pre, st, nil
+}

@@ -1,0 +1,142 @@
+package gen
+
+import (
+	"testing"
+
+	"dpslog/internal/searchlog"
+)
+
+func TestProfilesLookup(t *testing.T) {
+	for _, name := range []string{"tiny", "small", "paper"} {
+		p, err := Profiles(name)
+		if err != nil {
+			t.Fatalf("Profiles(%q): %v", name, err)
+		}
+		if p.Name != name {
+			t.Errorf("profile name %q, want %q", p.Name, name)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("profile %q invalid: %v", name, err)
+		}
+	}
+	if _, err := Profiles("huge"); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
+
+func TestValidateRejectsBadProfiles(t *testing.T) {
+	base := Tiny()
+	cases := []func(*Profile){
+		func(p *Profile) { p.Users = 0 },
+		func(p *Profile) { p.QueryVocab = 0 },
+		func(p *Profile) { p.URLVocab = -1 },
+		func(p *Profile) { p.URLsPerQuery = 0 },
+		func(p *Profile) { p.MinClicks = 0 },
+		func(p *Profile) { p.MaxClicks = base.MinClicks - 1 },
+		func(p *Profile) { p.QueryZipf = 0 },
+		func(p *Profile) { p.URLZipf = -2 },
+		func(p *Profile) { p.ActivityZipf = 0 },
+	}
+	for i, mutate := range cases {
+		p := base
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid profile accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(Tiny(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Tiny(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, rb := a.Records(), b.Records()
+	if len(ra) != len(rb) {
+		t.Fatalf("different sizes %d vs %d", len(ra), len(rb))
+	}
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+	c, err := Generate(Tiny(), 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Size() == a.Size() && len(c.Records()) == len(ra) {
+		same := true
+		rc := c.Records()
+		for i := range ra {
+			if ra[i] != rc[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical corpora")
+		}
+	}
+}
+
+func TestGenerateTinyShape(t *testing.T) {
+	raw, pre, st, err := GeneratePreprocessed(Tiny(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw.NumUsers() != 40 {
+		t.Errorf("raw users = %d, want 40", raw.NumUsers())
+	}
+	if st.RemovedPairs == 0 {
+		t.Error("no unique pairs generated; corpus not sparse enough to exercise preprocessing")
+	}
+	if pre.NumPairs() == 0 {
+		t.Fatal("preprocessing removed everything; no shared core")
+	}
+	if !searchlog.IsPreprocessed(pre) {
+		t.Error("preprocessed log still has unique pairs")
+	}
+	// The shared core should be a minority of raw pairs (AOL-like sparsity).
+	if pre.NumPairs() >= raw.NumPairs() {
+		t.Errorf("shared pairs %d not smaller than raw %d", pre.NumPairs(), raw.NumPairs())
+	}
+}
+
+func TestGenerateSmallShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("small profile generation in -short mode")
+	}
+	raw, pre, _, err := GeneratePreprocessed(Small(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := searchlog.ComputeStats(pre)
+	// Shape targets, not exact numbers: a preprocessed core in the hundreds
+	// to thousands of pairs held by most of the users, mean pair count of a
+	// few (Table 3 has 53,067/6,043 ≈ 8.8), and heavy unique-pair removal.
+	if st.Pairs < 300 || st.Pairs > 20000 {
+		t.Errorf("preprocessed pairs = %d, want hundreds..thousands", st.Pairs)
+	}
+	if st.Users < raw.NumUsers()/3 {
+		t.Errorf("only %d/%d users survive preprocessing", st.Users, raw.NumUsers())
+	}
+	mean := float64(st.Size) / float64(st.Pairs)
+	if mean < 2 || mean > 50 {
+		t.Errorf("mean pair count = %.1f, want single/double digits", mean)
+	}
+	if pre.NumPairs() > raw.NumPairs()/2 {
+		t.Errorf("unique-pair removal too weak: %d of %d pairs survive", pre.NumPairs(), raw.NumPairs())
+	}
+}
+
+func TestGenerateRejectsInvalid(t *testing.T) {
+	p := Tiny()
+	p.Users = 0
+	if _, err := Generate(p, 1); err == nil {
+		t.Error("invalid profile accepted")
+	}
+}

@@ -1,0 +1,194 @@
+package lp
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestNoRowsMinAtBounds(t *testing.T) {
+	// Pure bound optimization, mixed signs.
+	p := NewProblem(Minimize)
+	p.AddVariable(2, -3, 7) // min → -3
+	p.AddVariable(-5, 0, 4) // min of -5x → x=4
+	p.AddVariable(0, 1, 9)  // free cost: stays at lower
+	sol := solveOK(t, p)
+	if !approx(sol.Objective, 2*(-3)+(-5)*4, testTol) {
+		t.Errorf("obj = %g, want -26", sol.Objective)
+	}
+	if !approx(sol.X[2], 1, testTol) {
+		t.Errorf("zero-cost variable moved to %g", sol.X[2])
+	}
+}
+
+func TestZeroVariableProblem(t *testing.T) {
+	p := NewProblem(Maximize)
+	sol := solveOK(t, p)
+	if sol.Objective != 0 || len(sol.X) != 0 {
+		t.Errorf("empty problem: obj=%g X=%v", sol.Objective, sol.X)
+	}
+}
+
+func TestRowWithoutVariables(t *testing.T) {
+	// An empty row 0 ≤ 1 is vacuous; 0 ≤ -1 is infeasible.
+	p := NewProblem(Maximize)
+	p.AddVariable(1, 0, 2)
+	p.AddConstraint(LE, 1)
+	sol := solveOK(t, p)
+	if !approx(sol.Objective, 2, testTol) {
+		t.Errorf("obj = %g, want 2", sol.Objective)
+	}
+	p2 := NewProblem(Maximize)
+	p2.AddVariable(1, 0, 2)
+	p2.AddConstraint(LE, -1)
+	s2, err := Solve(p2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Status != Infeasible {
+		t.Errorf("0 ≤ -1 status = %v, want infeasible", s2.Status)
+	}
+}
+
+func TestWideCoefficientRange(t *testing.T) {
+	// Coefficients spanning 6 orders of magnitude (like ln t_ijk with pair
+	// counts from 2 to 10^6) must not break the certificate.
+	r := rand.New(rand.NewPCG(31, 7))
+	p := NewProblem(Maximize)
+	n := 30
+	for j := 0; j < n; j++ {
+		p.AddVariable(1, 0, 1e6)
+	}
+	for i := 0; i < 12; i++ {
+		row := p.AddConstraint(LE, 0.7)
+		for j := 0; j < n; j++ {
+			if r.Float64() < 0.4 {
+				mag := math.Pow(10, -float64(r.IntN(6)))
+				p.SetCoef(row, j, mag*(0.5+r.Float64()))
+			}
+		}
+	}
+	sol := solveOK(t, p)
+	checkCertificate(t, p, sol)
+}
+
+func TestDuplicateCoefficientAccumulates(t *testing.T) {
+	// SetCoef on the same cell twice accumulates (documented behaviour).
+	p := NewProblem(Maximize)
+	x := p.AddVariable(1, 0, math.Inf(1))
+	row := p.AddConstraint(LE, 6)
+	p.SetCoef(row, x, 1)
+	p.SetCoef(row, x, 2) // effectively 3x ≤ 6
+	sol := solveOK(t, p)
+	if !approx(sol.Objective, 2, testTol) {
+		t.Errorf("obj = %g, want 2 (3x ≤ 6)", sol.Objective)
+	}
+}
+
+func TestZeroCoefficientIgnored(t *testing.T) {
+	p := NewProblem(Maximize)
+	x := p.AddVariable(1, 0, 5)
+	row := p.AddConstraint(LE, 1)
+	p.SetCoef(row, x, 0) // dropped; row vacuous for x
+	sol := solveOK(t, p)
+	if !approx(sol.Objective, 5, testTol) {
+		t.Errorf("obj = %g, want 5", sol.Objective)
+	}
+}
+
+func TestManyBoundFlips(t *testing.T) {
+	// All variables want their upper bound and no row restricts them:
+	// the solver should handle a long run of pure bound flips.
+	p := NewProblem(Maximize)
+	n := 200
+	for j := 0; j < n; j++ {
+		p.AddVariable(1, 0, 1)
+	}
+	row := p.AddConstraint(LE, float64(n+1))
+	for j := 0; j < n; j++ {
+		p.SetCoef(row, j, 1)
+	}
+	sol := solveOK(t, p)
+	if !approx(sol.Objective, float64(n), testTol) {
+		t.Errorf("obj = %g, want %d", sol.Objective, n)
+	}
+}
+
+func TestEqualityChainPhase1(t *testing.T) {
+	// A chain of equalities x1 = 1, x_{i+1} - x_i = 1 forces x_i = i; heavy
+	// phase-1 usage with many artificials.
+	n := 40
+	p := NewProblem(Minimize)
+	for j := 0; j < n; j++ {
+		p.AddVariable(1, 0, math.Inf(1))
+	}
+	r0 := p.AddConstraint(EQ, 1)
+	p.SetCoef(r0, 0, 1)
+	for j := 1; j < n; j++ {
+		r := p.AddConstraint(EQ, 1)
+		p.SetCoef(r, j, 1)
+		p.SetCoef(r, j-1, -1)
+	}
+	sol := solveOK(t, p)
+	for j := 0; j < n; j++ {
+		if !approx(sol.X[j], float64(j+1), 1e-5) {
+			t.Fatalf("x[%d] = %g, want %d", j, sol.X[j], j+1)
+		}
+	}
+}
+
+func TestConflictingEqualitiesInfeasible(t *testing.T) {
+	p := NewProblem(Minimize)
+	x := p.AddVariable(1, 0, math.Inf(1))
+	r1 := p.AddConstraint(EQ, 1)
+	p.SetCoef(r1, x, 1)
+	r2 := p.AddConstraint(EQ, 2)
+	p.SetCoef(r2, x, 1)
+	sol, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestRefactorizationUnderLongRun(t *testing.T) {
+	// A run long enough to trigger several periodic refactorizations; the
+	// certificate validates the final basis despite eta-update drift.
+	r := rand.New(rand.NewPCG(8, 64))
+	p := NewProblem(Maximize)
+	nVars, nRows := 500, 200
+	for j := 0; j < nVars; j++ {
+		p.AddVariable(0.5+r.Float64(), 0, float64(1+r.IntN(30)))
+	}
+	for i := 0; i < nRows; i++ {
+		row := p.AddConstraint(LE, 20+30*r.Float64())
+		for j := 0; j < nVars; j++ {
+			if r.Float64() < 0.05 {
+				p.SetCoef(row, j, 0.05+r.Float64())
+			}
+		}
+	}
+	sol := solveOK(t, p)
+	checkCertificate(t, p, sol)
+	if sol.Iterations < 100 {
+		t.Logf("only %d iterations; refactorization path may be unexercised", sol.Iterations)
+	}
+}
+
+func TestMaximizeDualSigns(t *testing.T) {
+	// max cx with a binding GE row: dual must be ≤ 0 for Maximize.
+	p := NewProblem(Maximize)
+	x := p.AddVariable(-1, 0, math.Inf(1)) // maximize -x → wants x = 0
+	r := p.AddConstraint(GE, 3)            // forces x ≥ 3
+	p.SetCoef(r, x, 1)
+	sol := solveOK(t, p)
+	if !approx(sol.X[x], 3, testTol) {
+		t.Fatalf("x = %g, want 3", sol.X[x])
+	}
+	if sol.Dual[r] > testTol {
+		t.Errorf("GE dual = %g, want ≤ 0 for maximize", sol.Dual[r])
+	}
+	checkCertificate(t, p, sol)
+}

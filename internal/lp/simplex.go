@@ -1,0 +1,720 @@
+package lp
+
+import (
+	"math"
+)
+
+// Variable statuses for nonbasic variables.
+const (
+	atLower int8 = iota
+	atUpper
+	basic
+)
+
+// solver holds the working state of a bounded-variable revised simplex run.
+// The internal orientation is always minimization; Maximize problems negate
+// costs on the way in and objective/duals/reduced costs on the way out.
+//
+// Pricing uses the Devex rule with incrementally maintained reduced costs:
+// each pivot updates d and the Devex reference weights in one O(nnz) pass
+// over the pivot row, and full dual recomputation happens only on periodic
+// refreshes, keeping per-iteration cost at O(m²) for the eta update of the
+// explicit basis inverse plus O(nnz) for pricing.
+type solver struct {
+	m, n    int // rows, total columns (structural + slack + artificial)
+	nStruct int // structural column count
+	nSlack  int // slack/surplus column count
+
+	cols  [][]nz    // column entries
+	cost  []float64 // phase-specific costs
+	cost2 []float64 // phase-2 costs (internal minimize orientation)
+	lower []float64
+	upper []float64
+	b     []float64
+
+	basis  []int   // row -> column
+	pos    []int32 // column -> basis row, or -1
+	status []int8  // column -> atLower/atUpper/basic
+	xB     []float64
+	binv   []float64 // m×m row-major explicit basis inverse
+
+	// scratch
+	y     []float64 // duals c_B·B^{-1}
+	w     []float64 // FTRAN result B^{-1}·A_j
+	rho   []float64 // pivot row of B^{-1} (copied before the eta update)
+	d     []float64 // reduced costs, maintained incrementally
+	devex []float64 // Devex reference weights
+
+	tol  float64
+	ztol float64 // pivot magnitude threshold
+
+	maxIter int
+	bland   bool
+	blandOn bool
+
+	nArtificial int
+	iterations  int
+	refactEvery int
+	maximize    bool
+}
+
+func newSolver(p *Problem, opts Options) *solver {
+	m := len(p.ops)
+	nStruct := len(p.obj)
+	s := &solver{
+		m:       m,
+		nStruct: nStruct,
+		tol:     opts.Tol,
+		maxIter: opts.MaxIterations,
+		bland:   opts.Bland,
+	}
+	if s.tol <= 0 {
+		s.tol = 1e-9
+	}
+	s.ztol = 1e-11
+	if s.maxIter <= 0 {
+		s.maxIter = 50*(m+nStruct) + 10000
+	}
+	s.refactEvery = 600
+	if m > 900 {
+		s.refactEvery = 1500
+	}
+
+	sign := 1.0
+	if p.sense == Maximize {
+		sign = -1.0
+		s.maximize = true
+	}
+
+	// Copy structural columns, costs, bounds.
+	s.cols = make([][]nz, 0, nStruct+m)
+	s.cost2 = make([]float64, 0, nStruct+m)
+	s.lower = make([]float64, 0, nStruct+m)
+	s.upper = make([]float64, 0, nStruct+m)
+	for j := 0; j < nStruct; j++ {
+		s.cols = append(s.cols, p.cols[j])
+		s.cost2 = append(s.cost2, sign*p.obj[j])
+		s.lower = append(s.lower, p.lower[j])
+		s.upper = append(s.upper, p.upper[j])
+	}
+	// Slack/surplus columns: LE gets +1 slack in [0, inf); GE gets -1 surplus
+	// in [0, inf); EQ gets none.
+	s.b = append([]float64(nil), p.rhs...)
+	slackOf := make([]int, m)
+	for i := 0; i < m; i++ {
+		slackOf[i] = -1
+		switch p.ops[i] {
+		case LE:
+			s.cols = append(s.cols, []nz{{row: int32(i), val: 1}})
+		case GE:
+			s.cols = append(s.cols, []nz{{row: int32(i), val: -1}})
+		case EQ:
+			continue
+		}
+		s.cost2 = append(s.cost2, 0)
+		s.lower = append(s.lower, 0)
+		s.upper = append(s.upper, math.Inf(1))
+		slackOf[i] = len(s.cols) - 1
+	}
+	s.nSlack = len(s.cols) - nStruct
+
+	// Initial nonbasic point: every structural variable at a finite bound.
+	s.status = make([]int8, len(s.cols), len(s.cols)+m)
+	for j := 0; j < len(s.cols); j++ {
+		if math.IsInf(s.lower[j], -1) {
+			s.status[j] = atUpper
+		} else {
+			s.status[j] = atLower
+		}
+	}
+
+	// Residual r = b - A·x_N over structural columns only (slacks are at 0).
+	r := append([]float64(nil), s.b...)
+	for j := 0; j < nStruct; j++ {
+		v := s.nbValue(j)
+		if v == 0 {
+			continue
+		}
+		for _, e := range s.cols[j] {
+			r[e.row] -= e.val * v
+		}
+	}
+
+	// Choose the initial basis: slack when it is feasible for the row,
+	// otherwise an artificial with the residual's sign.
+	s.basis = make([]int, m)
+	s.xB = make([]float64, m)
+	s.pos = make([]int32, len(s.cols), len(s.cols)+m)
+	for j := range s.pos {
+		s.pos[j] = -1
+	}
+	binvDiag := make([]float64, m) // initial basis is diagonal ±1
+	for i := 0; i < m; i++ {
+		j := slackOf[i]
+		feasibleSlack := false
+		if j >= 0 {
+			switch p.ops[i] {
+			case LE:
+				feasibleSlack = r[i] >= -s.tol
+			case GE:
+				feasibleSlack = r[i] <= s.tol
+			}
+		}
+		if feasibleSlack {
+			s.basis[i] = j
+			s.status[j] = basic
+			s.pos[j] = int32(i)
+			if p.ops[i] == LE {
+				s.xB[i] = math.Max(r[i], 0)
+				binvDiag[i] = 1
+			} else {
+				s.xB[i] = math.Max(-r[i], 0)
+				binvDiag[i] = -1
+			}
+			continue
+		}
+		// Artificial column.
+		val := 1.0
+		if r[i] < 0 {
+			val = -1.0
+		}
+		s.cols = append(s.cols, []nz{{row: int32(i), val: val}})
+		s.cost2 = append(s.cost2, 0)
+		s.lower = append(s.lower, 0)
+		s.upper = append(s.upper, math.Inf(1))
+		s.status = append(s.status, basic)
+		s.pos = append(s.pos, int32(i))
+		aj := len(s.cols) - 1
+		s.basis[i] = aj
+		s.xB[i] = math.Abs(r[i])
+		binvDiag[i] = val // inverse of ±1 is itself
+		s.nArtificial++
+	}
+	s.n = len(s.cols)
+	s.binv = make([]float64, m*m)
+	for i := 0; i < m; i++ {
+		s.binv[i*m+i] = binvDiag[i]
+	}
+	s.y = make([]float64, m)
+	s.w = make([]float64, m)
+	s.rho = make([]float64, m)
+	s.d = make([]float64, s.n)
+	s.devex = make([]float64, s.n)
+	return s
+}
+
+// nbValue returns the value of nonbasic column j.
+func (s *solver) nbValue(j int) float64 {
+	if s.status[j] == atUpper {
+		return s.upper[j]
+	}
+	return s.lower[j]
+}
+
+// value returns the current value of any column.
+func (s *solver) value(j int) float64 {
+	if s.status[j] == basic {
+		return s.xB[s.pos[j]]
+	}
+	return s.nbValue(j)
+}
+
+func (s *solver) solve() (*Solution, error) {
+	if s.nArtificial > 0 {
+		// Phase 1: minimize the sum of artificials.
+		s.cost = make([]float64, s.n)
+		for j := s.nStruct + s.nSlack; j < s.n; j++ {
+			s.cost[j] = 1
+		}
+		st := s.iterate()
+		if st == IterLimit {
+			return s.report(IterLimit), nil
+		}
+		if s.phaseObjective() > 1e-6*(1+s.bNorm()) {
+			return s.report(Infeasible), nil
+		}
+		// Freeze artificials at zero for phase 2.
+		for j := s.nStruct + s.nSlack; j < s.n; j++ {
+			s.upper[j] = 0
+			if s.status[j] != basic {
+				s.status[j] = atLower
+			}
+		}
+	}
+	s.cost = s.cost2
+	// Pad phase-2 costs for artificial columns.
+	for len(s.cost) < s.n {
+		s.cost = append(s.cost, 0)
+	}
+	st := s.iterate()
+	return s.report(st), nil
+}
+
+func (s *solver) bNorm() float64 {
+	norm := 0.0
+	for _, v := range s.b {
+		norm = math.Max(norm, math.Abs(v))
+	}
+	return norm
+}
+
+// phaseObjective returns c·x for the current cost vector.
+func (s *solver) phaseObjective() float64 {
+	obj := 0.0
+	for j := 0; j < s.n; j++ {
+		if c := s.cost[j]; c != 0 {
+			obj += c * s.value(j)
+		}
+	}
+	return obj
+}
+
+// computeDuals fills s.y = c_B · B^{-1}.
+func (s *solver) computeDuals() {
+	m := s.m
+	for i := range s.y {
+		s.y[i] = 0
+	}
+	for r := 0; r < m; r++ {
+		cb := s.cost[s.basis[r]]
+		if cb == 0 {
+			continue
+		}
+		row := s.binv[r*m : (r+1)*m]
+		for i, v := range row {
+			s.y[i] += cb * v
+		}
+	}
+}
+
+// reducedCost returns c_j - y·A_j using the current s.y.
+func (s *solver) reducedCost(j int) float64 {
+	d := s.cost[j]
+	for _, e := range s.cols[j] {
+		d -= s.y[e.row] * e.val
+	}
+	return d
+}
+
+// refreshDuals recomputes the dual vector, every nonbasic reduced cost and
+// resets the Devex reference framework. Called at phase starts, periodically
+// to wash out incremental drift, and before declaring optimality.
+func (s *solver) refreshDuals() {
+	s.computeDuals()
+	for j := 0; j < s.n; j++ {
+		if s.status[j] == basic {
+			s.d[j] = 0
+		} else {
+			s.d[j] = s.reducedCost(j)
+		}
+		s.devex[j] = 1
+	}
+}
+
+// ftran fills s.w = B^{-1} A_j.
+func (s *solver) ftran(j int) {
+	m := s.m
+	for i := range s.w {
+		s.w[i] = 0
+	}
+	for _, e := range s.cols[j] {
+		v := e.val
+		col := int(e.row)
+		for i := 0; i < m; i++ {
+			s.w[i] += s.binv[i*m+col] * v
+		}
+	}
+}
+
+// iterate runs simplex pivots until optimality/unboundedness/limit for the
+// current cost vector. It assumes a feasible basis.
+func (s *solver) iterate() Status {
+	const dtol = 1e-7
+	const refreshEvery = 120
+	s.refreshDuals()
+	sinceRefactor := 0
+	sinceRefresh := 0
+	stall := 0
+	justRefreshed := true
+	for {
+		if s.iterations >= s.maxIter {
+			return IterLimit
+		}
+		s.iterations++
+		sinceRefactor++
+		sinceRefresh++
+		if sinceRefactor >= s.refactEvery {
+			s.refactorize()
+			s.refreshDuals()
+			sinceRefactor, sinceRefresh = 0, 0
+			justRefreshed = true
+		} else if sinceRefresh >= refreshEvery {
+			s.refreshDuals()
+			sinceRefresh = 0
+			justRefreshed = true
+		}
+
+		useBland := s.bland || s.blandOn
+
+		// Pricing over the maintained reduced costs: Devex by default,
+		// Bland's rule under (forced or stall-triggered) anti-cycling.
+		enter := -1
+		bestScore := 0.0
+		var enterDir float64 // +1 increasing from lower, -1 decreasing from upper
+		for j := 0; j < s.n; j++ {
+			st := s.status[j]
+			if st == basic || s.lower[j] == s.upper[j] {
+				continue
+			}
+			dj := s.d[j]
+			var dir float64
+			if st == atLower && dj < -dtol {
+				dir = 1
+			} else if st == atUpper && dj > dtol {
+				dir = -1
+			} else {
+				continue
+			}
+			if useBland {
+				enter, enterDir = j, dir
+				break
+			}
+			score := dj * dj / s.devex[j]
+			if score > bestScore {
+				bestScore, enter, enterDir = score, j, dir
+			}
+		}
+		if enter < 0 {
+			if justRefreshed {
+				s.blandOn = false
+				return Optimal
+			}
+			// The maintained reduced costs may have drifted; confirm
+			// optimality on fresh duals.
+			s.refreshDuals()
+			sinceRefresh = 0
+			justRefreshed = true
+			continue
+		}
+		justRefreshed = false
+
+		s.ftran(enter)
+
+		// Exact reduced cost of the entering column from the FTRAN vector:
+		// d_q = c_q − c_B·(B^{-1}A_q). Guards against drift in s.d.
+		dq := s.cost[enter]
+		for i := 0; i < s.m; i++ {
+			if cb := s.cost[s.basis[i]]; cb != 0 {
+				dq -= cb * s.w[i]
+			}
+		}
+		if (enterDir > 0 && dq >= -dtol/10) || (enterDir < 0 && dq <= dtol/10) {
+			// Stale entry: fix it and re-price.
+			s.d[enter] = dq
+			continue
+		}
+
+		// Ratio test.
+		tBound := s.upper[enter] - s.lower[enter] // bound-flip distance
+		tBest := tBound
+		leave := -1           // basis row index of the leaving variable
+		leaveToUpper := false // side the leaving variable exits at
+		bestPivot := 0.0
+		for i := 0; i < s.m; i++ {
+			wi := enterDir * s.w[i]
+			bj := s.basis[i]
+			var t float64
+			var toUpper bool
+			if wi > s.ztol {
+				lo := s.lower[bj]
+				if math.IsInf(lo, -1) {
+					continue
+				}
+				t = (s.xB[i] - lo) / wi
+			} else if wi < -s.ztol {
+				up := s.upper[bj]
+				if math.IsInf(up, 1) {
+					continue
+				}
+				t = (s.xB[i] - up) / wi // wi<0, numerator<=0 → t>=0
+				toUpper = true
+			} else {
+				continue
+			}
+			if t < -1e-12 {
+				t = 0
+			}
+			// Prefer strictly smaller t; on near ties prefer the larger
+			// |pivot| for stability (or the smallest column index under
+			// Bland's rule).
+			if t < tBest-1e-12 {
+				tBest, leave, leaveToUpper, bestPivot = t, i, toUpper, math.Abs(s.w[i])
+			} else if t <= tBest+1e-12 && leave >= 0 {
+				if useBland {
+					if s.basis[i] < s.basis[leave] {
+						leave, leaveToUpper, bestPivot = i, toUpper, math.Abs(s.w[i])
+					}
+				} else if math.Abs(s.w[i]) > bestPivot {
+					leave, leaveToUpper, bestPivot = i, toUpper, math.Abs(s.w[i])
+				}
+			}
+		}
+
+		if math.IsInf(tBest, 1) {
+			return Unbounded
+		}
+
+		// Degeneracy bookkeeping: fall back to Bland's rule after a stall to
+		// guarantee termination.
+		if tBest <= 1e-12 {
+			stall++
+			if stall > 2*(s.m+64) {
+				s.blandOn = true
+			}
+		} else {
+			stall = 0
+			s.blandOn = false
+		}
+
+		if leave < 0 {
+			// Bound flip: entering variable crosses to its other bound. The
+			// duals are unchanged, so d and the Devex weights stay valid.
+			for i := 0; i < s.m; i++ {
+				s.xB[i] -= enterDir * tBest * s.w[i]
+			}
+			if s.status[enter] == atLower {
+				s.status[enter] = atUpper
+			} else {
+				s.status[enter] = atLower
+			}
+			continue
+		}
+
+		alphaQ := s.w[leave]
+		if math.Abs(alphaQ) < 1e-9 {
+			// Pivot too small for a stable eta update: refactorize and retry
+			// with clean numbers.
+			s.refactorize()
+			s.refreshDuals()
+			sinceRefactor, sinceRefresh = 0, 0
+			justRefreshed = true
+			continue
+		}
+
+		// Save the pivot row of B^{-1} before the eta update; it drives the
+		// incremental reduced-cost and Devex weight updates.
+		copy(s.rho, s.binv[leave*s.m:(leave+1)*s.m])
+
+		// Pivot: entering replaces basis[leave].
+		enterStart := s.nbValue(enter)
+		for i := 0; i < s.m; i++ {
+			if i != leave {
+				s.xB[i] -= enterDir * tBest * s.w[i]
+			}
+		}
+		leaving := s.basis[leave]
+		if leaveToUpper {
+			s.status[leaving] = atUpper
+		} else {
+			s.status[leaving] = atLower
+		}
+		s.pos[leaving] = -1
+		s.basis[leave] = enter
+		s.status[enter] = basic
+		s.pos[enter] = int32(leave)
+		s.xB[leave] = enterStart + enterDir*tBest
+
+		s.updateBinv(leave)
+
+		// Incremental dual update: y' = y + θ·ρ with θ = d_q/α_q, hence
+		// d'_j = d_j − θ·α_j where α_j = ρ·A_j. One sparse pass updates the
+		// reduced costs and Devex weights of every nonbasic column.
+		theta := dq / alphaQ
+		wq := s.devex[enter]
+		aq2 := alphaQ * alphaQ
+		for j := 0; j < s.n; j++ {
+			if s.status[j] == basic {
+				continue
+			}
+			var alphaJ float64
+			for _, e := range s.cols[j] {
+				alphaJ += s.rho[e.row] * e.val
+			}
+			if alphaJ == 0 {
+				continue
+			}
+			s.d[j] -= theta * alphaJ
+			if ref := alphaJ * alphaJ / aq2 * wq; ref > s.devex[j] {
+				s.devex[j] = ref
+			}
+		}
+		s.d[enter] = 0
+		s.d[leaving] = -theta
+		if ref := math.Max(wq/aq2, 1); ref > s.devex[leaving] {
+			s.devex[leaving] = ref
+		}
+	}
+}
+
+// updateBinv applies the eta transformation for a pivot in row r using the
+// already computed FTRAN vector s.w (= B^{-1} A_enter).
+func (s *solver) updateBinv(r int) {
+	m := s.m
+	piv := s.w[r]
+	rowR := s.binv[r*m : (r+1)*m]
+	inv := 1.0 / piv
+	for c := 0; c < m; c++ {
+		rowR[c] *= inv
+	}
+	for i := 0; i < m; i++ {
+		if i == r {
+			continue
+		}
+		f := s.w[i]
+		if f == 0 {
+			continue
+		}
+		row := s.binv[i*m : (i+1)*m]
+		for c := 0; c < m; c++ {
+			row[c] -= f * rowR[c]
+		}
+	}
+}
+
+// refactorize rebuilds the explicit basis inverse from the basis columns via
+// Gauss-Jordan elimination with partial pivoting and recomputes the basic
+// variable values, correcting accumulated floating-point drift.
+func (s *solver) refactorize() {
+	m := s.m
+	// Dense basis matrix.
+	B := make([]float64, m*m)
+	for c := 0; c < m; c++ {
+		for _, e := range s.cols[s.basis[c]] {
+			B[int(e.row)*m+c] = e.val
+		}
+	}
+	inv := make([]float64, m*m)
+	for i := 0; i < m; i++ {
+		inv[i*m+i] = 1
+	}
+	for col := 0; col < m; col++ {
+		// Partial pivot.
+		p := col
+		best := math.Abs(B[col*m+col])
+		for i := col + 1; i < m; i++ {
+			if a := math.Abs(B[i*m+col]); a > best {
+				best, p = a, i
+			}
+		}
+		if best < 1e-13 {
+			// Numerically singular basis; keep the old inverse rather than
+			// propagating garbage. This should not happen with valid pivots.
+			return
+		}
+		if p != col {
+			swapRows(B, m, p, col)
+			swapRows(inv, m, p, col)
+		}
+		piv := B[col*m+col]
+		invPiv := 1.0 / piv
+		for c := 0; c < m; c++ {
+			B[col*m+c] *= invPiv
+			inv[col*m+c] *= invPiv
+		}
+		for i := 0; i < m; i++ {
+			if i == col {
+				continue
+			}
+			f := B[i*m+col]
+			if f == 0 {
+				continue
+			}
+			for c := 0; c < m; c++ {
+				B[i*m+c] -= f * B[col*m+c]
+				inv[i*m+c] -= f * inv[col*m+c]
+			}
+		}
+	}
+	s.binv = inv
+	s.recomputeXB()
+}
+
+func swapRows(a []float64, m, i, j int) {
+	ri := a[i*m : (i+1)*m]
+	rj := a[j*m : (j+1)*m]
+	for c := 0; c < m; c++ {
+		ri[c], rj[c] = rj[c], ri[c]
+	}
+}
+
+// recomputeXB sets xB = B^{-1}(b - N x_N) from scratch.
+func (s *solver) recomputeXB() {
+	m := s.m
+	r := append([]float64(nil), s.b...)
+	for j := 0; j < s.n; j++ {
+		if s.status[j] == basic {
+			continue
+		}
+		v := s.nbValue(j)
+		if v == 0 {
+			continue
+		}
+		for _, e := range s.cols[j] {
+			r[e.row] -= e.val * v
+		}
+	}
+	for i := 0; i < m; i++ {
+		sum := 0.0
+		row := s.binv[i*m : (i+1)*m]
+		for c := 0; c < m; c++ {
+			sum += row[c] * r[c]
+		}
+		s.xB[i] = sum
+	}
+}
+
+// report assembles the Solution in the caller's orientation.
+func (s *solver) report(st Status) *Solution {
+	sol := &Solution{
+		Status:      st,
+		X:           make([]float64, s.nStruct),
+		Dual:        make([]float64, s.m),
+		ReducedCost: make([]float64, s.nStruct),
+		Iterations:  s.iterations,
+	}
+	if st == Infeasible {
+		return sol
+	}
+	for j := 0; j < s.nStruct; j++ {
+		v := s.value(j)
+		// Snap tiny values to their bound to counter floating point noise.
+		if !math.IsInf(s.lower[j], -1) && math.Abs(v-s.lower[j]) < 1e-9 {
+			v = s.lower[j]
+		}
+		if !math.IsInf(s.upper[j], 1) && math.Abs(v-s.upper[j]) < 1e-9 {
+			v = s.upper[j]
+		}
+		sol.X[j] = v
+	}
+	// Internal orientation is minimize; flip objective/duals/reduced costs
+	// back for maximize problems.
+	sign := 1.0
+	if s.maximize {
+		sign = -1.0
+	}
+	s.computeDuals()
+	obj := 0.0
+	for j := 0; j < s.n; j++ {
+		if c := s.cost[j]; c != 0 {
+			obj += c * s.value(j)
+		}
+	}
+	sol.Objective = sign * obj
+	for i := 0; i < s.m; i++ {
+		sol.Dual[i] = sign * s.y[i]
+	}
+	for j := 0; j < s.nStruct; j++ {
+		sol.ReducedCost[j] = sign * s.reducedCost(j)
+	}
+	return sol
+}

@@ -1,0 +1,117 @@
+package metrics
+
+import (
+	"testing"
+
+	"dpslog/internal/searchlog"
+)
+
+func TestConditionalTripletHistogramIdentity(t *testing.T) {
+	in := fixture(t)
+	// Comparing a log against itself: every user's share of each pair is
+	// unchanged, so all triplets land in bin 0 regardless of scale.
+	hist := ConditionalTripletHistogram(in, in, 10, 0, 0)
+	if hist[0] != 6 {
+		t.Errorf("identity bin0 = %d, want 6", hist[0])
+	}
+	for b := 1; b < 10; b++ {
+		if hist[b] != 0 {
+			t.Errorf("identity bin%d = %d, want 0", b, hist[b])
+		}
+	}
+}
+
+func TestConditionalScaleFree(t *testing.T) {
+	in := fixture(t)
+	// Halving every count preserves every conditional share exactly, unlike
+	// the strict Equation-10 ratio which compares absolute supports.
+	half := buildLog(t, []searchlog.Record{
+		{User: "a", Query: "google", URL: "g.com", Count: 3},
+		{User: "b", Query: "google", URL: "g.com", Count: 2},
+		{User: "a", Query: "book", URL: "a.com", Count: 1},
+		{User: "c", Query: "book", URL: "a.com", Count: 2},
+		{User: "b", Query: "car", URL: "k.com", Count: 1},
+		{User: "c", Query: "car", URL: "k.com", Count: 1},
+	})
+	hist := ConditionalTripletHistogram(in, half, 10, 0, 0)
+	share := HistogramShare(hist)
+	if share[3] < 0.99 {
+		t.Errorf("halved log: ≤40%% share = %g, want ~1", share[3])
+	}
+}
+
+func TestConditionalDroppedUserLandsInLastBin(t *testing.T) {
+	in := fixture(t)
+	// b vanishes from google: b's triplet share goes 0.4 → 0 (ratio 1).
+	out := buildLog(t, []searchlog.Record{
+		{User: "a", Query: "google", URL: "g.com", Count: 6},
+	})
+	hist := ConditionalTripletHistogram(in, out, 10, 0, 0)
+	if hist[9] == 0 {
+		t.Error("dropped user's triplet not in the last bin")
+	}
+	// a's share rose 0.6 → 1.0 (ratio 0.667 → bin 6).
+	if hist[6] == 0 {
+		t.Error("inflated share triplet missing from bin 6")
+	}
+}
+
+func TestConditionalMinCountFilter(t *testing.T) {
+	in := fixture(t)
+	// Only triplets with c_ijk ≥ 4 qualify: google@a (6), google@b (4).
+	hist := ConditionalTripletHistogram(in, in, 10, 0, 4)
+	total := 0
+	for _, h := range hist {
+		total += h
+	}
+	if total != 2 {
+		t.Errorf("filtered mass = %d, want 2", total)
+	}
+}
+
+func TestConditionalMinSupportFilter(t *testing.T) {
+	in := fixture(t)
+	// s = 0.25 keeps google (.5) and book (.3): 4 triplets.
+	hist := ConditionalTripletHistogram(in, in, 10, 0.25, 0)
+	total := 0
+	for _, h := range hist {
+		total += h
+	}
+	if total != 4 {
+		t.Errorf("support-filtered mass = %d, want 4", total)
+	}
+}
+
+func TestConditionalDefaultBuckets(t *testing.T) {
+	in := fixture(t)
+	if got := len(ConditionalTripletHistogram(in, in, 0, 0, 0)); got != 10 {
+		t.Errorf("default buckets = %d, want 10", got)
+	}
+}
+
+func TestConditionalMissingPairSkipped(t *testing.T) {
+	in := fixture(t)
+	out := buildLog(t, []searchlog.Record{
+		{User: "a", Query: "book", URL: "a.com", Count: 3},
+		{User: "c", Query: "book", URL: "a.com", Count: 3},
+	})
+	hist := ConditionalTripletHistogram(in, out, 10, 0, 0)
+	total := 0
+	for _, h := range hist {
+		total += h
+	}
+	// google and car pairs absent from the output: only book's 2 triplets.
+	if total != 2 {
+		t.Errorf("mass = %d, want 2 (missing pairs skipped)", total)
+	}
+}
+
+func TestRetainedDiversityEmptyLog(t *testing.T) {
+	empty, err := searchlog.FromRecords(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := RetainedDiversity(empty, nil); got != 0 {
+		t.Errorf("empty-log diversity = %g, want 0", got)
+	}
+}

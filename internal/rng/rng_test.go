@@ -1,0 +1,142 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(7), New(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	c := New(8)
+	same := true
+	a2 := New(7)
+	for i := 0; i < 10; i++ {
+		if a2.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	g := New(1)
+	c1 := g.Split()
+	c2 := g.Split()
+	if c1.Uint64() == c2.Uint64() {
+		// A single collision is possible but astronomically unlikely; check a
+		// few more draws before failing.
+		if c1.Uint64() == c2.Uint64() && c1.Uint64() == c2.Uint64() {
+			t.Error("split children look identical")
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	g := New(2)
+	for i := 0; i < 10000; i++ {
+		v := g.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %g", v)
+		}
+	}
+}
+
+func TestIntNRange(t *testing.T) {
+	g := New(3)
+	seen := make([]bool, 5)
+	for i := 0; i < 1000; i++ {
+		v := g.IntN(5)
+		if v < 0 || v >= 5 {
+			t.Fatalf("IntN out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	for v, ok := range seen {
+		if !ok {
+			t.Errorf("value %d never drawn in 1000 trials", v)
+		}
+	}
+}
+
+func TestLaplaceMoments(t *testing.T) {
+	g := New(4)
+	const n = 200000
+	scale := 2.0
+	sum, sumAbs := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := g.Laplace(scale)
+		sum += v
+		sumAbs += math.Abs(v)
+	}
+	mean := sum / n
+	meanAbs := sumAbs / n
+	// Laplace(b): E[X] = 0, E|X| = b.
+	if math.Abs(mean) > 0.05 {
+		t.Errorf("Laplace mean = %g, want ~0", mean)
+	}
+	if math.Abs(meanAbs-scale) > 0.05 {
+		t.Errorf("Laplace E|X| = %g, want ~%g", meanAbs, scale)
+	}
+}
+
+func TestLaplaceZeroScale(t *testing.T) {
+	g := New(5)
+	if v := g.Laplace(0); v != 0 {
+		t.Errorf("Laplace(0) = %g, want 0", v)
+	}
+	if v := g.Laplace(-1); v != 0 {
+		t.Errorf("Laplace(-1) = %g, want 0", v)
+	}
+}
+
+func TestZipfDistribution(t *testing.T) {
+	g := New(6)
+	n := 50
+	z := NewZipf(g, 1.0, n)
+	if z.N() != n {
+		t.Fatalf("N = %d, want %d", z.N(), n)
+	}
+	const draws = 200000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		k := z.Sample()
+		if k < 0 || k >= n {
+			t.Fatalf("sample %d out of range", k)
+		}
+		counts[k]++
+	}
+	// Rank 0 must dominate rank 9 roughly 10:1 for s=1.
+	ratio := float64(counts[0]) / float64(counts[9]+1)
+	if ratio < 6 || ratio > 16 {
+		t.Errorf("P(0)/P(9) = %g, want ≈10", ratio)
+	}
+	// Monotone non-increasing in expectation; allow sampling noise by
+	// comparing widely separated ranks.
+	if counts[0] <= counts[20] {
+		t.Errorf("Zipf head %d not heavier than rank 20 (%d)", counts[0], counts[20])
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	g := New(7)
+	for _, tc := range []struct {
+		s float64
+		n int
+	}{{0, 5}, {1, 0}, {-1, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewZipf(s=%g, n=%d) did not panic", tc.s, tc.n)
+				}
+			}()
+			NewZipf(g, tc.s, tc.n)
+		}()
+	}
+}

@@ -1,0 +1,92 @@
+// Package sampling implements step 2 of the paper's Algorithm 1: for every
+// query-url pair (q_i, u_j) with optimal output count x*_ij, sample user-IDs
+// with x*_ij independent multinomial trials where the probability of drawing
+// user s_k is c_ijk / c_ij (the pair's input query-url-user histogram). The
+// assembled output search log has the identical schema as the input.
+package sampling
+
+import (
+	"fmt"
+
+	"dpslog/internal/rng"
+	"dpslog/internal/searchlog"
+)
+
+// Multinomial draws `trials` categorical samples with probabilities
+// proportional to the non-negative integer weights and returns the per-
+// category counts. The weights correspond to c_ijk and their sum to c_ij.
+func Multinomial(g *rng.RNG, weights []int, trials int) []int {
+	counts := make([]int, len(weights))
+	if trials <= 0 {
+		return counts
+	}
+	cum := make([]int64, len(weights))
+	var total int64
+	for i, w := range weights {
+		if w < 0 {
+			panic(fmt.Sprintf("sampling: negative weight %d at index %d", w, i))
+		}
+		total += int64(w)
+		cum[i] = total
+	}
+	if total == 0 {
+		panic("sampling: all-zero weights with positive trials")
+	}
+	for t := 0; t < trials; t++ {
+		u := g.Int64N(total)
+		// Binary search for the first cumulative weight strictly above u.
+		lo, hi := 0, len(cum)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] > u {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		counts[lo]++
+	}
+	return counts
+}
+
+// Output assembles the sanitized search log from the per-pair planned output
+// counts. counts[i] is x*_ij for pair index i of the input log; pairs with a
+// zero planned count are omitted entirely. Pair i's user-IDs are sampled
+// from its input entries (users with c_ijk = 0 can never be drawn).
+//
+// The input log must be preprocessed (no unique pairs may carry a positive
+// count) — this is the caller's responsibility and is asserted here because
+// sampling a unique pair would breach Condition 1 of Theorem 1.
+func Output(g *rng.RNG, in *searchlog.Log, counts []int) (*searchlog.Log, error) {
+	if len(counts) != in.NumPairs() {
+		return nil, fmt.Errorf("sampling: %d counts for %d pairs", len(counts), in.NumPairs())
+	}
+	b := searchlog.NewBuilder()
+	for i := 0; i < in.NumPairs(); i++ {
+		x := counts[i]
+		if x == 0 {
+			continue
+		}
+		if x < 0 {
+			return nil, fmt.Errorf("sampling: negative planned count %d for pair %d", x, i)
+		}
+		p := in.Pair(i)
+		if p.IsUnique() {
+			return nil, fmt.Errorf("sampling: pair %d (%q, %q) is unique but has planned count %d (Theorem 1 Condition 1)",
+				i, p.Query, p.URL, x)
+		}
+		weights := make([]int, len(p.Entries))
+		for e, entry := range p.Entries {
+			weights[e] = entry.Count
+		}
+		drawn := Multinomial(g, weights, x)
+		for e, c := range drawn {
+			if c == 0 {
+				continue
+			}
+			user := in.User(p.Entries[e].User)
+			b.Add(user.ID, p.Query, p.URL, c)
+		}
+	}
+	return b.BuildLog()
+}

@@ -1,0 +1,236 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+
+	"dpslog/internal/rng"
+	"dpslog/internal/searchlog"
+)
+
+func TestMultinomialTotals(t *testing.T) {
+	g := rng.New(1)
+	counts := Multinomial(g, []int{3, 1, 6}, 100)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 100 {
+		t.Errorf("total sampled = %d, want 100", total)
+	}
+}
+
+func TestMultinomialZeroTrials(t *testing.T) {
+	g := rng.New(1)
+	counts := Multinomial(g, []int{3, 1}, 0)
+	if counts[0] != 0 || counts[1] != 0 {
+		t.Errorf("zero trials produced %v", counts)
+	}
+}
+
+func TestMultinomialNeverSamplesZeroWeight(t *testing.T) {
+	g := rng.New(2)
+	for trial := 0; trial < 50; trial++ {
+		counts := Multinomial(g, []int{5, 0, 3, 0}, 40)
+		if counts[1] != 0 || counts[3] != 0 {
+			t.Fatalf("zero-weight category sampled: %v", counts)
+		}
+	}
+}
+
+func TestMultinomialExpectation(t *testing.T) {
+	// E[x_k] = trials · w_k / Σw. With 2/(2+5+3)=0.2 etc., check within 3σ.
+	g := rng.New(3)
+	weights := []int{2, 5, 3}
+	const trials = 100000
+	counts := Multinomial(g, weights, trials)
+	totalW := 10.0
+	for k, w := range weights {
+		p := float64(w) / totalW
+		mean := trials * p
+		sd := math.Sqrt(trials * p * (1 - p))
+		if d := math.Abs(float64(counts[k]) - mean); d > 4*sd {
+			t.Errorf("category %d: count %d deviates from mean %.0f by %.1fσ", k, counts[k], mean, d/sd)
+		}
+	}
+}
+
+func TestMultinomialPanics(t *testing.T) {
+	g := rng.New(4)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative weight did not panic")
+			}
+		}()
+		Multinomial(g, []int{1, -2}, 3)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("all-zero weights with trials did not panic")
+			}
+		}()
+		Multinomial(g, []int{0, 0}, 3)
+	}()
+}
+
+// sharedLog builds a small preprocessed log (no unique pairs).
+func sharedLog(t *testing.T) *searchlog.Log {
+	t.Helper()
+	b := searchlog.NewBuilder()
+	b.Add("081", "google", "google.com", 15)
+	b.Add("082", "google", "google.com", 7)
+	b.Add("083", "google", "google.com", 17)
+	b.Add("082", "car price", "kbb.com", 2)
+	b.Add("083", "car price", "kbb.com", 5)
+	b.Add("081", "book", "amazon.com", 3)
+	b.Add("083", "book", "amazon.com", 1)
+	l := b.Log()
+	if !searchlog.IsPreprocessed(l) {
+		t.Fatal("fixture is not preprocessed")
+	}
+	return l
+}
+
+func TestOutputSchemaAndTotals(t *testing.T) {
+	in := sharedLog(t)
+	counts := make([]int, in.NumPairs())
+	want := map[searchlog.PairKey]int{}
+	for i := 0; i < in.NumPairs(); i++ {
+		counts[i] = in.PairCount(i) / 2
+		want[in.Pair(i).Key()] = counts[i]
+	}
+	out, err := Output(rng.New(9), in, counts)
+	if err != nil {
+		t.Fatalf("Output: %v", err)
+	}
+	// Every output pair total equals the planned count exactly.
+	for i := 0; i < out.NumPairs(); i++ {
+		p := out.Pair(i)
+		if p.Total != want[p.Key()] {
+			t.Errorf("pair %v: output total %d, want %d", p.Key(), p.Total, want[p.Key()])
+		}
+	}
+	// Only users holding a pair in the input may appear in the output for it.
+	for i := 0; i < out.NumPairs(); i++ {
+		p := out.Pair(i)
+		ii := in.PairIndex(p.Key())
+		for _, e := range p.Entries {
+			id := out.User(e.User).ID
+			ik := in.UserIndex(id)
+			if in.TripletCount(ii, ik) == 0 {
+				t.Errorf("user %s sampled for pair %v it never held", id, p.Key())
+			}
+		}
+	}
+	// Identical schema: records round-trip as (user, query, url, count).
+	for _, r := range out.Records() {
+		if r.User == "" || r.Query == "" || r.URL == "" || r.Count <= 0 {
+			t.Errorf("malformed output record %+v", r)
+		}
+	}
+}
+
+func TestOutputSkipsZeroCounts(t *testing.T) {
+	in := sharedLog(t)
+	counts := make([]int, in.NumPairs())
+	gi := in.PairIndex(searchlog.PairKey{Query: "google", URL: "google.com"})
+	counts[gi] = 10
+	out, err := Output(rng.New(1), in, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumPairs() != 1 {
+		t.Errorf("NumPairs = %d, want 1", out.NumPairs())
+	}
+	if out.Size() != 10 {
+		t.Errorf("Size = %d, want 10", out.Size())
+	}
+}
+
+func TestOutputRejectsBadInput(t *testing.T) {
+	in := sharedLog(t)
+	if _, err := Output(rng.New(1), in, make([]int, in.NumPairs()+1)); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	counts := make([]int, in.NumPairs())
+	counts[0] = -1
+	if _, err := Output(rng.New(1), in, counts); err == nil {
+		t.Error("negative count accepted")
+	}
+}
+
+func TestOutputRejectsUniquePair(t *testing.T) {
+	b := searchlog.NewBuilder()
+	b.Add("a", "solo", "u", 4) // unique
+	b.Add("a", "shared", "u", 1)
+	b.Add("b", "shared", "u", 2)
+	in := b.Log()
+	counts := make([]int, in.NumPairs())
+	si := in.PairIndex(searchlog.PairKey{Query: "solo", URL: "u"})
+	counts[si] = 1
+	if _, err := Output(rng.New(1), in, counts); err == nil {
+		t.Error("unique pair with positive count accepted (Condition 1 breach)")
+	}
+	// Zero count on the unique pair is fine.
+	counts[si] = 0
+	if _, err := Output(rng.New(1), in, counts); err != nil {
+		t.Errorf("unique pair with zero count rejected: %v", err)
+	}
+}
+
+func TestOutputHistogramShapePreserved(t *testing.T) {
+	// The defining property of the multinomial strategy (§3.2): with x* = 20
+	// trials over weights {15,7,17}, the sampled shares converge to
+	// {15,7,17}/39. Average over many outputs.
+	b := searchlog.NewBuilder()
+	b.Add("081", "google", "google.com", 15)
+	b.Add("082", "google", "google.com", 7)
+	b.Add("083", "google", "google.com", 17)
+	in := b.Log()
+	counts := []int{20}
+	sums := map[string]float64{}
+	const reps = 3000
+	g := rng.New(77)
+	for rep := 0; rep < reps; rep++ {
+		out, err := Output(g, in, counts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range out.Records() {
+			sums[r.User] += float64(r.Count)
+		}
+	}
+	for user, wantShare := range map[string]float64{"081": 15.0 / 39, "082": 7.0 / 39, "083": 17.0 / 39} {
+		got := sums[user] / (20 * reps)
+		if math.Abs(got-wantShare) > 0.01 {
+			t.Errorf("user %s share = %.4f, want %.4f", user, got, wantShare)
+		}
+	}
+}
+
+func TestOutputDeterministicForSeed(t *testing.T) {
+	in := sharedLog(t)
+	counts := make([]int, in.NumPairs())
+	for i := range counts {
+		counts[i] = 3
+	}
+	o1, err := Output(rng.New(42), in, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := Output(rng.New(42), in, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, r2 := o1.Records(), o2.Records()
+	if len(r1) != len(r2) {
+		t.Fatalf("different record counts %d vs %d", len(r1), len(r2))
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("record %d differs: %+v vs %+v", i, r1[i], r2[i])
+		}
+	}
+}

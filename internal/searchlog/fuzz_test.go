@@ -1,0 +1,89 @@
+package searchlog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadTSV: the canonical parser must never panic, and whatever it
+// accepts must round-trip losslessly.
+func FuzzReadTSV(f *testing.F) {
+	f.Add("u\tq\tl\t2\n")
+	f.Add("# comment\n\nu\tq\tl\t1\nu\tq\tl\t3\n")
+	f.Add("a\tb\tc\tx\n")
+	f.Add("a\tb\tc\n")
+	f.Add("\t\t\t0\n")
+	f.Add("u\tq\tl\t-4\n")
+	f.Add(strings.Repeat("u\tq\tl\t1\n", 50))
+	f.Fuzz(func(t *testing.T, input string) {
+		l, err := ReadTSV(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if _, err := WriteTSV(&buf, l); err != nil {
+			t.Fatalf("WriteTSV on accepted log: %v", err)
+		}
+		back, err := ReadTSV(&buf)
+		if err != nil {
+			t.Fatalf("re-parse of own output: %v", err)
+		}
+		if back.Size() != l.Size() || back.NumPairs() != l.NumPairs() || back.NumUsers() != l.NumUsers() {
+			t.Fatalf("round trip changed shape: %v vs %v", ComputeStats(back), ComputeStats(l))
+		}
+	})
+}
+
+// FuzzReadAOL: the AOL-format parser must never panic and must only
+// aggregate clicked rows.
+func FuzzReadAOL(f *testing.F) {
+	f.Add("AnonID\tQuery\tQueryTime\tItemRank\tClickURL\n1\tcar\t2006\t1\tkbb.com\n")
+	f.Add("1\tq\tt\t\t\n")
+	f.Add("1\tq\tt\t1\tu\n1\tq\tt\t1\tu\n")
+	f.Add("short\trow\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		l, err := ReadAOL(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		for _, r := range l.Records() {
+			if r.Count <= 0 {
+				t.Fatalf("accepted AOL log has non-positive count: %+v", r)
+			}
+			if r.URL == "" {
+				t.Fatalf("accepted AOL log has clickless row: %+v", r)
+			}
+		}
+	})
+}
+
+// FuzzBuilder: arbitrary record streams must either error or produce a
+// structurally consistent log.
+func FuzzBuilder(f *testing.F) {
+	f.Add("u", "q", "l", 5)
+	f.Add("", "", "", 0)
+	f.Add("a", "b", "c", -3)
+	f.Fuzz(func(t *testing.T, user, query, url string, count int) {
+		b := NewBuilder()
+		b.Add(user, query, url, count)
+		b.Add(user, query, url, 1)
+		l, err := b.BuildLog()
+		if err != nil {
+			if count >= 0 {
+				t.Fatalf("non-negative counts rejected: %v", err)
+			}
+			return
+		}
+		for i := 0; i < l.NumPairs(); i++ {
+			p := l.Pair(i)
+			sum := 0
+			for _, e := range p.Entries {
+				sum += e.Count
+			}
+			if sum != p.Total {
+				t.Fatalf("pair %d total %d != entry sum %d", i, p.Total, sum)
+			}
+		}
+	})
+}

@@ -1,0 +1,93 @@
+package searchlog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteTSV writes the log in the canonical 4-column tab-separated format
+//
+//	user \t query \t url \t count
+//
+// sorted by user, query, url — the identical schema the paper's sanitization
+// preserves. It returns the number of rows written.
+func WriteTSV(w io.Writer, l *Log) (int, error) {
+	bw := bufio.NewWriter(w)
+	n := 0
+	for _, r := range l.Records() {
+		if _, err := fmt.Fprintf(bw, "%s\t%s\t%s\t%d\n", r.User, r.Query, r.URL, r.Count); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, bw.Flush()
+}
+
+// ReadTSV parses the canonical 4-column format produced by WriteTSV.
+// Blank lines and lines starting with '#' are skipped. Duplicate
+// (user, query, url) rows accumulate.
+func ReadTSV(r io.Reader) (*Log, error) {
+	b := NewBuilder()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("searchlog: line %d: want 4 tab-separated fields, got %d", lineNo, len(fields))
+		}
+		count, err := strconv.Atoi(fields[3])
+		if err != nil {
+			return nil, fmt.Errorf("searchlog: line %d: bad count %q: %v", lineNo, fields[3], err)
+		}
+		b.Add(fields[0], fields[1], fields[2], count)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b.BuildLog()
+}
+
+// ReadAOL parses the historical AOL release format
+//
+//	AnonID \t Query \t QueryTime \t ItemRank \t ClickURL
+//
+// keeping only rows with a non-empty ClickURL (the paper "only collect[s] the
+// tuples with clicks") and aggregating repeated (user, query, url) rows into
+// counts. Query time and item rank are ignored, as in the paper. A header
+// line starting with "AnonID" is skipped.
+func ReadAOL(r io.Reader) (*Log, error) {
+	b := NewBuilder()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "AnonID") {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if len(fields) < 5 {
+			return nil, fmt.Errorf("searchlog: line %d: want 5 tab-separated AOL fields, got %d", lineNo, len(fields))
+		}
+		url := strings.TrimSpace(fields[4])
+		if url == "" {
+			continue // query without click
+		}
+		query := strings.TrimSpace(fields[1])
+		b.Add(fields[0], query, url, 1)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b.BuildLog()
+}

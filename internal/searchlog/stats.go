@@ -1,0 +1,37 @@
+package searchlog
+
+import "fmt"
+
+// Stats summarizes a log in the shape of the paper's Table 3.
+type Stats struct {
+	Size            int // |D|: total count mass Σ c_ij ("# of total tuples (size)")
+	Users           int // "# of user logs" (= number of DP constraints)
+	DistinctQueries int
+	DistinctURLs    int
+	Pairs           int // "# of query-url pairs" (= number of UMP variables)
+	Triplets        int // non-zero (user, pair) cells, i.e. TSV rows
+}
+
+// ComputeStats derives the Table-3 characteristics of a log.
+func ComputeStats(l *Log) Stats {
+	queries := make(map[string]struct{})
+	urls := make(map[string]struct{})
+	for i := range l.pairs {
+		queries[l.pairs[i].Query] = struct{}{}
+		urls[l.pairs[i].URL] = struct{}{}
+	}
+	return Stats{
+		Size:            l.Size(),
+		Users:           l.NumUsers(),
+		DistinctQueries: len(queries),
+		DistinctURLs:    len(urls),
+		Pairs:           l.NumPairs(),
+		Triplets:        l.NumTriplets(),
+	}
+}
+
+// String renders the stats as a compact single-line summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("size=%d users=%d queries=%d urls=%d pairs=%d triplets=%d",
+		s.Size, s.Users, s.DistinctQueries, s.DistinctURLs, s.Pairs, s.Triplets)
+}

@@ -1,0 +1,424 @@
+package ump
+
+// This file implements the three extensions the paper's §7 sketches as
+// future work:
+//
+//   - Combined: a single joint objective trading output size against
+//     frequent-pair fidelity ("combining different utility notions to
+//     create a single joint objective... akin to a multi-objective
+//     optimization");
+//   - MinPrivacy: the dual "privacy breach-minimizing problem which asks
+//     for minimal privacy loss while satisfying a certain utility";
+//   - QueryDiversity: the query-level diversity variant §5.3 mentions
+//     ("we can also model search query diversity maximizing problem in a
+//     similar way").
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dpslog/internal/dp"
+	"dpslog/internal/lp"
+	"dpslog/internal/searchlog"
+)
+
+// CombinedWeights balances the joint objective of Combined: maximize
+// SizeWeight·(Σx / Σc) − DistanceWeight·(Σ frequent support distances).
+// Both weights must be non-negative and not both zero.
+type CombinedWeights struct {
+	SizeWeight     float64
+	DistanceWeight float64
+}
+
+// Validate checks the weight ranges.
+func (w CombinedWeights) Validate() error {
+	if w.SizeWeight < 0 || w.DistanceWeight < 0 {
+		return fmt.Errorf("ump: combined weights must be non-negative, got %+v", w)
+	}
+	if w.SizeWeight == 0 && w.DistanceWeight == 0 {
+		return fmt.Errorf("ump: at least one combined weight must be positive")
+	}
+	return nil
+}
+
+// Combined solves the joint utility-maximizing problem: unlike F-UMP it
+// does not fix the output size; the LP itself trades release mass against
+// frequent-pair support fidelity:
+//
+//	max  w_size · Σx/|D|  −  w_dist · Σ_freq y_f
+//	s.t. Theorem-1 rows, 0 ≤ x ≤ c,
+//	     y_f ≥ ±(x_f/|D_scale| − c_f/|D|)   for every frequent pair f
+//
+// Because |O| is variable, the support linearization anchors the output
+// support against the *input* scale (x_f/|D|·γ with γ = |D|/λ_LP), which
+// keeps the model linear; the realized objective is recomputed exactly on
+// the integral plan.
+func Combined(l *searchlog.Log, params dp.Params, minSupport float64, w CombinedWeights, opts Options) (*Plan, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if !(minSupport > 0 && minSupport <= 1) {
+		return nil, fmt.Errorf("ump: minimum support must be in (0, 1], got %g", minSupport)
+	}
+	cons, err := dp.Build(l, params)
+	if err != nil {
+		return nil, err
+	}
+	if l.NumPairs() == 0 {
+		return &Plan{Kind: KindCombined, Counts: nil}, nil
+	}
+	// Scale anchor: the achievable output size λ, so x/λ is a support-like
+	// quantity comparable to c/|D|.
+	lamPlan, err := MaxOutputSize(l, params, opts)
+	if err != nil {
+		return nil, err
+	}
+	lam := lamPlan.RelaxationObjective
+	if lam < 1 {
+		// Nothing can be released; the λ plan (empty) is the optimum.
+		lamPlan.Kind = KindCombined
+		return lamPlan, nil
+	}
+	inSize := float64(l.Size())
+
+	prob := buildBase(l, cons, lp.Maximize, w.SizeWeight/inSize, opts.NoBoxConstraint)
+	invScale := 1 / lam
+	var frequent []int
+	for i := 0; i < l.NumPairs(); i++ {
+		supIn := float64(l.PairCount(i)) / inSize
+		if supIn < minSupport {
+			continue
+		}
+		frequent = append(frequent, i)
+		y := prob.AddVariable(-w.DistanceWeight, 0, math.Inf(1))
+		r1 := prob.AddConstraint(lp.LE, supIn) // x/λ − y ≤ c/|D|
+		prob.SetCoef(r1, i, invScale)
+		prob.SetCoef(r1, y, -1)
+		r2 := prob.AddConstraint(lp.LE, -supIn) // −x/λ − y ≤ −c/|D|
+		prob.SetCoef(r2, i, -invScale)
+		prob.SetCoef(r2, y, -1)
+	}
+	sol, err := lp.Solve(prob, opts.LP)
+	if err != nil {
+		return nil, fmt.Errorf("ump: combined solve: %w", err)
+	}
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("ump: combined status %v", sol.Status)
+	}
+	counts := floorCounts(sol.X, l.NumPairs())
+	repair(cons, counts)
+	frac := fracParts(sol.X, counts)
+	for _, i := range frequent {
+		frac[i] += 1
+	}
+	roundUp(cons, counts, frac, pairCaps(l, opts.NoBoxConstraint), 0)
+	plan := &Plan{
+		Kind:                KindCombined,
+		Counts:              counts,
+		OutputSize:          sum(counts),
+		RelaxationObjective: sol.Objective,
+		Iterations:          sol.Iterations,
+	}
+	// Realized joint objective on the integral plan.
+	dist := 0.0
+	if plan.OutputSize > 0 {
+		for _, i := range frequent {
+			dist += math.Abs(float64(counts[i])/float64(plan.OutputSize) - float64(l.PairCount(i))/inSize)
+		}
+	} else {
+		for _, i := range frequent {
+			dist += float64(l.PairCount(i)) / inSize
+		}
+	}
+	plan.Objective = w.SizeWeight*float64(plan.OutputSize)/inSize - w.DistanceWeight*dist
+	return plan, nil
+}
+
+// MinPrivacyResult is the outcome of the breach-minimizing problem.
+type MinPrivacyResult struct {
+	// Plan achieves the requested utility at minimal exposure.
+	Plan *Plan
+	// Epsilon is the smallest per-user budget z* = max_k Σ x·ln t_ijk
+	// supporting the target, i.e. the minimal ε for which the plan is
+	// (ε, δ)-feasible with ln 1/(1−δ) ≥ ε.
+	Epsilon float64
+}
+
+// MinPrivacy solves the paper's §7 dual problem: given a required output
+// size, find the plan minimizing the privacy exposure — the largest
+// per-user-log constraint activity:
+//
+//	min  z
+//	s.t. Σ_{(i,j)∈A_k} x_ij·ln t_ijk ≤ z   for every user log
+//	     Σ x_ij = target,  0 ≤ x_ij ≤ c_ij
+//
+// The optimal z* is the smallest ε (with δ satisfying ln 1/(1−δ) ≥ ε) under
+// which the target utility is achievable. The log must be preprocessed.
+func MinPrivacy(l *searchlog.Log, target int, opts Options) (*MinPrivacyResult, error) {
+	if target <= 0 {
+		return nil, fmt.Errorf("ump: target output size must be positive, got %d", target)
+	}
+	if !searchlog.IsPreprocessed(l) {
+		return nil, dp.ErrNotPreprocessed
+	}
+	totalCap := 0
+	for i := 0; i < l.NumPairs(); i++ {
+		totalCap += l.PairCount(i)
+	}
+	if !opts.NoBoxConstraint && target > totalCap {
+		return nil, fmt.Errorf("ump: target %d exceeds the total input mass %d", target, totalCap)
+	}
+
+	prob := lp.NewProblem(lp.Minimize)
+	for i := 0; i < l.NumPairs(); i++ {
+		up := float64(l.PairCount(i))
+		if opts.NoBoxConstraint {
+			up = math.Inf(1)
+		}
+		prob.AddVariable(0, 0, up)
+	}
+	z := prob.AddVariable(1, 0, math.Inf(1))
+	for k := 0; k < l.NumUsers(); k++ {
+		u := l.User(k)
+		row := prob.AddConstraint(lp.LE, 0) // Σ x·lnt − z ≤ 0
+		for _, up := range u.Pairs {
+			prob.SetCoef(row, up.Pair, dp.Coef(l.PairCount(up.Pair), up.Count))
+		}
+		prob.SetCoef(row, z, -1)
+	}
+	eq := prob.AddConstraint(lp.EQ, float64(target))
+	for i := 0; i < l.NumPairs(); i++ {
+		prob.SetCoef(eq, i, 1)
+	}
+	sol, err := lp.Solve(prob, opts.LP)
+	if err != nil {
+		return nil, fmt.Errorf("ump: min-privacy solve: %w", err)
+	}
+	if sol.Status == lp.Infeasible {
+		return nil, fmt.Errorf("ump: target output size %d is infeasible", target)
+	}
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("ump: min-privacy status %v", sol.Status)
+	}
+	zLP := sol.Objective // fractional lower bound on the exposure
+
+	// Integral completion. The fractional optimum spreads mass thinly, so
+	// flooring it can lose everything; instead, binary-search the smallest
+	// budget b ≥ z_LP at which a cheapest-first integral fill reaches the
+	// target, then report that fill and its exact realized exposure.
+	caps := pairCaps(l, opts.NoBoxConstraint)
+	rows := constraintRows(l)
+	fill := func(budget float64) []int {
+		counts := make([]int, l.NumPairs())
+		cons := &dp.Constraints{Rows: rows, Budget: budget, NumPairs: l.NumPairs()}
+		fillCheapestFirst(cons, counts, caps, target, l)
+		return counts
+	}
+	lo := math.Max(zLP, 1e-9)
+	hi := lo
+	var counts []int
+	for iter := 0; iter < 80; iter++ {
+		counts = fill(hi)
+		if sum(counts) >= target {
+			break
+		}
+		hi *= 2
+	}
+	if sum(counts) < target {
+		return nil, fmt.Errorf("ump: integral fill cannot reach target %d (max %d)", target, sum(counts))
+	}
+	for iter := 0; iter < 50 && hi-lo > 1e-9*(1+hi); iter++ {
+		mid := (lo + hi) / 2
+		if c := fill(mid); sum(c) >= target {
+			hi, counts = mid, c
+		} else {
+			lo = mid
+		}
+	}
+
+	// Exact exposure of the final integral plan.
+	cons := &dp.Constraints{Rows: rows, Budget: math.Inf(1), NumPairs: l.NumPairs()}
+	realized := 0.0
+	for k := range cons.Rows {
+		if lhs := cons.LHS(k, counts); lhs > realized {
+			realized = lhs
+		}
+	}
+	plan := &Plan{
+		Kind:                KindMinPrivacy,
+		Counts:              counts,
+		OutputSize:          sum(counts),
+		Objective:           realized,
+		RelaxationObjective: zLP,
+		Iterations:          sol.Iterations,
+	}
+	return &MinPrivacyResult{Plan: plan, Epsilon: realized}, nil
+}
+
+// constraintRows builds the Theorem-1 rows of a preprocessed log without a
+// budget (callers attach budgets as needed).
+func constraintRows(l *searchlog.Log) []dp.Row {
+	rows := make([]dp.Row, l.NumUsers())
+	for k := 0; k < l.NumUsers(); k++ {
+		u := l.User(k)
+		row := dp.Row{User: k, Terms: make([]dp.Term, 0, len(u.Pairs))}
+		for _, up := range u.Pairs {
+			row.Terms = append(row.Terms, dp.Term{Pair: up.Pair, Coef: dp.Coef(l.PairCount(up.Pair), up.Count)})
+		}
+		rows[k] = row
+	}
+	return rows
+}
+
+// fillCheapestFirst adds units to the plan cheapest-pair-first (ascending
+// worst-case coefficient) while every row stays within the budget, until
+// the target size is reached or no pair can take another unit.
+func fillCheapestFirst(cons *dp.Constraints, counts []int, caps []int, target int, l *searchlog.Log) {
+	n := len(counts)
+	maxCoef := make([]float64, n)
+	for _, row := range cons.Rows {
+		for _, t := range row.Terms {
+			if t.Coef > maxCoef[t.Pair] {
+				maxCoef[t.Pair] = t.Coef
+			}
+		}
+	}
+	// Cheapest pairs get the highest round-up priority.
+	frac := make([]float64, n)
+	for i := range frac {
+		frac[i] = -maxCoef[i]
+	}
+	type entry struct {
+		row  int
+		coef float64
+	}
+	byPair := make([][]entry, n)
+	lhs := make([]float64, len(cons.Rows))
+	for k, row := range cons.Rows {
+		for _, t := range row.Terms {
+			byPair[t.Pair] = append(byPair[t.Pair], entry{row: k, coef: t.Coef})
+		}
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return frac[order[a]] > frac[order[b]] })
+	total := sum(counts)
+	for {
+		progressed := false
+		for _, i := range order {
+			if total >= target {
+				return
+			}
+			if caps != nil && counts[i] >= caps[i] {
+				continue
+			}
+			ok := true
+			for _, e := range byPair[i] {
+				if lhs[e.row]+e.coef > cons.Budget+1e-12 {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			counts[i]++
+			total++
+			progressed = true
+			for _, e := range byPair[i] {
+				lhs[e.row] += e.coef
+			}
+		}
+		if !progressed {
+			return
+		}
+	}
+}
+
+// QueryDiversity maximizes the number of distinct *queries* (rather than
+// query-url pairs) retained in the output — the variant §5.3 notes can be
+// modeled "in a similar way". Each query needs only its cheapest pair
+// retained, so the greedy works on one candidate pair per query (the pair
+// whose largest coefficient is smallest), inserting queries in ascending
+// sensitivity while every user budget holds. The returned plan assigns
+// count 1 to each selected pair, like D-UMP.
+func QueryDiversity(l *searchlog.Log, params dp.Params, opts Options) (*Plan, error) {
+	cons, err := dp.Build(l, params)
+	if err != nil {
+		return nil, err
+	}
+	// Cheapest pair per query by worst-case coefficient.
+	type cand struct {
+		pair    int
+		maxCoef float64
+	}
+	best := map[string]cand{}
+	maxCoef := make([]float64, l.NumPairs())
+	for _, row := range cons.Rows {
+		for _, t := range row.Terms {
+			if t.Coef > maxCoef[t.Pair] {
+				maxCoef[t.Pair] = t.Coef
+			}
+		}
+	}
+	for i := 0; i < l.NumPairs(); i++ {
+		q := l.Pair(i).Query
+		if c, ok := best[q]; !ok || maxCoef[i] < c.maxCoef {
+			best[q] = cand{pair: i, maxCoef: maxCoef[i]}
+		}
+	}
+	cands := make([]cand, 0, len(best))
+	for _, c := range best {
+		cands = append(cands, c)
+	}
+	// Ascending sensitivity, deterministic tie-break by pair index.
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].maxCoef != cands[b].maxCoef {
+			return cands[a].maxCoef < cands[b].maxCoef
+		}
+		return cands[a].pair < cands[b].pair
+	})
+
+	counts := make([]int, l.NumPairs())
+	lhs := make([]float64, len(cons.Rows))
+	// pair → (row, coef) transpose for incremental feasibility.
+	type entry struct {
+		row  int
+		coef float64
+	}
+	byPair := make([][]entry, l.NumPairs())
+	for k, row := range cons.Rows {
+		for _, t := range row.Terms {
+			byPair[t.Pair] = append(byPair[t.Pair], entry{row: k, coef: t.Coef})
+		}
+	}
+	retained := 0
+	for _, c := range cands {
+		ok := true
+		for _, e := range byPair[c.pair] {
+			if lhs[e.row]+e.coef > cons.Budget+1e-12 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		counts[c.pair] = 1
+		retained++
+		for _, e := range byPair[c.pair] {
+			lhs[e.row] += e.coef
+		}
+	}
+	plan := &Plan{
+		Kind:       KindQueryDiversity,
+		Counts:     counts,
+		OutputSize: retained,
+		Objective:  float64(retained),
+	}
+	plan.RelaxationObjective = float64(retained)
+	return plan, nil
+}

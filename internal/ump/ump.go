@@ -1,0 +1,410 @@
+// Package ump formulates and solves the paper's three utility-maximizing
+// problems over the differential privacy constraints of Theorem 1:
+//
+//	O-UMP (§5.1) — maximize the output size Σ x_ij (LP; optimum λ),
+//	F-UMP (§5.2) — minimize the frequent-pair support distances at a fixed
+//	               output size |O| ≤ λ (LP after the absolute-value
+//	               linearization),
+//	D-UMP (§5.3) — maximize the number of distinct retained pairs (BIP via
+//	               the Theorem-2 reduction; solved by internal/bip).
+//
+// Each solve returns a Plan: exact integer output counts per pair (the LP
+// solution floored, then repaired to strict feasibility), ready for the
+// multinomial sampling step. Plans always satisfy the Theorem-1 constraints
+// exactly — flooring only decreases the non-negative left-hand sides, and a
+// final repair pass removes any residue of floating-point noise.
+//
+// The paper's formulations list only non-negativity and the DP rows, but its
+// Table 4 saturates as the budget grows, which is only possible with the
+// implicit cap x_ij ≤ c_ij (see DESIGN.md §2). The cap is applied by
+// default; Options.NoBoxConstraint removes it for the ablation benchmark.
+package ump
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dpslog/internal/bip"
+	"dpslog/internal/dp"
+	"dpslog/internal/lp"
+	"dpslog/internal/searchlog"
+)
+
+// Kind identifies which utility-maximizing problem produced a plan.
+type Kind string
+
+const (
+	// KindOutputSize is O-UMP.
+	KindOutputSize Kind = "O-UMP"
+	// KindFrequent is F-UMP.
+	KindFrequent Kind = "F-UMP"
+	// KindDiversity is D-UMP.
+	KindDiversity Kind = "D-UMP"
+	// KindCombined is the §7 joint size/fidelity objective (extension).
+	KindCombined Kind = "C-UMP"
+	// KindMinPrivacy is the §7 breach-minimizing dual problem (extension).
+	KindMinPrivacy Kind = "P-MIN"
+	// KindQueryDiversity is the §5.3 query-level diversity variant
+	// (extension).
+	KindQueryDiversity Kind = "Q-UMP"
+)
+
+// Options tune the solves.
+type Options struct {
+	// LP is passed through to the simplex solver.
+	LP lp.Options
+	// NoBoxConstraint drops the x_ij ≤ c_ij cap (ablation only; O-UMP then
+	// scales linearly in the budget instead of reproducing Table 4's
+	// plateaus).
+	NoBoxConstraint bool
+	// Solver names the BIP solver for D-UMP; empty means "spe" (the paper's
+	// Algorithm 2).
+	Solver string
+}
+
+// Plan is an integral, strictly feasible assignment of output counts.
+type Plan struct {
+	// Kind records the producing problem.
+	Kind Kind
+	// Counts holds x*_ij per pair index of the log the plan was built from.
+	Counts []int
+	// OutputSize is Σ Counts (the realized |O|; for O-UMP this is λ).
+	OutputSize int
+	// Objective is the problem's objective at the *integral* plan: the
+	// output size for O-UMP, the sum of frequent-pair support distances for
+	// F-UMP, and the retained pair count for D-UMP.
+	Objective float64
+	// RelaxationObjective is the fractional LP optimum where applicable
+	// (equals Objective for D-UMP).
+	RelaxationObjective float64
+	// Iterations counts simplex iterations (LP problems) or solver nodes
+	// (D-UMP).
+	Iterations int
+}
+
+// buildBase creates the LP skeleton shared by O-UMP and F-UMP: one variable
+// per pair with bounds [0, c_ij] (or [0, ∞) under the ablation) and one DP
+// row per user log.
+func buildBase(l *searchlog.Log, cons *dp.Constraints, sense lp.Sense, obj float64, noBox bool) *lp.Problem {
+	p := lp.NewProblem(sense)
+	for i := 0; i < l.NumPairs(); i++ {
+		up := float64(l.PairCount(i))
+		if noBox {
+			up = math.Inf(1)
+		}
+		p.AddVariable(obj, 0, up)
+	}
+	for _, row := range cons.Rows {
+		r := p.AddConstraint(lp.LE, cons.Budget)
+		for _, t := range row.Terms {
+			p.SetCoef(r, t.Pair, t.Coef)
+		}
+	}
+	return p
+}
+
+// floorCounts converts the fractional pair counts to integers, snapping
+// values a hair below an integer up to it before flooring (vertex solutions
+// are rational; the snap undoes simplex round-off).
+func floorCounts(x []float64, n int) []int {
+	counts := make([]int, n)
+	for i := 0; i < n; i++ {
+		v := x[i]
+		if v < 0 {
+			v = 0
+		}
+		counts[i] = int(math.Floor(v + 1e-7))
+	}
+	return counts
+}
+
+// repair enforces the DP rows exactly on an integral plan via
+// dp.RepairPlan. Flooring makes violations at most round-off-sized, so this
+// rarely fires; it exists so Plan feasibility is an invariant rather than a
+// probability.
+func repair(cons *dp.Constraints, counts []int) int {
+	return dp.RepairPlan(cons, counts)
+}
+
+func sum(counts []int) int {
+	s := 0
+	for _, c := range counts {
+		s += c
+	}
+	return s
+}
+
+// roundUp converts floor slack back into output mass: starting from the
+// floored plan, it increments pairs by one unit in order of decreasing
+// fractional remainder (largest-remainder rounding) whenever the increment
+// keeps every DP row within budget and the pair below its cap. Passes repeat
+// until a full sweep makes no progress. Because the constraint matrix is
+// non-negative, every accepted increment preserves exact feasibility, so the
+// result still satisfies Theorem 1 while recovering most of the integrality
+// gap that plain flooring leaves behind (significant when the fractional
+// optimum spreads mass below 1 across many pairs).
+//
+// maxTotal, when positive, caps the total output size (used by F-UMP to
+// respect the requested |O|). caps may be nil for unbounded pairs.
+func roundUp(cons *dp.Constraints, counts []int, frac []float64, caps []int, maxTotal int) {
+	n := len(counts)
+	// Row activity and a pair→rows transpose for incremental checks.
+	lhs := make([]float64, len(cons.Rows))
+	type entry struct {
+		row  int
+		coef float64
+	}
+	byPair := make([][]entry, n)
+	for k, row := range cons.Rows {
+		for _, t := range row.Terms {
+			byPair[t.Pair] = append(byPair[t.Pair], entry{row: k, coef: t.Coef})
+			lhs[k] += float64(counts[t.Pair]) * t.Coef
+		}
+	}
+	total := sum(counts)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return frac[order[a]] > frac[order[b]] })
+	for pass := 0; pass < 8; pass++ {
+		progressed := false
+		for _, i := range order {
+			if maxTotal > 0 && total >= maxTotal {
+				return
+			}
+			if caps != nil && counts[i] >= caps[i] {
+				continue
+			}
+			ok := true
+			for _, e := range byPair[i] {
+				if lhs[e.row]+e.coef > cons.Budget+1e-12 {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			counts[i]++
+			total++
+			progressed = true
+			for _, e := range byPair[i] {
+				lhs[e.row] += e.coef
+			}
+		}
+		if !progressed {
+			return
+		}
+	}
+}
+
+// fracParts extracts the fractional remainders of the LP solution relative
+// to the floored plan, clamped to [0, 1).
+func fracParts(x []float64, counts []int) []float64 {
+	frac := make([]float64, len(counts))
+	for i := range counts {
+		f := x[i] - float64(counts[i])
+		if f < 0 {
+			f = 0
+		}
+		if f >= 1 {
+			f = 0.999999
+		}
+		frac[i] = f
+	}
+	return frac
+}
+
+// pairCaps returns the box bounds c_ij, or nil under the ablation.
+func pairCaps(l *searchlog.Log, noBox bool) []int {
+	if noBox {
+		return nil
+	}
+	caps := make([]int, l.NumPairs())
+	for i := range caps {
+		caps[i] = l.PairCount(i)
+	}
+	return caps
+}
+
+// MaxOutputSize solves O-UMP: the maximum differentially private output size
+// λ for the preprocessed log under the given parameters.
+func MaxOutputSize(l *searchlog.Log, params dp.Params, opts Options) (*Plan, error) {
+	cons, err := dp.Build(l, params)
+	if err != nil {
+		return nil, err
+	}
+	if l.NumPairs() == 0 {
+		return &Plan{Kind: KindOutputSize, Counts: nil, OutputSize: 0}, nil
+	}
+	prob := buildBase(l, cons, lp.Maximize, 1, opts.NoBoxConstraint)
+	sol, err := lp.Solve(prob, opts.LP)
+	if err != nil {
+		return nil, fmt.Errorf("ump: O-UMP solve: %w", err)
+	}
+	switch sol.Status {
+	case lp.Optimal:
+	case lp.Unbounded:
+		return nil, fmt.Errorf("ump: O-UMP unbounded (NoBoxConstraint with a degenerate log?)")
+	default:
+		return nil, fmt.Errorf("ump: O-UMP status %v", sol.Status)
+	}
+	counts := floorCounts(sol.X, l.NumPairs())
+	repair(cons, counts)
+	roundUp(cons, counts, fracParts(sol.X, counts), pairCaps(l, opts.NoBoxConstraint), 0)
+	plan := &Plan{
+		Kind:                KindOutputSize,
+		Counts:              counts,
+		OutputSize:          sum(counts),
+		RelaxationObjective: sol.Objective,
+		Iterations:          sol.Iterations,
+	}
+	plan.Objective = float64(plan.OutputSize)
+	return plan, nil
+}
+
+// FrequentSupport solves F-UMP: minimize the sum of support distances of the
+// input's frequent pairs (support ≥ minSupport) at the fixed output size
+// outputSize, which must lie in (0, λ]. The integral plan's realized size
+// can fall slightly below outputSize because of flooring.
+func FrequentSupport(l *searchlog.Log, params dp.Params, minSupport float64, outputSize int, opts Options) (*Plan, error) {
+	if !(minSupport > 0 && minSupport <= 1) {
+		return nil, fmt.Errorf("ump: minimum support must be in (0, 1], got %g", minSupport)
+	}
+	if outputSize <= 0 {
+		return nil, fmt.Errorf("ump: output size must be positive, got %d", outputSize)
+	}
+	cons, err := dp.Build(l, params)
+	if err != nil {
+		return nil, err
+	}
+	if l.NumPairs() == 0 {
+		return nil, fmt.Errorf("ump: empty log cannot meet output size %d", outputSize)
+	}
+	inSize := float64(l.Size())
+	prob := buildBase(l, cons, lp.Minimize, 0, opts.NoBoxConstraint)
+
+	// Σ x_ij = |O|.
+	eq := prob.AddConstraint(lp.EQ, float64(outputSize))
+	for i := 0; i < l.NumPairs(); i++ {
+		prob.SetCoef(eq, i, 1)
+	}
+
+	// One distance variable per frequent pair with the two linearization
+	// rows y ≥ ±(x/|O| − c/|D|).
+	invO := 1 / float64(outputSize)
+	var frequent []int
+	for i := 0; i < l.NumPairs(); i++ {
+		supIn := float64(l.PairCount(i)) / inSize
+		if supIn < minSupport {
+			continue
+		}
+		frequent = append(frequent, i)
+		y := prob.AddVariable(1, 0, math.Inf(1))
+		r1 := prob.AddConstraint(lp.LE, supIn) // x/|O| − y ≤ c/|D|
+		prob.SetCoef(r1, i, invO)
+		prob.SetCoef(r1, y, -1)
+		r2 := prob.AddConstraint(lp.LE, -supIn) // −x/|O| − y ≤ −c/|D|
+		prob.SetCoef(r2, i, -invO)
+		prob.SetCoef(r2, y, -1)
+	}
+
+	sol, err := lp.Solve(prob, opts.LP)
+	if err != nil {
+		return nil, fmt.Errorf("ump: F-UMP solve: %w", err)
+	}
+	if sol.Status == lp.Infeasible {
+		return nil, fmt.Errorf("ump: F-UMP infeasible: output size %d exceeds λ for these parameters", outputSize)
+	}
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("ump: F-UMP status %v", sol.Status)
+	}
+	counts := floorCounts(sol.X, l.NumPairs())
+	repair(cons, counts)
+	// Round-up priority: frequent pairs first (a unit of mass on a frequent
+	// pair moves the objective; on an infrequent pair it can only create a
+	// spurious output-frequent pair and hurt Precision). Boosting their
+	// remainders by 1 orders all frequent pairs ahead of all infrequent
+	// ones while preserving remainder order within each class.
+	frac := fracParts(sol.X, counts)
+	for _, i := range frequent {
+		frac[i] += 1
+	}
+	roundUp(cons, counts, frac, pairCaps(l, opts.NoBoxConstraint), outputSize)
+	plan := &Plan{
+		Kind:                KindFrequent,
+		Counts:              counts,
+		OutputSize:          sum(counts),
+		RelaxationObjective: sol.Objective,
+		Iterations:          sol.Iterations,
+	}
+	// Realized objective at the integral plan.
+	realized := 0.0
+	if plan.OutputSize > 0 {
+		for _, i := range frequent {
+			realized += math.Abs(float64(counts[i])/float64(plan.OutputSize) - float64(l.PairCount(i))/inSize)
+		}
+	} else {
+		for _, i := range frequent {
+			realized += float64(l.PairCount(i)) / inSize
+		}
+	}
+	plan.Objective = realized
+	return plan, nil
+}
+
+// Diversity solves D-UMP: maximize the number of distinct retained pairs.
+// Following Theorem 2, the MIP is reduced to the pure BIP of Equation 8 and
+// the selected pairs receive an output count of one (a single multinomial
+// trial), exactly as §5.3 prescribes.
+func Diversity(l *searchlog.Log, params dp.Params, opts Options) (*Plan, error) {
+	cons, err := dp.Build(l, params)
+	if err != nil {
+		return nil, err
+	}
+	name := opts.Solver
+	if name == "" {
+		name = "spe"
+	}
+	solver, err := bip.New(name)
+	if err != nil {
+		return nil, err
+	}
+	prob := &bip.Problem{NumCols: l.NumPairs(), Rows: make([][]bip.Term, len(cons.Rows)), RHS: make([]float64, len(cons.Rows))}
+	for k, row := range cons.Rows {
+		prob.RHS[k] = cons.Budget
+		terms := make([]bip.Term, len(row.Terms))
+		for t, term := range row.Terms {
+			terms[t] = bip.Term{Col: term.Pair, Coef: term.Coef}
+		}
+		prob.Rows[k] = terms
+	}
+	sol, err := solver.Solve(prob)
+	if err != nil {
+		return nil, fmt.Errorf("ump: D-UMP (%s): %w", name, err)
+	}
+	counts := make([]int, l.NumPairs())
+	for i, keep := range sol.Y {
+		if keep {
+			counts[i] = 1
+		}
+	}
+	repair(cons, counts)
+	plan := &Plan{
+		Kind:                KindDiversity,
+		Counts:              counts,
+		OutputSize:          sum(counts),
+		RelaxationObjective: float64(sol.Objective),
+		Iterations:          sol.Nodes,
+	}
+	plan.Objective = float64(plan.OutputSize)
+	return plan, nil
+}
+
+// Verify re-audits a plan against the log it was built from. It is a thin
+// wrapper over dp.VerifyLog so callers can assert the package invariant.
+func Verify(l *searchlog.Log, params dp.Params, plan *Plan) error {
+	return dp.VerifyLog(l, params, plan.Counts)
+}

@@ -1,0 +1,53 @@
+package dpslog
+
+import (
+	"dpslog/internal/metrics"
+)
+
+// FrequentSet maps frequent pairs to their support.
+type FrequentSet = metrics.FrequentSet
+
+// FrequentPairs extracts the pairs of l with support ≥ s (c_ij/|D| ≥ s).
+func FrequentPairs(l *Log, s float64) FrequentSet { return metrics.FrequentPairs(l, s) }
+
+// PrecisionRecall computes the paper's Equation 9 between the input's
+// frequent set S0 and the output's frequent set S.
+func PrecisionRecall(s0, s FrequentSet) (precision, recall float64) {
+	return metrics.PrecisionRecall(s0, s)
+}
+
+// SupportDistances evaluates the F-UMP objective (Equation 5) for a plan of
+// output counts over the input's frequent pairs: the sum and average of
+// |x_ij/|O| − c_ij/|D||, plus the frequent-pair count.
+func SupportDistances(in *Log, counts []int, minSupport float64) (sum, avg float64, frequent int) {
+	return metrics.SupportDistances(in, counts, minSupport)
+}
+
+// RetainedDiversity is the fraction of the input's distinct pairs retained
+// by a plan (Figure 4's measure).
+func RetainedDiversity(in *Log, counts []int) float64 {
+	return metrics.RetainedDiversity(in, counts)
+}
+
+// TripletHistogram bins the DiffRatio (Equation 10) of every retained input
+// triplet (q_i, u_j, s_k) into `buckets` bins over [0, 100%]; ratios ≥ 100%
+// land in the last bin (Figure 6). minSupport > 0 restricts to triplets of
+// input-frequent pairs; minCount > 0 restricts to triplets with
+// c_ijk ≥ minCount (triplets below the release's resolution).
+func TripletHistogram(in, out *Log, buckets int, minSupport float64, minCount int) []int {
+	return metrics.TripletHistogram(in, out, buckets, minSupport, minCount)
+}
+
+// ConditionalTripletHistogram bins the scale-free per-pair share deviation
+// |x_ijk/x_ij − c_ijk/c_ij| / (c_ijk/c_ij) of every retained triplet — the
+// multinomial shape-preservation measure of the paper's §3.2.
+func ConditionalTripletHistogram(in, out *Log, buckets int, minSupport float64, minCount int) []int {
+	return metrics.ConditionalTripletHistogram(in, out, buckets, minSupport, minCount)
+}
+
+// HistogramShare converts a histogram to cumulative shares (share[i] = mass
+// in bins 0..i / total mass).
+func HistogramShare(hist []int) []float64 { return metrics.HistogramShare(hist) }
+
+// Support is the relative frequency count/size.
+func Support(count, size int) float64 { return metrics.Support(count, size) }

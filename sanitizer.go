@@ -1,0 +1,412 @@
+package dpslog
+
+import (
+	"fmt"
+	"math"
+
+	"dpslog/internal/dp"
+	"dpslog/internal/rng"
+	"dpslog/internal/sampling"
+	"dpslog/internal/ump"
+)
+
+// Objective selects the utility-maximizing problem the sanitizer solves.
+type Objective int
+
+const (
+	// ObjectiveOutputSize maximizes the output size Σ x_ij (O-UMP, §5.1).
+	ObjectiveOutputSize Objective = iota
+	// ObjectiveFrequent minimizes the frequent-pair support distances at a
+	// fixed output size (F-UMP, §5.2). Requires MinSupport; OutputSize
+	// defaults to λ/2.
+	ObjectiveFrequent
+	// ObjectiveDiversity maximizes the number of distinct retained pairs
+	// (D-UMP, §5.3) using the configured BIP solver (default: the paper's
+	// SPE heuristic).
+	ObjectiveDiversity
+	// ObjectiveCombined is the paper's §7 "joint objective" extension: a
+	// single LP trading output size against frequent-pair support fidelity
+	// with no fixed |O|. Requires MinSupport; weighted by SizeWeight and
+	// DistanceWeight (both default to 1 when zero).
+	ObjectiveCombined
+	// ObjectiveQueryDiversity maximizes the number of distinct *queries*
+	// retained — the query-level variant §5.3 sketches.
+	ObjectiveQueryDiversity
+)
+
+func (o Objective) String() string {
+	switch o {
+	case ObjectiveOutputSize:
+		return "output-size"
+	case ObjectiveFrequent:
+		return "frequent-pairs"
+	case ObjectiveDiversity:
+		return "diversity"
+	case ObjectiveCombined:
+		return "combined"
+	case ObjectiveQueryDiversity:
+		return "query-diversity"
+	}
+	return fmt.Sprintf("Objective(%d)", int(o))
+}
+
+// Options configure a Sanitizer.
+type Options struct {
+	// Epsilon is ε > 0. The paper parameterizes experiments by e^ε; use
+	// math.Log to convert.
+	Epsilon float64
+	// Delta is δ ∈ (0, 1), the bound on the probability of producing an
+	// output that breaches ε-differential privacy (Definition 2).
+	Delta float64
+	// Objective selects the utility-maximizing problem (default
+	// ObjectiveOutputSize).
+	Objective Objective
+	// MinSupport is the frequent-pair threshold s for ObjectiveFrequent
+	// (pair is frequent when c_ij/|D| ≥ s).
+	MinSupport float64
+	// OutputSize is the fixed |O| for ObjectiveFrequent; 0 picks λ/2 where λ
+	// is the O-UMP maximum for the same parameters.
+	OutputSize int
+	// Solver names the D-UMP BIP solver: spe (default), spe-violated,
+	// branchbound, feaspump, rounding or greedy.
+	Solver string
+	// SizeWeight and DistanceWeight balance ObjectiveCombined's joint
+	// objective; both default to 1 when left zero.
+	SizeWeight, DistanceWeight float64
+	// Seed drives the multinomial sampling (and the Laplace noise when
+	// end-to-end mode is on). Runs are deterministic in the seed.
+	Seed uint64
+
+	// EndToEnd enables §4.2: Laplace noise Lap(D/EpsPrime) is added to the
+	// optimal counts (making the count computation itself differentially
+	// private) and the noisy plan is projected back into the Theorem-1
+	// polytope.
+	EndToEnd bool
+	// D is the §4.2 count sensitivity bound (required > 0 when EndToEnd).
+	D int
+	// EpsPrime is the §4.2 privacy budget ε′ of the count-computation step
+	// (required > 0 when EndToEnd).
+	EpsPrime float64
+	// BoundSensitivity additionally runs §4.2's preprocessing procedure
+	// before optimizing (EndToEnd only): every user log whose removal would
+	// shift any pair's optimal count by more than D is dropped, enforcing
+	// the sensitivity bound the Laplace scale assumes. Costs one solve per
+	// user log — quadratic; intended for small corpora, exactly as the
+	// paper treats it.
+	BoundSensitivity bool
+
+	// NoBoxConstraint drops the x_ij ≤ c_ij cap (ablation benchmarks only;
+	// see DESIGN.md §2).
+	NoBoxConstraint bool
+}
+
+func (o Options) validate() error {
+	p := dp.Params{Eps: o.Epsilon, Delta: o.Delta}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	switch o.Objective {
+	case ObjectiveOutputSize, ObjectiveDiversity, ObjectiveQueryDiversity:
+	case ObjectiveFrequent, ObjectiveCombined:
+		if !(o.MinSupport > 0 && o.MinSupport <= 1) {
+			return fmt.Errorf("dpslog: %v requires MinSupport in (0, 1], got %g", o.Objective, o.MinSupport)
+		}
+		if o.OutputSize < 0 {
+			return fmt.Errorf("dpslog: OutputSize must be non-negative, got %d", o.OutputSize)
+		}
+		if o.SizeWeight < 0 || o.DistanceWeight < 0 {
+			return fmt.Errorf("dpslog: objective weights must be non-negative")
+		}
+	default:
+		return fmt.Errorf("dpslog: unknown objective %v", o.Objective)
+	}
+	if o.EndToEnd {
+		if o.D <= 0 {
+			return fmt.Errorf("dpslog: EndToEnd requires sensitivity bound D > 0, got %d", o.D)
+		}
+		if !(o.EpsPrime > 0) {
+			return fmt.Errorf("dpslog: EndToEnd requires EpsPrime > 0, got %g", o.EpsPrime)
+		}
+	} else if o.BoundSensitivity {
+		return fmt.Errorf("dpslog: BoundSensitivity requires EndToEnd")
+	}
+	return nil
+}
+
+// Plan summarizes the optimization step of a sanitization run.
+type Plan struct {
+	// Kind is "O-UMP", "F-UMP" or "D-UMP".
+	Kind string
+	// Counts are the integral per-pair output counts, aligned with the pair
+	// indices of Result.Preprocessed.
+	Counts []int
+	// OutputSize is Σ Counts.
+	OutputSize int
+	// Objective is the problem objective at the integral plan (size,
+	// distance sum, or retained pairs).
+	Objective float64
+	// RelaxationObjective is the fractional optimum of the underlying LP
+	// (or the BIP objective for D-UMP).
+	RelaxationObjective float64
+	// Lambda is the O-UMP maximum output size computed for ObjectiveFrequent
+	// runs (0 otherwise).
+	Lambda int
+	// Iterations counts simplex iterations or BIP solver nodes.
+	Iterations int
+	// NoiseApplied reports that §4.2 end-to-end noise perturbed the counts.
+	NoiseApplied bool
+}
+
+// Result is a completed sanitization.
+type Result struct {
+	// Output is the sanitized log, schema-identical to the input.
+	Output *Log
+	// Preprocessed is the input after unique-pair removal (and, when
+	// Options.BoundSensitivity is set, after §4.2 user-log dropping);
+	// Plan.Counts is indexed by its pairs.
+	Preprocessed *Log
+	// PreStats reports what preprocessing removed.
+	PreStats PreprocessStats
+	// DroppedUsers lists external user IDs removed by §4.2 sensitivity
+	// bounding (empty unless Options.BoundSensitivity).
+	DroppedUsers []string
+	// Plan is the audited optimization outcome that drove the sampling.
+	Plan Plan
+}
+
+// Sanitizer runs the paper's Algorithm 1 with a fixed configuration.
+type Sanitizer struct {
+	opts Options
+}
+
+// New validates the options and returns a Sanitizer.
+func New(opts Options) (*Sanitizer, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	return &Sanitizer{opts: opts}, nil
+}
+
+// Options returns the sanitizer's configuration.
+func (s *Sanitizer) Options() Options { return s.opts }
+
+// Sanitize runs the full pipeline on the input log: preprocess (Theorem 1
+// Condition 1), solve the configured utility-maximizing problem (Conditions
+// 2/3 as constraints), optionally noise the counts (§4.2), audit the final
+// plan, and multinomially sample user-IDs per pair. The input log is not
+// modified.
+func (s *Sanitizer) Sanitize(in *Log) (*Result, error) {
+	opts := s.opts
+	pre, preStats := Preprocess(in)
+	params := dp.Params{Eps: opts.Epsilon, Delta: opts.Delta}
+	uopts := ump.Options{NoBoxConstraint: opts.NoBoxConstraint, Solver: opts.Solver}
+
+	// §4.2 sensitivity-bounding preprocessing: drop user logs whose removal
+	// shifts any optimal count by more than D, so the Lap(D/ε′) scale below
+	// actually covers the count computation's sensitivity.
+	var droppedUsers []string
+	if opts.BoundSensitivity {
+		solve := func(l *Log) (map[PairKey]int, error) {
+			p, _ := Preprocess(l)
+			plan, err := s.solveObjective(p, params, uopts)
+			if err != nil {
+				return nil, err
+			}
+			out := make(map[PairKey]int, p.NumPairs())
+			for i, x := range plan.Counts {
+				if x > 0 {
+					out[p.Pair(i).Key()] = x
+				}
+			}
+			return out, nil
+		}
+		bounded, dropped, err := dp.BoundSensitivity(pre, opts.D, solve)
+		if err != nil {
+			return nil, fmt.Errorf("dpslog: sensitivity bounding: %w", err)
+		}
+		droppedUsers = dropped
+		if len(dropped) > 0 {
+			// Dropping users can orphan pairs into uniqueness; re-preprocess.
+			bounded, _ = Preprocess(bounded)
+		}
+		pre = bounded
+	}
+
+	plan, lambda, err := s.solveObjectiveWithLambda(pre, params, uopts)
+	if err != nil {
+		return nil, err
+	}
+
+	counts := plan.Counts
+	noised := false
+	if opts.EndToEnd {
+		g := rng.New(opts.Seed ^ 0x9e3779b97f4a7c15)
+		noisy, err := dp.NoisyCounts(g, counts, opts.D, opts.EpsPrime)
+		if err != nil {
+			return nil, err
+		}
+		// Respect the box and Condition 1 invariants, then re-project into
+		// the Theorem-1 polytope.
+		for i := range noisy {
+			if c := pre.PairCount(i); !opts.NoBoxConstraint && noisy[i] > c {
+				noisy[i] = c
+			}
+		}
+		cons, err := dp.Build(pre, params)
+		if err != nil {
+			return nil, err
+		}
+		counts = dp.ProjectFeasible(cons, noisy)
+		noised = true
+	}
+
+	// Invariant: every released plan satisfies Theorem 1 exactly.
+	if err := dp.VerifyLog(pre, params, counts); err != nil {
+		return nil, fmt.Errorf("dpslog: internal error: plan failed audit: %w", err)
+	}
+
+	out, err := sampling.Output(rng.New(opts.Seed), pre, counts)
+	if err != nil {
+		return nil, err
+	}
+	outSize := 0
+	for _, c := range counts {
+		outSize += c
+	}
+	objective := plan.Objective
+	if noised {
+		// Recompute size-like objectives for the noisy plan.
+		switch opts.Objective {
+		case ObjectiveOutputSize, ObjectiveDiversity:
+			objective = float64(outSize)
+		case ObjectiveFrequent:
+			objective = math.NaN() // distance objective no longer tracked
+		}
+	}
+	return &Result{
+		Output:       out,
+		Preprocessed: pre,
+		PreStats:     preStats,
+		DroppedUsers: droppedUsers,
+		Plan: Plan{
+			Kind:                string(plan.Kind),
+			Counts:              counts,
+			OutputSize:          outSize,
+			Objective:           objective,
+			RelaxationObjective: plan.RelaxationObjective,
+			Lambda:              lambda,
+			Iterations:          plan.Iterations,
+			NoiseApplied:        noised,
+		},
+	}, nil
+}
+
+// solveObjective dispatches to the configured utility-maximizing problem.
+func (s *Sanitizer) solveObjective(pre *Log, params dp.Params, uopts ump.Options) (*ump.Plan, error) {
+	plan, _, err := s.solveObjectiveWithLambda(pre, params, uopts)
+	return plan, err
+}
+
+// solveObjectiveWithLambda additionally reports the O-UMP λ computed for
+// ObjectiveFrequent runs (0 for the other objectives).
+func (s *Sanitizer) solveObjectiveWithLambda(pre *Log, params dp.Params, uopts ump.Options) (*ump.Plan, int, error) {
+	opts := s.opts
+	switch opts.Objective {
+	case ObjectiveOutputSize:
+		plan, err := ump.MaxOutputSize(pre, params, uopts)
+		return plan, 0, err
+	case ObjectiveFrequent:
+		lp, err := ump.MaxOutputSize(pre, params, uopts)
+		if err != nil {
+			return nil, 0, err
+		}
+		lambda := lp.OutputSize
+		outSize := opts.OutputSize
+		if outSize == 0 {
+			outSize = lambda / 2
+		}
+		if outSize > lambda {
+			return nil, 0, fmt.Errorf("dpslog: OutputSize %d exceeds λ = %d for ε=%g δ=%g",
+				outSize, lambda, opts.Epsilon, opts.Delta)
+		}
+		if outSize == 0 {
+			// Degenerate budget: fall back to the (empty) O-UMP plan.
+			return lp, lambda, nil
+		}
+		plan, err := ump.FrequentSupport(pre, params, opts.MinSupport, outSize, uopts)
+		return plan, lambda, err
+	case ObjectiveDiversity:
+		plan, err := ump.Diversity(pre, params, uopts)
+		return plan, 0, err
+	case ObjectiveCombined:
+		w := ump.CombinedWeights{SizeWeight: opts.SizeWeight, DistanceWeight: opts.DistanceWeight}
+		if w.SizeWeight == 0 && w.DistanceWeight == 0 {
+			w = ump.CombinedWeights{SizeWeight: 1, DistanceWeight: 1}
+		}
+		plan, err := ump.Combined(pre, params, opts.MinSupport, w, uopts)
+		return plan, 0, err
+	case ObjectiveQueryDiversity:
+		plan, err := ump.QueryDiversity(pre, params, uopts)
+		return plan, 0, err
+	}
+	return nil, 0, fmt.Errorf("dpslog: unknown objective %v", opts.Objective)
+}
+
+// Lambda computes the maximum differentially private output size λ (the
+// O-UMP optimum) for a raw input log under (ε, δ) — the quantity the paper
+// tabulates in Table 4. The log is preprocessed internally.
+func Lambda(in *Log, epsilon, delta float64) (int, error) {
+	pre, _ := Preprocess(in)
+	plan, err := ump.MaxOutputSize(pre, dp.Params{Eps: epsilon, Delta: delta}, ump.Options{})
+	if err != nil {
+		return 0, err
+	}
+	return plan.OutputSize, nil
+}
+
+// MinBudget is the outcome of the breach-minimizing problem (the paper's
+// §7 dual of the utility-maximizing problems).
+type MinBudget struct {
+	// Epsilon is the smallest per-user privacy exposure supporting the
+	// requested output size: the plan satisfies Theorem 1 for any (ε, δ)
+	// with ε ≥ Epsilon and ln 1/(1−δ) ≥ Epsilon.
+	Epsilon float64
+	// Counts is the exposure-minimal plan over Preprocessed's pair indices.
+	Counts []int
+	// OutputSize is the realized size (flooring may shave the target).
+	OutputSize int
+	// Preprocessed is the log the plan indexes.
+	Preprocessed *Log
+}
+
+// MinBudgetForSize solves the privacy breach-minimizing problem: the
+// smallest privacy budget under which a release of the target output size
+// exists, together with that release's plan. The input is preprocessed
+// internally.
+func MinBudgetForSize(in *Log, target int) (*MinBudget, error) {
+	pre, _ := Preprocess(in)
+	res, err := ump.MinPrivacy(pre, target, ump.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &MinBudget{
+		Epsilon:      res.Epsilon,
+		Counts:       res.Plan.Counts,
+		OutputSize:   res.Plan.OutputSize,
+		Preprocessed: pre,
+	}, nil
+}
+
+// VerifyCounts audits a plan of per-pair output counts against the
+// Theorem-1 conditions for the given (preprocessed or raw) log: unique pairs
+// must be zeroed and every user log's merged budget respected. counts is
+// indexed by the log's pair order. A nil error certifies the plan.
+func VerifyCounts(l *Log, epsilon, delta float64, counts []int) error {
+	return dp.VerifyLog(l, dp.Params{Eps: epsilon, Delta: delta}, counts)
+}
+
+// BreachProbability returns the exact probability (Equation 2) that the
+// user at index k of the log appears in an output sampled under the plan.
+func BreachProbability(l *Log, k int, counts []int) float64 {
+	return dp.BreachProbability(l, k, counts)
+}
