@@ -1,0 +1,262 @@
+// Command slload is the load generator for slserve. It synthesizes a
+// corpus once, then drives the service at a target request rate with
+// uniform or Poisson arrivals, printing batched p50/p95/p99 latencies and a
+// final summary — the harness future performance PRs regress against.
+//
+// Usage:
+//
+//	slload [-url http://localhost:8080] [-rps 20] [-duration 15s]
+//	       [-arrivals poisson|uniform] [-profile tiny] [-gen-seed 1]
+//	       [-eexp 2] [-delta 0.5] [-objective size] [-solver spe]
+//	       [-distinct 4] [-batch 5s] [-timeout 30s]
+//	       [-endpoint sanitize|lambda|stats]
+//
+// -distinct rotates the sanitization seed across N values so the run mixes
+// plan-cache hits with real solves; -distinct 1 measures the pure cache
+// path after the first request. The process exits non-zero if any request
+// fails, making it usable as a CI smoke gate.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"dpslog"
+	"dpslog/internal/rng"
+)
+
+func main() {
+	base := flag.String("url", "http://localhost:8080", "slserve base URL")
+	rps := flag.Float64("rps", 20, "target request rate per second")
+	duration := flag.Duration("duration", 15*time.Second, "how long to send load")
+	arrivals := flag.String("arrivals", "poisson", "arrival process: uniform or poisson")
+	profile := flag.String("profile", "tiny", "synthetic corpus profile: tiny, small or paper")
+	genSeed := flag.Uint64("gen-seed", 1, "corpus generation seed")
+	eexp := flag.Float64("eexp", 2.0, "privacy parameter e^ε")
+	delta := flag.Float64("delta", 0.5, "privacy parameter δ")
+	objective := flag.String("objective", "size", "sanitization objective (size, frequent, diversity, ...)")
+	solver := flag.String("solver", "", "D-UMP BIP solver (diversity objectives)")
+	support := flag.Float64("support", 0.002, "frequent-pair minimum support (objective=frequent)")
+	distinct := flag.Int("distinct", 4, "rotate the sanitize seed across N values (1 = pure cache path)")
+	batch := flag.Duration("batch", 5*time.Second, "latency reporting batch window")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	endpoint := flag.String("endpoint", "sanitize", "target endpoint: sanitize, lambda or stats")
+	loadSeed := flag.Uint64("load-seed", 7, "arrival schedule seed (poisson)")
+	flag.Parse()
+
+	if *rps <= 0 || *duration <= 0 || *distinct < 1 {
+		fatal(fmt.Errorf("need -rps > 0, -duration > 0, -distinct ≥ 1"))
+	}
+	if *arrivals != "uniform" && *arrivals != "poisson" {
+		fatal(fmt.Errorf("unknown arrival process %q (want uniform or poisson)", *arrivals))
+	}
+
+	corpus, err := dpslog.Generate(*profile, *genSeed)
+	if err != nil {
+		fatal(err)
+	}
+	var body bytes.Buffer
+	if _, err := dpslog.WriteTSV(&body, corpus); err != nil {
+		fatal(err)
+	}
+	payload := body.Bytes()
+
+	var target string
+	q := url.Values{}
+	switch *endpoint {
+	case "sanitize":
+		q.Set("eexp", fmt.Sprint(*eexp))
+		q.Set("delta", fmt.Sprint(*delta))
+		q.Set("objective", *objective)
+		if *solver != "" {
+			q.Set("solver", *solver)
+		}
+		if *objective == "frequent" || *objective == "combined" {
+			q.Set("support", fmt.Sprint(*support))
+		}
+		target = *base + "/v1/sanitize"
+	case "lambda":
+		target = *base + "/v1/lambda"
+	case "stats":
+		target = *base + "/v1/stats"
+	default:
+		fatal(fmt.Errorf("unknown endpoint %q", *endpoint))
+	}
+
+	fmt.Printf("slload: %s profile (%d tuples, %d users) → %s at %.1f rps (%s arrivals) for %s\n",
+		*profile, corpus.Size(), corpus.NumUsers(), target, *rps, *arrivals, *duration)
+
+	client := &http.Client{Timeout: *timeout}
+	results := make(chan result, 1024)
+	collectDone := make(chan summary, 1)
+	go collect(results, *batch, collectDone)
+
+	g := rng.New(*loadSeed)
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(*duration)
+	next := start
+	for i := 0; ; i++ {
+		if *arrivals == "uniform" {
+			next = next.Add(time.Duration(float64(time.Second) / *rps))
+		} else {
+			// Exponential inter-arrival with rate rps.
+			next = next.Add(time.Duration(-math.Log(1-g.Float64()) / *rps * float64(time.Second)))
+		}
+		if next.After(deadline) {
+			break
+		}
+		time.Sleep(time.Until(next))
+		wg.Add(1)
+		go func(seq int) {
+			defer wg.Done()
+			results <- fire(client, *endpoint, target, q, payload, *eexp, *delta, seq%*distinct+1)
+		}(i)
+	}
+	wg.Wait()
+	close(results)
+	sum := <-collectDone
+
+	elapsed := time.Since(start).Seconds()
+	fmt.Printf("slload: total sent=%d ok=%d fail=%d achieved=%.1f rps  %s\n",
+		sum.sent, sum.ok, sum.sent-sum.ok, float64(sum.sent)/elapsed, percentiles(sum.latencies))
+	if sum.sent-sum.ok > 0 {
+		os.Exit(1)
+	}
+}
+
+type result struct {
+	latency time.Duration
+	err     error
+}
+
+type summary struct {
+	sent, ok  int
+	latencies []time.Duration
+}
+
+// fire issues one request and classifies the outcome. Sanitize and stats
+// send the TSV corpus; lambda sends a small JSON envelope with the corpus
+// inlined as TSV.
+func fire(client *http.Client, endpoint, target string, q url.Values, payload []byte, eexp, delta float64, seed int) result {
+	var (
+		req *http.Request
+		err error
+	)
+	switch endpoint {
+	case "lambda":
+		env := fmt.Sprintf(`{"eexp":%g,"delta":%g,"tsv":%q}`, eexp, delta, payload)
+		req, err = http.NewRequest("POST", target, bytes.NewReader([]byte(env)))
+		if req != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+	default:
+		qq := make(url.Values, len(q)+1)
+		for k, v := range q {
+			qq[k] = v
+		}
+		if endpoint == "sanitize" {
+			qq.Set("seed", fmt.Sprint(seed))
+		}
+		u := target
+		if len(qq) > 0 {
+			u += "?" + qq.Encode()
+		}
+		req, err = http.NewRequest("POST", u, bytes.NewReader(payload))
+		if req != nil {
+			req.Header.Set("Content-Type", "text/tab-separated-values")
+		}
+	}
+	if err != nil {
+		return result{err: err}
+	}
+	start := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		return result{err: err}
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return result{err: err}
+	}
+	lat := time.Since(start)
+	if resp.StatusCode != http.StatusOK {
+		return result{latency: lat, err: fmt.Errorf("status %d", resp.StatusCode)}
+	}
+	return result{latency: lat}
+}
+
+// collect aggregates results, printing one line per batch window and
+// returning the whole-run summary when the results channel closes.
+func collect(results <-chan result, window time.Duration, done chan<- summary) {
+	var sum summary
+	var batch []time.Duration
+	batchStart := time.Now()
+	batchFail := 0
+	tick := time.NewTicker(window)
+	defer tick.Stop()
+	flush := func() {
+		if len(batch) == 0 && batchFail == 0 {
+			return
+		}
+		fmt.Printf("slload: batch %5.1fs sent=%d ok=%d fail=%d  %s\n",
+			time.Since(batchStart).Seconds(), len(batch)+batchFail, len(batch), batchFail, percentiles(batch))
+		batch, batchFail = nil, 0
+		batchStart = time.Now()
+	}
+	for {
+		select {
+		case r, ok := <-results:
+			if !ok {
+				flush()
+				done <- sum
+				return
+			}
+			sum.sent++
+			if r.err != nil {
+				fmt.Fprintf(os.Stderr, "slload: request failed: %v\n", r.err)
+				batchFail++
+				continue
+			}
+			sum.ok++
+			sum.latencies = append(sum.latencies, r.latency)
+			batch = append(batch, r.latency)
+		case <-tick.C:
+			flush()
+		}
+	}
+}
+
+// percentiles renders p50/p95/p99/max of the given latencies.
+func percentiles(lat []time.Duration) string {
+	if len(lat) == 0 {
+		return "p50=- p95=- p99=- max=-"
+	}
+	s := append([]time.Duration(nil), lat...)
+	sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+	pick := func(p float64) time.Duration {
+		i := int(math.Ceil(p*float64(len(s)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return s[i]
+	}
+	return fmt.Sprintf("p50=%s p95=%s p99=%s max=%s",
+		round(pick(0.50)), round(pick(0.95)), round(pick(0.99)), round(s[len(s)-1]))
+}
+
+func round(d time.Duration) time.Duration { return d.Round(10 * time.Microsecond) }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "slload:", err)
+	os.Exit(1)
+}

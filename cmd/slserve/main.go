@@ -1,0 +1,71 @@
+// Command slserve runs the HTTP sanitization service: the dpslog library
+// behind a JSON/TSV API with a bounded worker pool, an async job store, an
+// LRU plan cache and Prometheus metrics (see internal/server for the
+// endpoint reference).
+//
+// Usage:
+//
+//	slserve [-addr :8080] [-workers N] [-queue N] [-cache N]
+//	        [-max-jobs N] [-max-body BYTES]
+//
+// The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests for up to 10 seconds.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dpslog/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "worker pool backlog (0 = 4×workers)")
+	cache := flag.Int("cache", 0, "plan cache entries (0 = 128, negative disables)")
+	maxJobs := flag.Int("max-jobs", 0, "retained async jobs (0 = 1024)")
+	maxBody := flag.Int64("max-body", 0, "request body cap in bytes (0 = 32 MiB)")
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Workers:      *workers,
+		Queue:        *queue,
+		CacheSize:    *cache,
+		MaxJobs:      *maxJobs,
+		MaxBodyBytes: *maxBody,
+	})
+	defer srv.Close()
+
+	hs := &http.Server{Addr: *addr, Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("slserve: listening on %s", *addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fatal(err)
+	case s := <-sig:
+		log.Printf("slserve: %v, shutting down", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "slserve:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,100 @@
+package dpslog_test
+
+// Concurrency coverage for the serving path: internal/server runs many
+// Sanitize calls on shared *Sanitizer and *Log values across pool workers,
+// so both must be safe for concurrent use. Run with -race (CI does).
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"dpslog"
+)
+
+// TestSanitizerConcurrentUse hammers one Sanitizer and one input Log from
+// many goroutines and checks every run returns the identical release —
+// concurrent use must be both safe (no data races) and deterministic.
+func TestSanitizerConcurrentUse(t *testing.T) {
+	in, err := dpslog.Generate("tiny", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := dpslog.New(dpslog.Options{Epsilon: math.Log(2), Delta: 0.5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := s.Sanitize(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refDigest := dpslog.Digest(ref.Output)
+
+	const goroutines, iters = 8, 3
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines*iters)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				res, err := s.Sanitize(in)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if res.Plan.OutputSize != ref.Plan.OutputSize {
+					t.Errorf("plan size %d, want %d", res.Plan.OutputSize, ref.Plan.OutputSize)
+				}
+				if dpslog.Digest(res.Output) != refDigest {
+					t.Error("concurrent Sanitize produced a different release")
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}
+
+// TestSanitizerConcurrentMixedObjectives shares one input Log across
+// sanitizers with different objectives running concurrently, covering the
+// immutability contract of Log itself.
+func TestSanitizerConcurrentMixedObjectives(t *testing.T) {
+	in, err := dpslog.Generate("tiny", 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	configs := []dpslog.Options{
+		{Epsilon: math.Log(2), Delta: 0.5, Seed: 1},
+		{Epsilon: math.Log(2), Delta: 0.5, Objective: dpslog.ObjectiveDiversity, Seed: 2},
+		{Epsilon: math.Log(2), Delta: 0.5, Objective: dpslog.ObjectiveFrequent, MinSupport: 0.002, Seed: 3},
+		{Epsilon: math.Log(4), Delta: 0.25, Seed: 4},
+	}
+	var wg sync.WaitGroup
+	for _, opts := range configs {
+		wg.Add(1)
+		go func(opts dpslog.Options) {
+			defer wg.Done()
+			s, err := dpslog.New(opts)
+			if err != nil {
+				t.Errorf("%v: %v", opts.Objective, err)
+				return
+			}
+			for i := 0; i < 2; i++ {
+				res, err := s.Sanitize(in)
+				if err != nil {
+					t.Errorf("%v: %v", opts.Objective, err)
+					return
+				}
+				if err := dpslog.VerifyCounts(res.Preprocessed, opts.Epsilon, opts.Delta, res.Plan.Counts); err != nil {
+					t.Errorf("%v: audit: %v", opts.Objective, err)
+					return
+				}
+			}
+		}(opts)
+	}
+	wg.Wait()
+}

@@ -84,6 +84,11 @@ func Preprocess(l *Log) (*Log, PreprocessStats) { return searchlog.Preprocess(l)
 // ComputeStats derives Table-3 style characteristics of a log.
 func ComputeStats(l *Log) Stats { return searchlog.ComputeStats(l) }
 
+// Digest returns the hex SHA-256 of the log's canonical TSV serialization —
+// a stable corpus identity, independent of record order. The slserve plan
+// cache keys on (Digest, Options.Canonical()).
+func Digest(l *Log) string { return l.Digest() }
+
 // Generate synthesizes an AOL-like corpus. Profile is "tiny", "small" or
 // "paper" (see DESIGN.md for the calibration); the result is deterministic
 // in the seed. The returned log is raw — Sanitize will preprocess it.

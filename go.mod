@@ -1,0 +1,3 @@
+module dpslog
+
+go 1.24

@@ -1,0 +1,20 @@
+package searchlog
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// Digest returns the hex-encoded SHA-256 of the log's canonical TSV
+// serialization (the sorted user/query/url/count rows WriteTSV emits). Two
+// logs digest equally exactly when they hold the same query-url-user
+// histogram, regardless of the record order they were built from, so the
+// digest is a stable corpus identity for caching sanitization plans.
+func (l *Log) Digest() string {
+	h := sha256.New()
+	for _, r := range l.Records() {
+		fmt.Fprintf(h, "%s\t%s\t%s\t%d\n", r.User, r.Query, r.URL, r.Count)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,58 @@
+package server
+
+import "testing"
+
+func resp(id string) *sanitizeResponse { return &sanitizeResponse{Digest: id} }
+
+func TestPlanCacheLRUEviction(t *testing.T) {
+	c := newPlanCache(2)
+	c.Put("a", resp("a"))
+	c.Put("b", resp("b"))
+	if _, ok := c.Get("a"); !ok { // refresh a: b becomes LRU
+		t.Fatal("a should be cached")
+	}
+	c.Put("c", resp("c")) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted as least recently used")
+	}
+	for _, k := range []string{"a", "c"} {
+		if v, ok := c.Get(k); !ok || v.Digest != k {
+			t.Fatalf("%s should survive eviction", k)
+		}
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len() = %d, want 2", c.Len())
+	}
+}
+
+func TestPlanCacheStats(t *testing.T) {
+	c := newPlanCache(4)
+	c.Get("missing")
+	c.Put("k", resp("k"))
+	c.Get("k")
+	c.Get("k")
+	hits, misses := c.Stats()
+	if hits != 2 || misses != 1 {
+		t.Fatalf("Stats() = (%d, %d), want (2, 1)", hits, misses)
+	}
+}
+
+func TestPlanCacheUpdateExisting(t *testing.T) {
+	c := newPlanCache(2)
+	c.Put("k", resp("old"))
+	c.Put("k", resp("new"))
+	if v, _ := c.Get("k"); v.Digest != "new" {
+		t.Fatalf("Put should replace, got %q", v.Digest)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len() = %d, want 1", c.Len())
+	}
+}
+
+func TestPlanCacheDisabled(t *testing.T) {
+	c := newPlanCache(-1)
+	c.Put("k", resp("k"))
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("disabled cache should never hit")
+	}
+}

@@ -1,0 +1,175 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// JobState is the lifecycle state of an async sanitization job.
+type JobState string
+
+const (
+	JobQueued  JobState = "queued"
+	JobRunning JobState = "running"
+	JobDone    JobState = "done"
+	JobFailed  JobState = "failed"
+)
+
+// Job is the client-visible record of an async sanitization. Result is set
+// only in state "done", Error only in state "failed". Timestamps use the
+// server clock; zero timestamps are omitted from JSON.
+type Job struct {
+	ID        string            `json:"id"`
+	State     JobState          `json:"state"`
+	Submitted time.Time         `json:"submitted"`
+	Started   time.Time         `json:"started,omitzero"`
+	Finished  time.Time         `json:"finished,omitzero"`
+	Error     string            `json:"error,omitzero"`
+	Result    *sanitizeResponse `json:"result,omitempty"`
+}
+
+// jobStore is an in-memory async job registry. It retains at most cap jobs;
+// when full, the oldest *finished* (done or failed) job is evicted so that
+// queued and running work is never forgotten. IDs are sequential and unique
+// for the lifetime of the store.
+type jobStore struct {
+	mu    sync.Mutex
+	seq   int
+	cap   int
+	jobs  map[string]*Job
+	order []string // insertion order, for listing and eviction
+	now   func() time.Time
+}
+
+func newJobStore(capacity int) *jobStore {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &jobStore{
+		cap:  capacity,
+		jobs: make(map[string]*Job),
+		now:  time.Now,
+	}
+}
+
+// Create registers a new queued job and returns its snapshot.
+func (s *jobStore) Create() Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	j := &Job{
+		ID:        fmt.Sprintf("job-%06d", s.seq),
+		State:     JobQueued,
+		Submitted: s.now(),
+	}
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	s.evictLocked()
+	return *j
+}
+
+// evictLocked drops the oldest finished jobs until the store fits its cap.
+func (s *jobStore) evictLocked() {
+	if len(s.jobs) <= s.cap {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if j == nil {
+			continue
+		}
+		if len(s.jobs) > s.cap && (j.State == JobDone || j.State == JobFailed) {
+			delete(s.jobs, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// Remove deletes a job outright — used when a submission is rejected
+// before its task ever entered the pool, so load-shedding leaves no trace
+// in the store.
+func (s *jobStore) Remove(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.jobs[id]; !ok {
+		return
+	}
+	delete(s.jobs, id)
+	for i, oid := range s.order {
+		if oid == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Get returns a snapshot of the job, if known.
+func (s *jobStore) Get(id string) (Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return *j, true
+}
+
+// List returns snapshots of all retained jobs in submission order.
+func (s *jobStore) List() []Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Job, 0, len(s.order))
+	for _, id := range s.order {
+		if j, ok := s.jobs[id]; ok {
+			out = append(out, *j)
+		}
+	}
+	return out
+}
+
+// Start transitions a queued job to running.
+func (s *jobStore) Start(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.jobs[id]; ok && j.State == JobQueued {
+		j.State = JobRunning
+		j.Started = s.now()
+	}
+}
+
+// Finish transitions a job to done with its result.
+func (s *jobStore) Finish(id string, res *sanitizeResponse) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.jobs[id]; ok {
+		j.State = JobDone
+		j.Finished = s.now()
+		j.Result = res
+	}
+}
+
+// Fail transitions a job to failed with an error message.
+func (s *jobStore) Fail(id string, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.jobs[id]; ok {
+		j.State = JobFailed
+		j.Finished = s.now()
+		j.Error = err.Error()
+	}
+}
+
+// CountByState tallies retained jobs per state (for /metrics).
+func (s *jobStore) CountByState() map[JobState]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[JobState]int, 4)
+	for _, j := range s.jobs {
+		out[j.State]++
+	}
+	return out
+}

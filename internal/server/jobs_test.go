@@ -1,0 +1,76 @@
+package server
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestJobLifecycle(t *testing.T) {
+	s := newJobStore(8)
+	j := s.Create()
+	if j.State != JobQueued || j.ID == "" || j.Submitted.IsZero() {
+		t.Fatalf("bad fresh job: %+v", j)
+	}
+	s.Start(j.ID)
+	got, ok := s.Get(j.ID)
+	if !ok || got.State != JobRunning || got.Started.IsZero() {
+		t.Fatalf("after Start: %+v", got)
+	}
+	s.Finish(j.ID, resp("d"))
+	got, _ = s.Get(j.ID)
+	if got.State != JobDone || got.Result == nil || got.Finished.IsZero() {
+		t.Fatalf("after Finish: %+v", got)
+	}
+
+	j2 := s.Create()
+	s.Start(j2.ID)
+	s.Fail(j2.ID, errors.New("boom"))
+	got, _ = s.Get(j2.ID)
+	if got.State != JobFailed || got.Error != "boom" {
+		t.Fatalf("after Fail: %+v", got)
+	}
+	if j2.ID == j.ID {
+		t.Fatal("job IDs must be unique")
+	}
+	if _, ok := s.Get("job-999999"); ok {
+		t.Fatal("unknown job should not resolve")
+	}
+}
+
+func TestJobStoreRemove(t *testing.T) {
+	s := newJobStore(8)
+	a := s.Create()
+	b := s.Create()
+	s.Remove(a.ID)
+	s.Remove("job-999999") // unknown id is a no-op
+	if _, ok := s.Get(a.ID); ok {
+		t.Fatal("removed job should be gone")
+	}
+	if list := s.List(); len(list) != 1 || list[0].ID != b.ID {
+		t.Fatalf("List() = %v, want just %s", list, b.ID)
+	}
+}
+
+func TestJobStoreEvictsOldestFinishedOnly(t *testing.T) {
+	s := newJobStore(2)
+	a := s.Create()
+	s.Start(a.ID)
+	s.Finish(a.ID, resp("a"))
+	b := s.Create() // still queued: never evictable
+	c := s.Create() // over cap → a (finished) is evicted
+	if _, ok := s.Get(a.ID); ok {
+		t.Fatal("finished job a should have been evicted")
+	}
+	for _, id := range []string{b.ID, c.ID} {
+		if _, ok := s.Get(id); !ok {
+			t.Fatalf("unfinished job %s must be retained", id)
+		}
+	}
+	list := s.List()
+	if len(list) != 2 || list[0].ID != b.ID || list[1].ID != c.ID {
+		t.Fatalf("List() = %+v, want [b, c] in submission order", list)
+	}
+	if counts := s.CountByState(); counts[JobQueued] != 2 {
+		t.Fatalf("CountByState() = %v, want 2 queued", counts)
+	}
+}

@@ -1,0 +1,144 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Metrics accumulates the server's request counters and latency histograms
+// and renders them in the Prometheus text exposition format (version
+// 0.0.4). It is hand-rolled — the repository's zero-dependency invariant
+// rules out the client library — but the output scrapes cleanly with a
+// stock Prometheus.
+type Metrics struct {
+	mu       sync.Mutex
+	requests map[reqKey]int64
+	latency  map[string]*histogram
+}
+
+type reqKey struct {
+	handler string
+	code    string
+}
+
+// latencyBuckets are the histogram upper bounds in seconds, spanning
+// cache-hit microseconds to multi-second D-UMP solves.
+var latencyBuckets = []float64{0.0005, 0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+type histogram struct {
+	counts []int64 // one per bucket; +Inf is implicit via count
+	sum    float64
+	count  int64
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		requests: make(map[reqKey]int64),
+		latency:  make(map[string]*histogram),
+	}
+}
+
+// Observe records one completed request for the given handler label (the
+// route pattern) with its HTTP status code and duration.
+func (m *Metrics) Observe(handler string, code int, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[reqKey{handler, strconv.Itoa(code)}]++
+	h := m.latency[handler]
+	if h == nil {
+		h = &histogram{counts: make([]int64, len(latencyBuckets))}
+		m.latency[handler] = h
+	}
+	for i, ub := range latencyBuckets {
+		if seconds <= ub {
+			h.counts[i]++
+		}
+	}
+	h.sum += seconds
+	h.count++
+}
+
+// Gauges are point-in-time values the server supplies at scrape time.
+type Gauges struct {
+	Workers, WorkersBusy, QueueDepth int
+	Jobs                             map[JobState]int
+	CacheEntries                     int
+	CacheHits, CacheMisses           int64
+}
+
+// WriteTo renders the full exposition: counters, histograms, and the
+// scrape-time gauges. Output ordering is deterministic.
+func (m *Metrics) WriteTo(w io.Writer, g Gauges) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP slserve_requests_total Completed HTTP requests by handler and status code.")
+	fmt.Fprintln(w, "# TYPE slserve_requests_total counter")
+	reqKeys := make([]reqKey, 0, len(m.requests))
+	for k := range m.requests {
+		reqKeys = append(reqKeys, k)
+	}
+	sort.Slice(reqKeys, func(a, b int) bool {
+		if reqKeys[a].handler != reqKeys[b].handler {
+			return reqKeys[a].handler < reqKeys[b].handler
+		}
+		return reqKeys[a].code < reqKeys[b].code
+	})
+	for _, k := range reqKeys {
+		fmt.Fprintf(w, "slserve_requests_total{handler=%q,code=%q} %d\n", k.handler, k.code, m.requests[k])
+	}
+
+	fmt.Fprintln(w, "# HELP slserve_request_duration_seconds Request latency by handler.")
+	fmt.Fprintln(w, "# TYPE slserve_request_duration_seconds histogram")
+	handlers := make([]string, 0, len(m.latency))
+	for h := range m.latency {
+		handlers = append(handlers, h)
+	}
+	sort.Strings(handlers)
+	for _, name := range handlers {
+		h := m.latency[name]
+		for i, ub := range latencyBuckets {
+			fmt.Fprintf(w, "slserve_request_duration_seconds_bucket{handler=%q,le=%q} %d\n",
+				name, formatBound(ub), h.counts[i])
+		}
+		fmt.Fprintf(w, "slserve_request_duration_seconds_bucket{handler=%q,le=\"+Inf\"} %d\n", name, h.count)
+		fmt.Fprintf(w, "slserve_request_duration_seconds_sum{handler=%q} %g\n", name, h.sum)
+		fmt.Fprintf(w, "slserve_request_duration_seconds_count{handler=%q} %d\n", name, h.count)
+	}
+
+	fmt.Fprintln(w, "# HELP slserve_workers Configured worker pool size.")
+	fmt.Fprintln(w, "# TYPE slserve_workers gauge")
+	fmt.Fprintf(w, "slserve_workers %d\n", g.Workers)
+	fmt.Fprintln(w, "# HELP slserve_workers_busy Workers currently executing a solve.")
+	fmt.Fprintln(w, "# TYPE slserve_workers_busy gauge")
+	fmt.Fprintf(w, "slserve_workers_busy %d\n", g.WorkersBusy)
+	fmt.Fprintln(w, "# HELP slserve_queue_depth Tasks waiting in the worker pool backlog.")
+	fmt.Fprintln(w, "# TYPE slserve_queue_depth gauge")
+	fmt.Fprintf(w, "slserve_queue_depth %d\n", g.QueueDepth)
+
+	fmt.Fprintln(w, "# HELP slserve_jobs Retained async jobs by state.")
+	fmt.Fprintln(w, "# TYPE slserve_jobs gauge")
+	for _, st := range []JobState{JobQueued, JobRunning, JobDone, JobFailed} {
+		fmt.Fprintf(w, "slserve_jobs{state=%q} %d\n", string(st), g.Jobs[st])
+	}
+
+	fmt.Fprintln(w, "# HELP slserve_plan_cache_entries Entries in the LRU plan cache.")
+	fmt.Fprintln(w, "# TYPE slserve_plan_cache_entries gauge")
+	fmt.Fprintf(w, "slserve_plan_cache_entries %d\n", g.CacheEntries)
+	fmt.Fprintln(w, "# HELP slserve_plan_cache_hits_total Plan cache hits.")
+	fmt.Fprintln(w, "# TYPE slserve_plan_cache_hits_total counter")
+	fmt.Fprintf(w, "slserve_plan_cache_hits_total %d\n", g.CacheHits)
+	fmt.Fprintln(w, "# HELP slserve_plan_cache_misses_total Plan cache misses.")
+	fmt.Fprintln(w, "# TYPE slserve_plan_cache_misses_total counter")
+	fmt.Fprintf(w, "slserve_plan_cache_misses_total %d\n", g.CacheMisses)
+}
+
+// formatBound renders a bucket bound the way Prometheus expects ("0.005",
+// not "5e-3").
+func formatBound(ub float64) string {
+	return strconv.FormatFloat(ub, 'f', -1, 64)
+}

@@ -1,0 +1,86 @@
+package server
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func scrape(t *testing.T, m *Metrics, g Gauges) string {
+	t.Helper()
+	var sb strings.Builder
+	m.WriteTo(&sb, g)
+	return sb.String()
+}
+
+func TestMetricsExposition(t *testing.T) {
+	m := NewMetrics()
+	m.Observe("POST /v1/sanitize", 200, 0.003)
+	m.Observe("POST /v1/sanitize", 200, 0.2)
+	m.Observe("POST /v1/sanitize", 400, 0.0001)
+	m.Observe("GET /healthz", 200, 0.00005)
+
+	out := scrape(t, m, Gauges{
+		Workers: 4, WorkersBusy: 1, QueueDepth: 2,
+		Jobs:         map[JobState]int{JobDone: 3},
+		CacheEntries: 5, CacheHits: 7, CacheMisses: 9,
+	})
+
+	for _, want := range []string{
+		`slserve_requests_total{handler="POST /v1/sanitize",code="200"} 2`,
+		`slserve_requests_total{handler="POST /v1/sanitize",code="400"} 1`,
+		`slserve_requests_total{handler="GET /healthz",code="200"} 1`,
+		`slserve_request_duration_seconds_bucket{handler="POST /v1/sanitize",le="+Inf"} 3`,
+		`slserve_request_duration_seconds_count{handler="POST /v1/sanitize"} 3`,
+		`slserve_workers 4`,
+		`slserve_workers_busy 1`,
+		`slserve_queue_depth 2`,
+		`slserve_jobs{state="done"} 3`,
+		`slserve_jobs{state="queued"} 0`,
+		`slserve_plan_cache_entries 5`,
+		`slserve_plan_cache_hits_total 7`,
+		`slserve_plan_cache_misses_total 9`,
+		`# TYPE slserve_request_duration_seconds histogram`,
+		`# TYPE slserve_requests_total counter`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	// Bucket bounds (le labels) must render in fixed-point notation so the
+	// label set is stable; sample values may use scientific notation.
+	if strings.Contains(out, `le="0.0005"`) == false || strings.Contains(out, `le="5e-`) {
+		t.Errorf("bucket bounds must use fixed-point notation:\n%s", out)
+	}
+}
+
+func TestMetricsHistogramCumulative(t *testing.T) {
+	m := NewMetrics()
+	// One observation per bucket bound, plus one beyond the last.
+	for _, s := range []float64{0.0004, 0.009, 0.04, 0.9, 42} {
+		m.Observe("h", 200, s)
+	}
+	out := scrape(t, m, Gauges{})
+	prev := int64(-1)
+	count := 0
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, `slserve_request_duration_seconds_bucket{handler="h"`) {
+			continue
+		}
+		count++
+		v, err := strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("unparseable bucket line %q: %v", line, err)
+		}
+		if v < prev {
+			t.Fatalf("bucket counts must be cumulative (non-decreasing): %q after %d", line, prev)
+		}
+		prev = v
+	}
+	if count != len(latencyBuckets)+1 {
+		t.Fatalf("want %d bucket lines (incl. +Inf), got %d", len(latencyBuckets)+1, count)
+	}
+	if prev != 5 {
+		t.Fatalf("+Inf bucket = %d, want 5", prev)
+	}
+}

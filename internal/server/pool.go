@@ -1,0 +1,109 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrSaturated is returned by Pool.Submit when the backlog queue is full.
+// HTTP handlers translate it to 503 Service Unavailable so that overload
+// sheds load instead of stacking unbounded goroutines behind the solver.
+var ErrSaturated = errors.New("server: worker pool saturated")
+
+// Pool is a bounded worker pool. At most `workers` sanitization solves run
+// concurrently; up to `queue` further tasks wait in a backlog. Both sync
+// requests and async jobs flow through the same pool, so a burst of traffic
+// degrades to queueing (then 503s) rather than stampeding the LP/BIP
+// solvers with unbounded concurrency.
+type Pool struct {
+	tasks   chan func()
+	workers int
+	busy    atomic.Int64
+	done    chan struct{}
+	wg      sync.WaitGroup
+	closed  sync.Once
+}
+
+// NewPool starts a pool of the given size. workers < 1 is clamped to 1;
+// queue < 0 is clamped to 0 (a zero queue rejects whenever no worker can
+// pick the task up immediately).
+func NewPool(workers, queue int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	p := &Pool{
+		tasks:   make(chan func(), queue),
+		workers: workers,
+		done:    make(chan struct{}),
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.run()
+	}
+	return p
+}
+
+func (p *Pool) run() {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.done:
+			return
+		case task := <-p.tasks:
+			p.busy.Add(1)
+			task()
+			p.busy.Add(-1)
+		}
+	}
+}
+
+// Submit enqueues a task without blocking. It returns ErrSaturated when the
+// backlog is full.
+func (p *Pool) Submit(task func()) error {
+	select {
+	case <-p.done:
+		return errors.New("server: pool closed")
+	default:
+	}
+	select {
+	case p.tasks <- task:
+		return nil
+	default:
+		return ErrSaturated
+	}
+}
+
+// Do submits fn and waits until it completes or ctx is cancelled. On
+// cancellation the task still runs to completion in its worker (solves are
+// not interruptible); only the wait is abandoned.
+func (p *Pool) Do(ctx context.Context, fn func()) error {
+	finished := make(chan struct{})
+	if err := p.Submit(func() { defer close(finished); fn() }); err != nil {
+		return err
+	}
+	select {
+	case <-finished:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Stats reports the configured worker count, the number of workers
+// currently executing a task, and the backlog depth.
+func (p *Pool) Stats() (workers, busy, queued int) {
+	return p.workers, int(p.busy.Load()), len(p.tasks)
+}
+
+// Close stops the workers. Tasks still in the backlog are dropped; tasks
+// already running finish. Close is idempotent and returns once every worker
+// has exited.
+func (p *Pool) Close() {
+	p.closed.Do(func() { close(p.done) })
+	p.wg.Wait()
+}

@@ -1,0 +1,96 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	p := NewPool(2, 16)
+	defer p.Close()
+	var cur, max atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		for {
+			err := p.Submit(func() {
+				defer wg.Done()
+				n := cur.Add(1)
+				for {
+					m := max.Load()
+					if n <= m || max.CompareAndSwap(m, n) {
+						break
+					}
+				}
+				time.Sleep(2 * time.Millisecond)
+				cur.Add(-1)
+			})
+			if err == nil {
+				break
+			}
+			time.Sleep(time.Millisecond) // backlog full; retry
+		}
+	}
+	wg.Wait()
+	if got := max.Load(); got > 2 {
+		t.Fatalf("observed %d concurrent tasks, want ≤ 2", got)
+	}
+}
+
+func TestPoolSaturation(t *testing.T) {
+	p := NewPool(1, 1)
+	defer p.Close()
+	release := make(chan struct{})
+	running := make(chan struct{})
+	if err := p.Submit(func() { close(running); <-release }); err != nil {
+		t.Fatal(err)
+	}
+	<-running // worker occupied
+	if err := p.Submit(func() {}); err != nil {
+		t.Fatalf("backlog submit: %v", err)
+	}
+	if err := p.Submit(func() {}); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("want ErrSaturated with full backlog, got %v", err)
+	}
+	workers, busy, queued := p.Stats()
+	if workers != 1 || busy != 1 || queued != 1 {
+		t.Fatalf("Stats() = (%d, %d, %d), want (1, 1, 1)", workers, busy, queued)
+	}
+	close(release)
+}
+
+func TestPoolDoCancellation(t *testing.T) {
+	p := NewPool(1, 4)
+	defer p.Close()
+	release := make(chan struct{})
+	running := make(chan struct{})
+	if err := p.Submit(func() { close(running); <-release }); err != nil {
+		t.Fatal(err)
+	}
+	<-running
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := make(chan struct{})
+	if err := p.Do(ctx, func() { close(ran) }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	close(release)
+	select {
+	case <-ran: // abandoned task still runs to completion
+	case <-time.After(5 * time.Second):
+		t.Fatal("abandoned task never ran")
+	}
+}
+
+func TestPoolCloseRejectsAndIsIdempotent(t *testing.T) {
+	p := NewPool(2, 2)
+	p.Close()
+	p.Close()
+	if err := p.Submit(func() {}); err == nil {
+		t.Fatal("Submit after Close should fail")
+	}
+}

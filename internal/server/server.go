@@ -1,0 +1,620 @@
+// Package server implements slserve, the HTTP sanitization service: a
+// JSON/TSV API over the dpslog library with a bounded worker pool (so
+// concurrent LP/BIP solves cannot stampede), an async job store for large
+// logs, an LRU plan cache keyed by (corpus digest, canonical options), and
+// hand-rolled Prometheus metrics — all within the repository's
+// zero-dependency invariant.
+//
+// Endpoints:
+//
+//	POST /v1/sanitize     synchronous sanitization (JSON or TSV body)
+//	POST /v1/jobs         submit an async sanitization job
+//	GET  /v1/jobs         list retained jobs
+//	GET  /v1/jobs/{id}    poll one job
+//	POST /v1/lambda       max DP output size λ for (ε, δ) — cheap planning
+//	POST /v1/stats        Table-3 characteristics of a posted log
+//	GET  /healthz         liveness
+//	GET  /metrics         Prometheus text exposition
+//
+// A JSON body carries {"options": {...}, "records": [...]} or {"options":
+// {...}, "tsv": "..."}; any other content type is read as a raw canonical
+// TSV log with the options taken from query parameters (eexp or epsilon,
+// delta, objective, support, size, solver, seed). When the request omits a
+// seed, the server derives one deterministically from the corpus digest, so
+// identical requests produce identical outputs (and cache cleanly).
+package server
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"dpslog"
+)
+
+// Config sizes the server. Zero values select the documented defaults.
+type Config struct {
+	// Workers bounds concurrent solves (default GOMAXPROCS).
+	Workers int
+	// Queue is the worker-pool backlog (default 4×Workers). A full backlog
+	// returns 503.
+	Queue int
+	// CacheSize is the LRU plan cache capacity in entries (default 128;
+	// negative disables caching).
+	CacheSize int
+	// MaxJobs bounds the retained async jobs (default 1024); the oldest
+	// finished jobs are evicted first.
+	MaxJobs int
+	// MaxBodyBytes caps request bodies (default 32 MiB).
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Workers < 1 {
+		c.Workers = 1
+	}
+	if c.Queue == 0 {
+		c.Queue = 4 * c.Workers
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 128
+	}
+	if c.MaxJobs == 0 {
+		c.MaxJobs = 1024
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	return c
+}
+
+// Server is the slserve HTTP handler. Create with New, dispose with Close.
+type Server struct {
+	cfg     Config
+	pool    *Pool
+	jobs    *jobStore
+	cache   *planCache
+	metrics *Metrics
+	mux     *http.ServeMux
+	started time.Time
+}
+
+// New builds a Server with its worker pool running.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		pool:    NewPool(cfg.Workers, cfg.Queue),
+		jobs:    newJobStore(cfg.MaxJobs),
+		cache:   newPlanCache(cfg.CacheSize),
+		metrics: NewMetrics(),
+		mux:     http.NewServeMux(),
+		started: time.Now(),
+	}
+	s.handle("GET /healthz", s.handleHealthz)
+	s.handle("GET /metrics", s.handleMetrics)
+	s.handle("POST /v1/sanitize", s.handleSanitize)
+	s.handle("POST /v1/jobs", s.handleJobSubmit)
+	s.handle("GET /v1/jobs", s.handleJobList)
+	s.handle("GET /v1/jobs/{id}", s.handleJobGet)
+	s.handle("POST /v1/lambda", s.handleLambda)
+	s.handle("POST /v1/stats", s.handleStats)
+	s.handle("/", s.handleNotFound)
+	return s
+}
+
+// Close stops the worker pool. In-flight solves finish; queued tasks are
+// dropped (their jobs remain in state "queued").
+func (s *Server) Close() { s.pool.Close() }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.MaxBodyBytes > 0 && r.Body != nil {
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	}
+	s.mux.ServeHTTP(w, r)
+}
+
+// handle registers a pattern with per-request metrics instrumentation. The
+// pattern doubles as the handler label in /metrics.
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	label := pattern
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h(rec, r)
+		s.metrics.Observe(label, rec.code, time.Since(start).Seconds())
+	})
+}
+
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// --- Wire types ----------------------------------------------------------
+
+// Record is the JSON form of one search log tuple.
+type Record struct {
+	User  string `json:"user"`
+	Query string `json:"query"`
+	URL   string `json:"url"`
+	Count int    `json:"count"`
+}
+
+// sanitizeRequest is the JSON body of POST /v1/sanitize and POST /v1/jobs.
+// Exactly one of Records and TSV must carry the log.
+type sanitizeRequest struct {
+	Options dpslog.Options `json:"options"`
+	Records []Record       `json:"records,omitempty"`
+	TSV     string         `json:"tsv,omitempty"`
+}
+
+// planJSON is the wire form of the audited optimization outcome.
+type planJSON struct {
+	Kind                string  `json:"kind"`
+	OutputSize          int     `json:"output_size"`
+	Objective           float64 `json:"objective"`
+	RelaxationObjective float64 `json:"relaxation_objective"`
+	Lambda              int     `json:"lambda,omitzero"`
+	Iterations          int     `json:"iterations"`
+	NoiseApplied        bool    `json:"noise_applied,omitzero"`
+	// Counts are the per-pair output counts over the preprocessed input's
+	// pair order, so clients can re-audit the release with VerifyCounts.
+	Counts []int `json:"counts"`
+}
+
+// sanitizeResponse is the wire form of a completed sanitization. Cached and
+// ElapsedMS are per-request and overwritten on each response; everything
+// else is immutable once computed and shared via the plan cache.
+type sanitizeResponse struct {
+	Digest           string                 `json:"digest"`
+	Seed             uint64                 `json:"seed"`
+	InputSize        int                    `json:"input_size"`
+	PreprocessedSize int                    `json:"preprocessed_size"`
+	Preprocess       dpslog.PreprocessStats `json:"preprocess"`
+	DroppedUsers     []string               `json:"dropped_users,omitempty"`
+	Plan             planJSON               `json:"plan"`
+	Records          []Record               `json:"records"`
+	Cached           bool                   `json:"cached"`
+	ElapsedMS        float64                `json:"elapsed_ms"`
+}
+
+type lambdaRequest struct {
+	Epsilon float64  `json:"epsilon,omitzero"`
+	EExp    float64  `json:"eexp,omitzero"` // e^ε, the paper's parameterization
+	Delta   float64  `json:"delta"`
+	Records []Record `json:"records,omitempty"`
+	TSV     string   `json:"tsv,omitempty"`
+}
+
+type statsRequest struct {
+	Records []Record `json:"records,omitempty"`
+	TSV     string   `json:"tsv,omitempty"`
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// statusClientClosedRequest is the nginx-convention status recorded when
+// the client disconnects before the solve completes; no body reaches the
+// client, but metrics must not count the request as a 200.
+const statusClientClosedRequest = 499
+
+// --- Helpers -------------------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+func isJSONRequest(r *http.Request) bool {
+	ct := r.Header.Get("Content-Type")
+	return strings.HasPrefix(ct, "application/json")
+}
+
+// buildLog materializes the log named by a (records, tsv) pair; exactly one
+// source must be present.
+func buildLog(records []Record, tsv string) (*dpslog.Log, error) {
+	switch {
+	case len(records) > 0 && tsv != "":
+		return nil, errors.New("provide records or tsv, not both")
+	case len(records) > 0:
+		recs := make([]dpslog.Record, len(records))
+		for i, r := range records {
+			recs[i] = dpslog.Record{User: r.User, Query: r.Query, URL: r.URL, Count: r.Count}
+		}
+		return dpslog.NewLog(recs)
+	case tsv != "":
+		return dpslog.ReadTSV(strings.NewReader(tsv))
+	}
+	return nil, errors.New("empty log: provide records or tsv")
+}
+
+// decodeSanitizeRequest reads either a JSON envelope or a raw TSV body with
+// query-parameter options.
+func decodeSanitizeRequest(r *http.Request) (*dpslog.Log, dpslog.Options, error) {
+	if isJSONRequest(r) {
+		var req sanitizeRequest
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			return nil, dpslog.Options{}, fmt.Errorf("bad JSON body: %w", err)
+		}
+		l, err := buildLog(req.Records, req.TSV)
+		if err != nil {
+			return nil, dpslog.Options{}, err
+		}
+		return l, req.Options, nil
+	}
+	opts, err := optionsFromQuery(r)
+	if err != nil {
+		return nil, dpslog.Options{}, err
+	}
+	l, err := dpslog.ReadTSV(r.Body)
+	if err != nil {
+		return nil, dpslog.Options{}, fmt.Errorf("bad TSV body: %w", err)
+	}
+	return l, opts, nil
+}
+
+// optionsFromQuery parses the TSV-body option surface: eexp or epsilon,
+// delta, objective, support, size, solver, seed.
+func optionsFromQuery(r *http.Request) (dpslog.Options, error) {
+	q := r.URL.Query()
+	var opts dpslog.Options
+	getF := func(name string, dst *float64) error {
+		if v := q.Get(name); v != "" {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return fmt.Errorf("bad query parameter %s=%q: %v", name, v, err)
+			}
+			*dst = f
+		}
+		return nil
+	}
+	var eexp float64
+	if err := getF("eexp", &eexp); err != nil {
+		return opts, err
+	}
+	if err := getF("epsilon", &opts.Epsilon); err != nil {
+		return opts, err
+	}
+	if eexp != 0 {
+		opts.Epsilon = math.Log(eexp)
+	}
+	if err := getF("delta", &opts.Delta); err != nil {
+		return opts, err
+	}
+	if err := getF("support", &opts.MinSupport); err != nil {
+		return opts, err
+	}
+	obj, err := dpslog.ParseObjective(q.Get("objective"))
+	if err != nil {
+		return opts, err
+	}
+	opts.Objective = obj
+	if v := q.Get("size"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return opts, fmt.Errorf("bad query parameter size=%q: %v", v, err)
+		}
+		opts.OutputSize = n
+	}
+	opts.Solver = q.Get("solver")
+	if v := q.Get("seed"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return opts, fmt.Errorf("bad query parameter seed=%q: %v", v, err)
+		}
+		opts.Seed = n
+	}
+	return opts, nil
+}
+
+// seedFromDigest derives the deterministic default seed for requests that
+// omit one: the first 8 bytes of the corpus digest. The same corpus posted
+// twice without a seed sanitizes identically.
+func seedFromDigest(digest string) uint64 {
+	b, err := hex.DecodeString(digest)
+	if err != nil || len(b) < 8 {
+		return 1
+	}
+	return binary.BigEndian.Uint64(b[:8])
+}
+
+// cacheKey is the plan cache identity: corpus digest ⊕ canonical options.
+func cacheKey(digest string, opts dpslog.Options) string {
+	canon, err := json.Marshal(opts.Canonical())
+	if err != nil {
+		return digest // unreachable: Options marshals cleanly
+	}
+	return digest + "\x00" + string(canon)
+}
+
+// --- Sanitization core ---------------------------------------------------
+
+// runSanitize executes (or cache-serves) one sanitization. It is called on
+// a pool worker for both sync requests and async jobs.
+func (s *Server) runSanitize(l *dpslog.Log, opts dpslog.Options) (*sanitizeResponse, error) {
+	digest := dpslog.Digest(l)
+	if opts.Seed == 0 {
+		opts.Seed = seedFromDigest(digest)
+	}
+	key := cacheKey(digest, opts)
+	if resp, ok := s.cache.Get(key); ok {
+		hit := *resp
+		hit.Cached = true
+		return &hit, nil
+	}
+	san, err := dpslog.New(opts)
+	if err != nil {
+		return nil, err
+	}
+	res, err := san.Sanitize(l)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Record, 0, res.Output.NumTriplets())
+	for _, rec := range res.Output.Records() {
+		out = append(out, Record{User: rec.User, Query: rec.Query, URL: rec.URL, Count: rec.Count})
+	}
+	resp := &sanitizeResponse{
+		Digest:           digest,
+		Seed:             opts.Seed,
+		InputSize:        l.Size(),
+		PreprocessedSize: res.Preprocessed.Size(),
+		Preprocess:       res.PreStats,
+		DroppedUsers:     res.DroppedUsers,
+		Plan: planJSON{
+			Kind:                res.Plan.Kind,
+			OutputSize:          res.Plan.OutputSize,
+			Objective:           res.Plan.Objective,
+			RelaxationObjective: res.Plan.RelaxationObjective,
+			Lambda:              res.Plan.Lambda,
+			Iterations:          res.Plan.Iterations,
+			NoiseApplied:        res.Plan.NoiseApplied,
+			Counts:              res.Plan.Counts,
+		},
+		Records: out,
+	}
+	s.cache.Put(key, resp)
+	// Callers stamp per-request fields (ElapsedMS, Cached) on the result, so
+	// hand back a copy rather than the struct the cache now owns.
+	own := *resp
+	return &own, nil
+}
+
+// --- Handlers ------------------------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"uptime_s": time.Since(s.started).Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	workers, busy, queued := s.pool.Stats()
+	hits, misses := s.cache.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WriteTo(w, Gauges{
+		Workers:      workers,
+		WorkersBusy:  busy,
+		QueueDepth:   queued,
+		Jobs:         s.jobs.CountByState(),
+		CacheEntries: s.cache.Len(),
+		CacheHits:    hits,
+		CacheMisses:  misses,
+	})
+}
+
+// allowedMethods maps each route to its methods, for 405s. The catch-all
+// "/" pattern swallows the mux's own method matching, so the fallback
+// handler re-derives it here.
+var allowedMethods = map[string]string{
+	"/healthz":     "GET",
+	"/metrics":     "GET",
+	"/v1/sanitize": "POST",
+	"/v1/jobs":     "GET, POST",
+	"/v1/lambda":   "POST",
+	"/v1/stats":    "POST",
+}
+
+func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
+	path := r.URL.Path
+	allow, known := allowedMethods[path]
+	if !known && strings.HasPrefix(path, "/v1/jobs/") {
+		allow, known = "GET", true
+	}
+	if known {
+		w.Header().Set("Allow", allow)
+		writeError(w, http.StatusMethodNotAllowed, "%s does not allow %s (allowed: %s)", path, r.Method, allow)
+		return
+	}
+	writeError(w, http.StatusNotFound, "no such endpoint: %s %s", r.Method, path)
+}
+
+func (s *Server) handleSanitize(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	l, opts, err := decodeSanitizeRequest(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Validate before queueing so configuration mistakes fail fast with 400
+	// instead of consuming a worker slot.
+	if err := opts.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var (
+		resp   *sanitizeResponse
+		runErr error
+	)
+	err = s.pool.Do(r.Context(), func() { resp, runErr = s.runSanitize(l, opts) })
+	switch {
+	case errors.Is(err, ErrSaturated):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "worker pool saturated; retry or submit an async job to /v1/jobs")
+		return
+	case err != nil: // client went away; the solve finishes in background
+		w.WriteHeader(statusClientClosedRequest)
+		return
+	case runErr != nil:
+		writeError(w, http.StatusUnprocessableEntity, "%v", runErr)
+		return
+	}
+	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	l, opts, err := decodeSanitizeRequest(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := opts.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	job := s.jobs.Create()
+	submit := func() {
+		s.jobs.Start(job.ID)
+		start := time.Now()
+		resp, err := s.runSanitize(l, opts)
+		if err != nil {
+			s.jobs.Fail(job.ID, err)
+			return
+		}
+		resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+		s.jobs.Finish(job.ID, resp)
+	}
+	if err := s.pool.Submit(submit); err != nil {
+		// Load-shedding is not a job outcome: drop the never-started job so
+		// the store doesn't accumulate failures no client holds an ID for.
+		s.jobs.Remove(job.ID)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "worker pool saturated")
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+job.ID)
+	writeJSON(w, http.StatusAccepted, job)
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.jobs.List()
+	// The listing is an index: strip the (potentially huge) embedded
+	// results; clients fetch a specific job's release via /v1/jobs/{id}.
+	for i := range jobs {
+		jobs[i].Result = nil
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": jobs})
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.jobs.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+func (s *Server) handleLambda(w http.ResponseWriter, r *http.Request) {
+	var req lambdaRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON body: %v", err)
+		return
+	}
+	eps := req.Epsilon
+	if req.EExp != 0 {
+		eps = math.Log(req.EExp)
+	}
+	l, err := buildLog(req.Records, req.TSV)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var (
+		lambda int
+		runErr error
+	)
+	err = s.pool.Do(r.Context(), func() { lambda, runErr = dpslog.Lambda(l, eps, req.Delta) })
+	switch {
+	case errors.Is(err, ErrSaturated):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "worker pool saturated")
+		return
+	case err != nil:
+		w.WriteHeader(statusClientClosedRequest)
+		return
+	case runErr != nil:
+		writeError(w, http.StatusBadRequest, "%v", runErr)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"digest":  dpslog.Digest(l),
+		"epsilon": eps,
+		"delta":   req.Delta,
+		"lambda":  lambda,
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	var (
+		l   *dpslog.Log
+		err error
+	)
+	if isJSONRequest(r) {
+		var req statsRequest
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad JSON body: %v", err)
+			return
+		}
+		l, err = buildLog(req.Records, req.TSV)
+	} else {
+		l, err = dpslog.ReadTSV(r.Body)
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	pre, preStats := dpslog.Preprocess(l)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"digest":       dpslog.Digest(l),
+		"raw":          dpslog.ComputeStats(l),
+		"preprocessed": dpslog.ComputeStats(pre),
+		"preprocess":   preStats,
+	})
+}

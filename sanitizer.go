@@ -3,7 +3,10 @@ package dpslog
 import (
 	"fmt"
 	"math"
+	"slices"
+	"strings"
 
+	"dpslog/internal/bip"
 	"dpslog/internal/dp"
 	"dpslog/internal/rng"
 	"dpslog/internal/sampling"
@@ -50,54 +53,128 @@ func (o Objective) String() string {
 	return fmt.Sprintf("Objective(%d)", int(o))
 }
 
-// Options configure a Sanitizer.
+// ParseObjective maps a name to an Objective. Both the canonical String
+// forms ("output-size", "frequent-pairs", …) and the short CLI forms
+// ("size", "frequent") are accepted; the empty string is ObjectiveOutputSize.
+func ParseObjective(s string) (Objective, error) {
+	switch s {
+	case "", "size", "output-size":
+		return ObjectiveOutputSize, nil
+	case "frequent", "frequent-pairs":
+		return ObjectiveFrequent, nil
+	case "diversity":
+		return ObjectiveDiversity, nil
+	case "combined":
+		return ObjectiveCombined, nil
+	case "query-diversity":
+		return ObjectiveQueryDiversity, nil
+	}
+	return 0, fmt.Errorf("dpslog: unknown objective %q (valid: size, frequent, diversity, combined, query-diversity)", s)
+}
+
+// MarshalText renders the objective by its canonical name, so Options
+// round-trip through JSON with readable objective values.
+func (o Objective) MarshalText() ([]byte, error) { return []byte(o.String()), nil }
+
+// UnmarshalText parses any name ParseObjective accepts.
+func (o *Objective) UnmarshalText(b []byte) error {
+	v, err := ParseObjective(string(b))
+	if err != nil {
+		return err
+	}
+	*o = v
+	return nil
+}
+
+// SolverNames lists the registered D-UMP BIP solver names in sorted order.
+func SolverNames() []string { return bip.Names() }
+
+// Options configure a Sanitizer. The JSON field names are the wire format
+// of the slserve HTTP API (see internal/server).
 type Options struct {
 	// Epsilon is ε > 0. The paper parameterizes experiments by e^ε; use
 	// math.Log to convert.
-	Epsilon float64
+	Epsilon float64 `json:"epsilon"`
 	// Delta is δ ∈ (0, 1), the bound on the probability of producing an
 	// output that breaches ε-differential privacy (Definition 2).
-	Delta float64
+	Delta float64 `json:"delta"`
 	// Objective selects the utility-maximizing problem (default
-	// ObjectiveOutputSize).
-	Objective Objective
+	// ObjectiveOutputSize). In JSON it is a name: "output-size",
+	// "frequent-pairs", "diversity", "combined" or "query-diversity".
+	Objective Objective `json:"objective,omitzero"`
 	// MinSupport is the frequent-pair threshold s for ObjectiveFrequent
 	// (pair is frequent when c_ij/|D| ≥ s).
-	MinSupport float64
+	MinSupport float64 `json:"min_support,omitzero"`
 	// OutputSize is the fixed |O| for ObjectiveFrequent; 0 picks λ/2 where λ
 	// is the O-UMP maximum for the same parameters.
-	OutputSize int
+	OutputSize int `json:"output_size,omitzero"`
 	// Solver names the D-UMP BIP solver: spe (default), spe-violated,
 	// branchbound, feaspump, rounding or greedy.
-	Solver string
+	Solver string `json:"solver,omitzero"`
 	// SizeWeight and DistanceWeight balance ObjectiveCombined's joint
 	// objective; both default to 1 when left zero.
-	SizeWeight, DistanceWeight float64
+	SizeWeight     float64 `json:"size_weight,omitzero"`
+	DistanceWeight float64 `json:"distance_weight,omitzero"`
 	// Seed drives the multinomial sampling (and the Laplace noise when
 	// end-to-end mode is on). Runs are deterministic in the seed.
-	Seed uint64
+	Seed uint64 `json:"seed,omitzero"`
 
 	// EndToEnd enables §4.2: Laplace noise Lap(D/EpsPrime) is added to the
 	// optimal counts (making the count computation itself differentially
 	// private) and the noisy plan is projected back into the Theorem-1
 	// polytope.
-	EndToEnd bool
+	EndToEnd bool `json:"end_to_end,omitzero"`
 	// D is the §4.2 count sensitivity bound (required > 0 when EndToEnd).
-	D int
+	D int `json:"d,omitzero"`
 	// EpsPrime is the §4.2 privacy budget ε′ of the count-computation step
 	// (required > 0 when EndToEnd).
-	EpsPrime float64
+	EpsPrime float64 `json:"eps_prime,omitzero"`
 	// BoundSensitivity additionally runs §4.2's preprocessing procedure
 	// before optimizing (EndToEnd only): every user log whose removal would
 	// shift any pair's optimal count by more than D is dropped, enforcing
 	// the sensitivity bound the Laplace scale assumes. Costs one solve per
 	// user log — quadratic; intended for small corpora, exactly as the
 	// paper treats it.
-	BoundSensitivity bool
+	BoundSensitivity bool `json:"bound_sensitivity,omitzero"`
 
 	// NoBoxConstraint drops the x_ij ≤ c_ij cap (ablation benchmarks only;
 	// see DESIGN.md §2).
-	NoBoxConstraint bool
+	NoBoxConstraint bool `json:"no_box_constraint,omitzero"`
+}
+
+// Canonical returns the options with irrelevant fields zeroed and defaults
+// made explicit, so that configurations which run identically compare (and
+// hash) identically: the Solver default materializes for the diversity
+// objectives and is cleared elsewhere, F-UMP thresholds are cleared outside
+// ObjectiveFrequent/ObjectiveCombined, the combined weights default to 1,
+// and the §4.2 fields are cleared unless EndToEnd is set. The server's plan
+// cache keys on the canonical form.
+func (o Options) Canonical() Options {
+	switch o.Objective {
+	case ObjectiveDiversity, ObjectiveQueryDiversity:
+		if o.Solver == "" {
+			o.Solver = "spe"
+		}
+	default:
+		o.Solver = ""
+	}
+	switch o.Objective {
+	case ObjectiveFrequent:
+	case ObjectiveCombined:
+		if o.SizeWeight == 0 && o.DistanceWeight == 0 {
+			o.SizeWeight, o.DistanceWeight = 1, 1
+		}
+		o.OutputSize = 0
+	default:
+		o.MinSupport, o.OutputSize = 0, 0
+	}
+	if o.Objective != ObjectiveCombined {
+		o.SizeWeight, o.DistanceWeight = 0, 0
+	}
+	if !o.EndToEnd {
+		o.D, o.EpsPrime, o.BoundSensitivity = 0, 0, false
+	}
+	return o
 }
 
 func (o Options) validate() error {
@@ -119,6 +196,11 @@ func (o Options) validate() error {
 		}
 	default:
 		return fmt.Errorf("dpslog: unknown objective %v", o.Objective)
+	}
+	// Fail fast on a bad solver name here rather than deep inside a D-UMP
+	// solve. The empty string means the default ("spe").
+	if o.Solver != "" && !slices.Contains(bip.Names(), o.Solver) {
+		return fmt.Errorf("dpslog: unknown solver %q (valid: %s)", o.Solver, strings.Join(bip.Names(), ", "))
 	}
 	if o.EndToEnd {
 		if o.D <= 0 {
@@ -178,6 +260,11 @@ type Result struct {
 type Sanitizer struct {
 	opts Options
 }
+
+// Validate checks the options without constructing a Sanitizer — the same
+// checks New performs, exposed for callers (like the HTTP handlers) that
+// want to reject bad configurations before committing resources.
+func (o Options) Validate() error { return o.validate() }
 
 // New validates the options and returns a Sanitizer.
 func New(opts Options) (*Sanitizer, error) {
