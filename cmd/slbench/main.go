@@ -1,0 +1,210 @@
+// Command slbench measures the solver hot paths — monolithic vs
+// component-decomposed, sequential vs parallel — plus the multinomial
+// sampling step, and emits a machine-readable benchmark trajectory
+// (BENCH_pr2.json) that future changes are compared against.
+//
+// Usage:
+//
+//	slbench [-o BENCH_pr2.json] [-profiles tiny,small,tiny-sharded,small-sharded]
+//	        [-objectives output-size,diversity] [-benchtime 1s|1x] [-seed 1]
+//
+// Each benchmark runs through testing.Benchmark, so -benchtime follows the
+// go test convention (a duration, or N iterations as "Nx"). Corpus
+// generation and preprocessing happen outside the timed region; the numbers
+// are pure solve cost. Single-market profiles (tiny, small) form one giant
+// connected component — there the decomposed rows measure the
+// decomposition's overhead, not a speedup; the *-sharded profiles decompose
+// into one component per market and show the win.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+
+	"dpslog/internal/dp"
+	"dpslog/internal/gen"
+	"dpslog/internal/rng"
+	"dpslog/internal/sampling"
+	"dpslog/internal/searchlog"
+	"dpslog/internal/ump"
+)
+
+// benchResult is one benchmark row of the emitted trajectory.
+type benchResult struct {
+	Name           string  `json:"name"`
+	Profile        string  `json:"profile"`
+	Objective      string  `json:"objective"`
+	Mode           string  `json:"mode"`
+	Parallelism    int     `json:"parallelism"`
+	Components     int     `json:"components"`
+	Pairs          int     `json:"pairs"`
+	Users          int     `json:"users"`
+	ObjectiveValue float64 `json:"objective_value"`
+	N              int     `json:"n"`
+	NsPerOp        float64 `json:"ns_per_op"`
+	BytesPerOp     int64   `json:"bytes_per_op"`
+	AllocsPerOp    int64   `json:"allocs_per_op"`
+}
+
+type trajectory struct {
+	PR         string        `json:"pr"`
+	GoMaxProcs int           `json:"go_max_procs"`
+	Seed       uint64        `json:"seed"`
+	Benchtime  string        `json:"benchtime"`
+	EExp       float64       `json:"eexp"`
+	Delta      float64       `json:"delta"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_pr2.json", "output JSON file (- for stdout)")
+	profiles := flag.String("profiles", "tiny,small,tiny-sharded,small-sharded", "comma-separated corpus profiles")
+	objectives := flag.String("objectives", "output-size,diversity", "comma-separated objectives: output-size, diversity")
+	benchtime := flag.String("benchtime", "", "per-benchmark budget, go test style (e.g. 2s or 1x); empty = testing default (1s)")
+	seed := flag.Uint64("seed", 1, "corpus generation seed")
+	testing.Init()
+	flag.Parse()
+	if *benchtime != "" {
+		if err := flag.Set("test.benchtime", *benchtime); err != nil {
+			fatal(err)
+		}
+	}
+
+	params := dp.Params{Eps: math.Log(2), Delta: 0.5}
+	traj := trajectory{
+		PR:         "pr2",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Seed:       *seed,
+		Benchtime:  *benchtime,
+		EExp:       2.0,
+		Delta:      0.5,
+	}
+
+	for _, profile := range strings.Split(*profiles, ",") {
+		profile = strings.TrimSpace(profile)
+		p, err := gen.Profiles(profile)
+		if err != nil {
+			fatal(err)
+		}
+		raw, err := gen.Generate(p, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		pre, _ := searchlog.Preprocess(raw)
+
+		modes := []struct {
+			name string
+			opts ump.Options
+			par  int
+		}{
+			{"monolithic", ump.Options{NoDecompose: true}, 1},
+			{"decomposed-p1", ump.Options{Parallelism: 1}, 1},
+			{"decomposed-pmax", ump.Options{}, runtime.GOMAXPROCS(0)},
+		}
+		for _, objective := range strings.Split(*objectives, ",") {
+			objective = strings.TrimSpace(objective)
+			for _, mode := range modes {
+				solve, err := solverFor(objective, pre, params, mode.opts)
+				if err != nil {
+					fatal(err)
+				}
+				// One untimed solve for the plan-shaped metadata.
+				plan, err := solve()
+				if err != nil {
+					fatal(fmt.Errorf("%s/%s/%s: %w", profile, objective, mode.name, err))
+				}
+				r := testing.Benchmark(func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						if _, err := solve(); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+				row := benchResult{
+					Name:           fmt.Sprintf("%s/%s/%s", profile, objective, mode.name),
+					Profile:        profile,
+					Objective:      objective,
+					Mode:           mode.name,
+					Parallelism:    mode.par,
+					Components:     plan.Components,
+					Pairs:          pre.NumPairs(),
+					Users:          pre.NumUsers(),
+					ObjectiveValue: plan.Objective,
+					N:              r.N,
+					NsPerOp:        float64(r.NsPerOp()),
+					BytesPerOp:     r.AllocedBytesPerOp(),
+					AllocsPerOp:    r.AllocsPerOp(),
+				}
+				traj.Benchmarks = append(traj.Benchmarks, row)
+				fmt.Fprintf(os.Stderr, "slbench: %-44s %12.0f ns/op  %8d allocs/op  (N=%d, comps=%d, obj=%g)\n",
+					row.Name, row.NsPerOp, row.AllocsPerOp, row.N, row.Components, row.ObjectiveValue)
+			}
+		}
+
+		// The multinomial sampling step, for the end-to-end picture.
+		counts := make([]int, pre.NumPairs())
+		for i := range counts {
+			counts[i] = pre.PairCount(i) / 2
+		}
+		g := rng.New(7)
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sampling.Output(g, pre, counts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		traj.Benchmarks = append(traj.Benchmarks, benchResult{
+			Name:        profile + "/sampling",
+			Profile:     profile,
+			Objective:   "sampling",
+			Mode:        "sampling",
+			Parallelism: 1,
+			Components:  1,
+			Pairs:       pre.NumPairs(),
+			Users:       pre.NumUsers(),
+			N:           r.N,
+			NsPerOp:     float64(r.NsPerOp()),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+	}
+
+	enc, err := json.MarshalIndent(traj, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "slbench: wrote %d benchmarks to %s\n", len(traj.Benchmarks), *out)
+}
+
+// solverFor binds one objective solve over the preprocessed corpus.
+func solverFor(objective string, pre *searchlog.Log, params dp.Params, opts ump.Options) (func() (*ump.Plan, error), error) {
+	switch objective {
+	case "output-size", "size":
+		return func() (*ump.Plan, error) { return ump.MaxOutputSize(pre, params, opts) }, nil
+	case "diversity":
+		return func() (*ump.Plan, error) { return ump.Diversity(pre, params, opts) }, nil
+	}
+	return nil, fmt.Errorf("slbench: unknown objective %q (have output-size, diversity)", objective)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "slbench:", err)
+	os.Exit(1)
+}

@@ -39,7 +39,7 @@ func main() {
 	rps := flag.Float64("rps", 20, "target request rate per second")
 	duration := flag.Duration("duration", 15*time.Second, "how long to send load")
 	arrivals := flag.String("arrivals", "poisson", "arrival process: uniform or poisson")
-	profile := flag.String("profile", "tiny", "synthetic corpus profile: tiny, small or paper")
+	profile := flag.String("profile", "tiny", "synthetic corpus profile: tiny, small, paper, tiny-sharded or small-sharded")
 	genSeed := flag.Uint64("gen-seed", 1, "corpus generation seed")
 	eexp := flag.Float64("eexp", 2.0, "privacy parameter e^ε")
 	delta := flag.Float64("delta", 0.5, "privacy parameter δ")

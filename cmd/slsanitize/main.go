@@ -6,7 +6,8 @@
 //
 //	slsanitize -eexp 2.0 -delta 0.5 [-objective size|frequent|diversity]
 //	           [-support 0.002] [-size N] [-solver spe] [-seed N]
-//	           [-endtoend -d 2 -epsprime 1.0] [-o out.tsv] in.tsv
+//	           [-parallelism N] [-endtoend -d 2 -epsprime 1.0]
+//	           [-o out.tsv] in.tsv
 //
 // The run prints an audit report (per-user worst-case ratio and breach
 // probability bounds) to stderr.
@@ -32,6 +33,7 @@ func main() {
 	size := flag.Int("size", 0, "fixed output size |O| (objective=frequent; 0 = λ/2)")
 	solver := flag.String("solver", "spe", "D-UMP BIP solver: spe, spe-violated, branchbound, feaspump, rounding, greedy")
 	seed := flag.Uint64("seed", 1, "sampling seed")
+	parallelism := flag.Int("parallelism", 0, "concurrent connected-component solves (0 = GOMAXPROCS); output is invariant in it")
 	endToEnd := flag.Bool("endtoend", false, "apply §4.2 Laplace noise to the optimal counts")
 	d := flag.Int("d", 2, "count sensitivity bound for -endtoend")
 	epsPrime := flag.Float64("epsprime", 1.0, "ε′ budget of the count computation for -endtoend")
@@ -53,15 +55,16 @@ func main() {
 	}
 
 	opts := dpslog.Options{
-		Epsilon:    math.Log(*eexp),
-		Delta:      *delta,
-		MinSupport: *support,
-		OutputSize: *size,
-		Solver:     *solver,
-		Seed:       *seed,
-		EndToEnd:   *endToEnd,
-		D:          *d,
-		EpsPrime:   *epsPrime,
+		Epsilon:     math.Log(*eexp),
+		Delta:       *delta,
+		MinSupport:  *support,
+		OutputSize:  *size,
+		Solver:      *solver,
+		Seed:        *seed,
+		Parallelism: *parallelism,
+		EndToEnd:    *endToEnd,
+		D:           *d,
+		EpsPrime:    *epsPrime,
 	}
 	switch *objective {
 	case "size":
@@ -103,8 +106,8 @@ func main() {
 	}
 
 	// Audit report.
-	fmt.Fprintf(os.Stderr, "slsanitize: %s plan, |O| = %d (input |D| = %d, preprocessed %d)\n",
-		res.Plan.Kind, res.Plan.OutputSize, log.Size(), res.Preprocessed.Size())
+	fmt.Fprintf(os.Stderr, "slsanitize: %s plan, |O| = %d (input |D| = %d, preprocessed %d, %d component(s))\n",
+		res.Plan.Kind, res.Plan.OutputSize, log.Size(), res.Preprocessed.Size(), res.Plan.Components)
 	if err := dpslog.VerifyCounts(res.Preprocessed, opts.Epsilon, opts.Delta, res.Plan.Counts); err != nil {
 		fatal(fmt.Errorf("audit failed: %w", err))
 	}

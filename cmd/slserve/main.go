@@ -6,7 +6,7 @@
 // Usage:
 //
 //	slserve [-addr :8080] [-workers N] [-queue N] [-cache N]
-//	        [-max-jobs N] [-max-body BYTES]
+//	        [-max-jobs N] [-max-body BYTES] [-solve-parallelism N]
 //
 // The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests for up to 10 seconds.
@@ -34,14 +34,16 @@ func main() {
 	cache := flag.Int("cache", 0, "plan cache entries (0 = 128, negative disables)")
 	maxJobs := flag.Int("max-jobs", 0, "retained async jobs (0 = 1024)")
 	maxBody := flag.Int64("max-body", 0, "request body cap in bytes (0 = 32 MiB)")
+	solvePar := flag.Int("solve-parallelism", 0, "component parallelism per solve when the request omits it (0 = 1, sequential; negative = GOMAXPROCS)")
 	flag.Parse()
 
 	srv := server.New(server.Config{
-		Workers:      *workers,
-		Queue:        *queue,
-		CacheSize:    *cache,
-		MaxJobs:      *maxJobs,
-		MaxBodyBytes: *maxBody,
+		Workers:          *workers,
+		Queue:            *queue,
+		CacheSize:        *cache,
+		MaxJobs:          *maxJobs,
+		MaxBodyBytes:     *maxBody,
+		SolveParallelism: *solvePar,
 	})
 	defer srv.Close()
 

@@ -49,6 +49,15 @@ type Profile struct {
 	// counts c_ijk above 1 and keeps user logs at the AOL-like width of a
 	// handful of distinct pairs per user.
 	RepeatProb float64
+	// Shards models a multi-market corpus: users, queries and urls are
+	// namespaced into Shards disjoint markets (per-locale or per-tenant
+	// logs), so no query-url pair is ever shared across markets and the
+	// user–pair incidence graph decomposes into at least Shards connected
+	// components (see internal/partition). 0 or 1 means a single market —
+	// whose Zipf head couples almost all users into one giant component.
+	// Users and vocabularies are divided evenly across the markets, keeping
+	// total scale comparable to the unsharded profile.
+	Shards int
 }
 
 // Validate checks the profile ranges.
@@ -64,6 +73,10 @@ func (p Profile) Validate() error {
 		return fmt.Errorf("gen: Zipf exponents must be positive")
 	case p.RepeatProb < 0 || p.RepeatProb >= 1:
 		return fmt.Errorf("gen: RepeatProb must lie in [0, 1)")
+	case p.Shards < 0:
+		return fmt.Errorf("gen: Shards must be non-negative")
+	case p.Shards > p.Users:
+		return fmt.Errorf("gen: Shards (%d) exceeds Users (%d)", p.Shards, p.Users)
 	}
 	return nil
 }
@@ -100,6 +113,23 @@ func Paper() Profile {
 	}
 }
 
+// TinySharded is Tiny split into 4 markets — the smallest corpus whose
+// user–pair graph decomposes into multiple connected components.
+func TinySharded() Profile {
+	p := Tiny()
+	p.Name, p.Shards = "tiny-sharded", 4
+	return p
+}
+
+// SmallSharded is Small split into 8 markets, the decomposition benchmark
+// profile: per-component solves are parallel and each component's LP is an
+// order of magnitude smaller than the monolithic one.
+func SmallSharded() Profile {
+	p := Small()
+	p.Name, p.Shards = "small-sharded", 8
+	return p
+}
+
 // Profiles returns the named profile.
 func Profiles(name string) (Profile, error) {
 	switch name {
@@ -109,25 +139,52 @@ func Profiles(name string) (Profile, error) {
 		return Small(), nil
 	case "paper":
 		return Paper(), nil
+	case "tiny-sharded":
+		return TinySharded(), nil
+	case "small-sharded":
+		return SmallSharded(), nil
 	}
-	return Profile{}, fmt.Errorf("gen: unknown profile %q (have tiny, small, paper)", name)
+	return Profile{}, fmt.Errorf("gen: unknown profile %q (have tiny, small, paper, tiny-sharded, small-sharded)", name)
 }
 
 // Generate synthesizes a corpus for the profile, deterministically in the
-// seed. The returned log is raw (not preprocessed).
+// seed. The returned log is raw (not preprocessed). A sharded profile
+// generates each market from its own seed-derived random stream with
+// market-prefixed user, query and url namespaces; a single-market profile
+// is byte-identical to what this function produced before Shards existed.
 func Generate(p Profile, seed uint64) (*searchlog.Log, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	g := rng.New(seed)
-	queryDist := rng.NewZipf(g, p.QueryZipf, p.QueryVocab)
+	b := searchlog.NewBuilder()
+	if p.Shards <= 1 {
+		generateMarket(b, p, rng.New(seed), p.QueryVocab, p.URLVocab, 0, p.Users, "")
+		return b.BuildLog()
+	}
+	queryVocab := max(p.QueryVocab/p.Shards, 1)
+	urlVocab := max(p.URLVocab/p.Shards, 1)
+	for s := 0; s < p.Shards; s++ {
+		lo := p.Users * s / p.Shards
+		hi := p.Users * (s + 1) / p.Shards
+		// Independent per-market stream: markets are insensitive to each
+		// other's sizes, and the golden-ratio step decorrelates the seeds.
+		g := rng.New(seed ^ (uint64(s+1) * 0x9e3779b97f4a7c15))
+		generateMarket(b, p, g, queryVocab, urlVocab, lo, hi, fmt.Sprintf("m%02d-", s))
+	}
+	return b.BuildLog()
+}
+
+// generateMarket emits users [userLo, userHi) of one market into the
+// builder. prefix namespaces the market's user-IDs, queries and urls (empty
+// for a single-market corpus, preserving the historical naming).
+func generateMarket(b *searchlog.Builder, p Profile, g *rng.RNG, queryVocab, urlVocab, userLo, userHi int, prefix string) {
+	queryDist := rng.NewZipf(g, p.QueryZipf, queryVocab)
 	urlDist := rng.NewZipf(g, p.URLZipf, p.URLsPerQuery)
 	activity := rng.NewZipf(g, p.ActivityZipf, p.MaxClicks-p.MinClicks+1)
 
-	b := searchlog.NewBuilder()
 	type pair struct{ q, u int }
-	for k := 0; k < p.Users; k++ {
-		user := fmt.Sprintf("%06d", k)
+	for k := userLo; k < userHi; k++ {
+		user := prefix + fmt.Sprintf("%06d", k)
 		clicks := p.MinClicks + activity.Sample()
 		var history []pair
 		for c := 0; c < clicks; c++ {
@@ -141,18 +198,17 @@ func Generate(p Profile, seed uint64) (*searchlog.Log, error) {
 			} else {
 				q := queryDist.Sample()
 				r := urlDist.Sample()
-				// Per-query url candidates map into the global url
+				// Per-query url candidates map into the market's url
 				// vocabulary via a fixed mixing hash so that popular urls
 				// are shared across queries, like real search results.
-				u := int((uint64(q)*2654435761 + uint64(r)*40503) % uint64(p.URLVocab))
+				u := int((uint64(q)*2654435761 + uint64(r)*40503) % uint64(urlVocab))
 				pr = pair{q: q, u: u}
 			}
 			// Every click (fresh or repeat) feeds the urn.
 			history = append(history, pr)
-			b.Add(user, fmt.Sprintf("q%05d", pr.q), fmt.Sprintf("url%05d.example.com", pr.u), 1)
+			b.Add(user, prefix+fmt.Sprintf("q%05d", pr.q), prefix+fmt.Sprintf("url%05d.example.com", pr.u), 1)
 		}
 	}
-	return b.BuildLog()
 }
 
 // GeneratePreprocessed generates a corpus and applies the unique-pair

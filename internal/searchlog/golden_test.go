@@ -1,0 +1,116 @@
+package searchlog
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestGoldenTSVRoundTrip: the checked-in canonical TSV must survive
+// ReadTSV → WriteTSV byte-for-byte. The fixture is already in canonical
+// order (sorted by user, query, url), which is exactly what WriteTSV emits.
+func TestGoldenTSVRoundTrip(t *testing.T) {
+	path := filepath.Join("testdata", "golden_small.tsv")
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := ReadTSV(bytes.NewReader(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NumUsers() != 4 || l.NumPairs() != 4 || l.Size() != 14 {
+		t.Fatalf("fixture shape: %d users, %d pairs, size %d", l.NumUsers(), l.NumPairs(), l.Size())
+	}
+	var buf bytes.Buffer
+	rows, err := WriteTSV(&buf, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != 7 {
+		t.Fatalf("wrote %d rows, want 7", rows)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("round trip diverged:\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestGoldenAOL: the historical 5-column AOL format must normalize to the
+// checked-in canonical TSV — header dropped, clickless rows dropped,
+// repeated (user, query, url) rows aggregated, queries trimmed.
+func TestGoldenAOL(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "aol_sample.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "aol_sample_canonical.tsv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := ReadAOL(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := WriteTSV(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("AOL normalization diverged:\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+	// And the canonical form round-trips to itself.
+	l2, err := ReadTSV(bytes.NewReader(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Digest() != l2.Digest() {
+		t.Fatal("AOL log digest differs from its canonical TSV")
+	}
+}
+
+// TestDigestPermutationStability: the digest is a function of the histogram,
+// not of the record order the log was built from.
+func TestDigestPermutationStability(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "golden_small.tsv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := ReadTSV(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := l.Digest()
+	recs := l.Records()
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5; trial++ {
+		perm := rng.Perm(len(recs))
+		b := NewBuilder()
+		for _, i := range perm {
+			b.AddRecord(recs[i])
+		}
+		shuffled, err := b.BuildLog()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := shuffled.Digest(); got != want {
+			t.Fatalf("trial %d: digest %s != %s after permutation", trial, got, want)
+		}
+	}
+	// Splitting a record's count across duplicate rows must not change the
+	// histogram either.
+	b := NewBuilder()
+	for _, r := range recs {
+		for u := 0; u < r.Count; u++ {
+			b.Add(r.User, r.Query, r.URL, 1)
+		}
+	}
+	unit, err := b.BuildLog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := unit.Digest(); got != want {
+		t.Fatalf("unit-count rebuild digest %s != %s", got, want)
+	}
+}

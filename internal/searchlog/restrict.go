@@ -1,0 +1,79 @@
+package searchlog
+
+import "fmt"
+
+// Restrict builds the sub-log induced by the given parent pair and user
+// indices, both strictly ascending. The sub-log's pair order (and user
+// order) is the parent's order restricted to the selection, so local index j
+// corresponds to parent index pairs[j] (users[k] for users) — the property
+// the component decomposition in internal/partition relies on to stitch
+// per-component plans back into parent-indexed ones.
+//
+// Every entry of a selected pair must reference a selected user: a pair's
+// count mass may not be silently dropped, because the Theorem-1 constraint
+// coefficients ln(c_ij/(c_ij − c_ijk)) depend on the full per-user breakdown
+// of c_ij. Selected users may hold unselected pairs (those are omitted and
+// the user's Total shrinks accordingly). Restrict panics on an out-of-range,
+// unsorted or mass-dropping selection — all are programmer errors.
+func (l *Log) Restrict(pairs, users []int) *Log {
+	userLocal := make(map[int]int, len(users))
+	for k, pk := range users {
+		if pk < 0 || pk >= len(l.users) {
+			panic(fmt.Sprintf("searchlog: Restrict user index %d out of range [0, %d)", pk, len(l.users)))
+		}
+		if k > 0 && users[k-1] >= pk {
+			panic("searchlog: Restrict user indices must be strictly ascending")
+		}
+		userLocal[pk] = k
+	}
+	pairLocal := make(map[int]int, len(pairs))
+	for j, pi := range pairs {
+		if pi < 0 || pi >= len(l.pairs) {
+			panic(fmt.Sprintf("searchlog: Restrict pair index %d out of range [0, %d)", pi, len(l.pairs)))
+		}
+		if j > 0 && pairs[j-1] >= pi {
+			panic("searchlog: Restrict pair indices must be strictly ascending")
+		}
+		pairLocal[pi] = j
+	}
+
+	sub := &Log{
+		pairs:     make([]Pair, len(pairs)),
+		users:     make([]User, len(users)),
+		pairIndex: make(map[PairKey]int, len(pairs)),
+		userIndex: make(map[string]int, len(users)),
+	}
+	for j, pi := range pairs {
+		p := &l.pairs[pi]
+		entries := make([]Entry, len(p.Entries))
+		for e, en := range p.Entries {
+			lk, ok := userLocal[en.User]
+			if !ok {
+				panic(fmt.Sprintf("searchlog: Restrict drops user %d holding %d of pair %d (%q, %q)",
+					en.User, en.Count, pi, p.Query, p.URL))
+			}
+			// Parent entries ascend by parent user index; the order-preserving
+			// user map keeps them ascending by local index.
+			entries[e] = Entry{User: lk, Count: en.Count}
+		}
+		sub.pairs[j] = Pair{Query: p.Query, URL: p.URL, Total: p.Total, Entries: entries}
+		sub.pairIndex[p.Key()] = j
+		sub.size += p.Total
+	}
+	for k, pk := range users {
+		u := &l.users[pk]
+		ups := make([]UserPair, 0, len(u.Pairs))
+		total := 0
+		for _, up := range u.Pairs {
+			lj, ok := pairLocal[up.Pair]
+			if !ok {
+				continue // pair outside the selection
+			}
+			ups = append(ups, UserPair{Pair: lj, Count: up.Count})
+			total += up.Count
+		}
+		sub.users[k] = User{ID: u.ID, Pairs: ups, Total: total}
+		sub.userIndex[u.ID] = k
+	}
+	return sub
+}

@@ -1,0 +1,88 @@
+package searchlog
+
+import "testing"
+
+func restrictFixture(t *testing.T) *Log {
+	t.Helper()
+	b := NewBuilder()
+	// Two islands: {a,b}×{(q1,u1)} and {c,d}×{(q2,u2),(q3,u3)}.
+	b.Add("a", "q1", "u1", 2)
+	b.Add("b", "q1", "u1", 3)
+	b.Add("c", "q2", "u2", 1)
+	b.Add("d", "q2", "u2", 1)
+	b.Add("c", "q3", "u3", 2)
+	b.Add("d", "q3", "u3", 5)
+	l, err := b.BuildLog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestRestrictPreservesOrderAndCounts(t *testing.T) {
+	l := restrictFixture(t)
+	// Pairs sorted (q1,u1)=0 (q2,u2)=1 (q3,u3)=2; users a=0 b=1 c=2 d=3.
+	sub := l.Restrict([]int{1, 2}, []int{2, 3})
+	if sub.NumPairs() != 2 || sub.NumUsers() != 2 {
+		t.Fatalf("sub shape %dx%d, want 2x2", sub.NumPairs(), sub.NumUsers())
+	}
+	if sub.Size() != 9 {
+		t.Fatalf("sub size %d, want 9", sub.Size())
+	}
+	if sub.Pair(0).Query != "q2" || sub.Pair(1).Query != "q3" {
+		t.Fatalf("pair order not preserved: %q, %q", sub.Pair(0).Query, sub.Pair(1).Query)
+	}
+	if sub.User(0).ID != "c" || sub.User(1).ID != "d" {
+		t.Fatalf("user order not preserved: %q, %q", sub.User(0).ID, sub.User(1).ID)
+	}
+	if got := sub.TripletCount(1, 1); got != 5 { // (q3,u3) held by d
+		t.Fatalf("remapped triplet count %d, want 5", got)
+	}
+	if got := sub.PairIndex(PairKey{"q3", "u3"}); got != 1 {
+		t.Fatalf("pair index lookup %d, want 1", got)
+	}
+	if got := sub.UserIndex("d"); got != 1 {
+		t.Fatalf("user index lookup %d, want 1", got)
+	}
+	// The restriction of an island digests like the island built directly.
+	b := NewBuilder()
+	b.Add("c", "q2", "u2", 1)
+	b.Add("d", "q2", "u2", 1)
+	b.Add("c", "q3", "u3", 2)
+	b.Add("d", "q3", "u3", 5)
+	direct := b.Log()
+	if sub.Digest() != direct.Digest() {
+		t.Fatal("restricted island digest differs from directly built log")
+	}
+}
+
+func TestRestrictUserWithOutsidePairs(t *testing.T) {
+	l := restrictFixture(t)
+	// Selecting only (q2,u2) keeps c and d but shrinks their totals.
+	sub := l.Restrict([]int{1}, []int{2, 3})
+	if sub.Size() != 2 {
+		t.Fatalf("sub size %d, want 2", sub.Size())
+	}
+	if got := sub.User(0).Total; got != 1 {
+		t.Fatalf("user c total %d, want 1", got)
+	}
+}
+
+func TestRestrictPanics(t *testing.T) {
+	l := restrictFixture(t)
+	for name, f := range map[string]func(){
+		"dropped mass":   func() { l.Restrict([]int{0}, []int{0}) }, // pair 0 also held by b
+		"unsorted pairs": func() { l.Restrict([]int{2, 1}, []int{2, 3}) },
+		"unsorted users": func() { l.Restrict([]int{1, 2}, []int{3, 2}) },
+		"out of range":   func() { l.Restrict([]int{99}, []int{0}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

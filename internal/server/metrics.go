@@ -14,9 +14,10 @@ import (
 // rules out the client library — but the output scrapes cleanly with a
 // stock Prometheus.
 type Metrics struct {
-	mu       sync.Mutex
-	requests map[reqKey]int64
-	latency  map[string]*histogram
+	mu         sync.Mutex
+	requests   map[reqKey]int64
+	latency    map[string]*histogram
+	components *histogram
 }
 
 type reqKey struct {
@@ -28,6 +29,11 @@ type reqKey struct {
 // cache-hit microseconds to multi-second D-UMP solves.
 var latencyBuckets = []float64{0.0005, 0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
 
+// componentBuckets are the upper bounds for the per-solve connected
+// component counts: 1 is the single-market giant-component case, powers of
+// two cover sharded multi-market corpora.
+var componentBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
 type histogram struct {
 	counts []int64 // one per bucket; +Inf is implicit via count
 	sum    float64
@@ -37,9 +43,25 @@ type histogram struct {
 // NewMetrics returns an empty registry.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		requests: make(map[reqKey]int64),
-		latency:  make(map[string]*histogram),
+		requests:   make(map[reqKey]int64),
+		latency:    make(map[string]*histogram),
+		components: &histogram{counts: make([]int64, len(componentBuckets))},
 	}
+}
+
+// ObserveSolveComponents records the connected-component count of one
+// completed (non-cached) sanitization solve.
+func (m *Metrics) ObserveSolveComponents(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v := float64(n)
+	for i, ub := range componentBuckets {
+		if v <= ub {
+			m.components.counts[i]++
+		}
+	}
+	m.components.sum += v
+	m.components.count++
 }
 
 // Observe records one completed request for the given handler label (the
@@ -109,6 +131,15 @@ func (m *Metrics) WriteTo(w io.Writer, g Gauges) {
 		fmt.Fprintf(w, "slserve_request_duration_seconds_sum{handler=%q} %g\n", name, h.sum)
 		fmt.Fprintf(w, "slserve_request_duration_seconds_count{handler=%q} %d\n", name, h.count)
 	}
+
+	fmt.Fprintln(w, "# HELP slserve_solve_components Connected components per sanitization solve (see internal/partition).")
+	fmt.Fprintln(w, "# TYPE slserve_solve_components histogram")
+	for i, ub := range componentBuckets {
+		fmt.Fprintf(w, "slserve_solve_components_bucket{le=%q} %d\n", formatBound(ub), m.components.counts[i])
+	}
+	fmt.Fprintf(w, "slserve_solve_components_bucket{le=\"+Inf\"} %d\n", m.components.count)
+	fmt.Fprintf(w, "slserve_solve_components_sum %g\n", m.components.sum)
+	fmt.Fprintf(w, "slserve_solve_components_count %d\n", m.components.count)
 
 	fmt.Fprintln(w, "# HELP slserve_workers Configured worker pool size.")
 	fmt.Fprintln(w, "# TYPE slserve_workers gauge")

@@ -19,7 +19,8 @@
 // A JSON body carries {"options": {...}, "records": [...]} or {"options":
 // {...}, "tsv": "..."}; any other content type is read as a raw canonical
 // TSV log with the options taken from query parameters (eexp or epsilon,
-// delta, objective, support, size, solver, seed). When the request omits a
+// delta, objective, support, size, solver, seed, parallelism). When the
+// request omits a
 // seed, the server derives one deterministically from the corpus digest, so
 // identical requests produce identical outputs (and cache cleanly).
 package server
@@ -55,6 +56,17 @@ type Config struct {
 	MaxJobs int
 	// MaxBodyBytes caps request bodies (default 32 MiB).
 	MaxBodyBytes int64
+	// SolveParallelism is the per-solve component parallelism applied to
+	// requests that leave options.parallelism at zero (default 1: with
+	// Workers concurrent solves already saturating the cores, sequential
+	// component solves avoid oversubscription; raise it for big sharded
+	// corpora with few concurrent clients). Requests override it with any
+	// explicit positive parallelism — note zero is indistinguishable from
+	// "unset" on the wire, so a request cannot select the library's
+	// GOMAXPROCS default; it can send a large explicit value instead (the
+	// solver clamps to the component count). Negative configures the
+	// library default (GOMAXPROCS per solve).
+	SolveParallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -75,6 +87,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes == 0 {
 		c.MaxBodyBytes = 32 << 20
+	}
+	if c.SolveParallelism == 0 {
+		c.SolveParallelism = 1
+	}
+	if c.SolveParallelism < 0 {
+		c.SolveParallelism = 0 // library default: GOMAXPROCS
 	}
 	return c
 }
@@ -174,6 +192,7 @@ type planJSON struct {
 	RelaxationObjective float64 `json:"relaxation_objective"`
 	Lambda              int     `json:"lambda,omitzero"`
 	Iterations          int     `json:"iterations"`
+	Components          int     `json:"components"`
 	NoiseApplied        bool    `json:"noise_applied,omitzero"`
 	// Counts are the per-pair output counts over the preprocessed input's
 	// pair order, so clients can re-audit the release with VerifyCounts.
@@ -333,6 +352,13 @@ func optionsFromQuery(r *http.Request) (dpslog.Options, error) {
 		}
 		opts.Seed = n
 	}
+	if v := q.Get("parallelism"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return opts, fmt.Errorf("bad query parameter parallelism=%q: %v", v, err)
+		}
+		opts.Parallelism = n
+	}
 	return opts, nil
 }
 
@@ -364,6 +390,14 @@ func (s *Server) runSanitize(l *dpslog.Log, opts dpslog.Options) (*sanitizeRespo
 	digest := dpslog.Digest(l)
 	if opts.Seed == 0 {
 		opts.Seed = seedFromDigest(digest)
+	}
+	if opts.Parallelism == 0 {
+		// The server default, not the library default: Workers concurrent
+		// solves already fill the cores, so each solve runs its components
+		// at the configured parallelism (1 unless -solve-parallelism says
+		// otherwise). The canonical options ignore Parallelism — plans are
+		// invariant in it — so this does not fragment the plan cache.
+		opts.Parallelism = s.cfg.SolveParallelism
 	}
 	key := cacheKey(digest, opts)
 	if resp, ok := s.cache.Get(key); ok {
@@ -397,11 +431,13 @@ func (s *Server) runSanitize(l *dpslog.Log, opts dpslog.Options) (*sanitizeRespo
 			RelaxationObjective: res.Plan.RelaxationObjective,
 			Lambda:              res.Plan.Lambda,
 			Iterations:          res.Plan.Iterations,
+			Components:          res.Plan.Components,
 			NoiseApplied:        res.Plan.NoiseApplied,
 			Counts:              res.Plan.Counts,
 		},
 		Records: out,
 	}
+	s.metrics.ObserveSolveComponents(res.Plan.Components)
 	s.cache.Put(key, resp)
 	// Callers stamp per-request fields (ElapsedMS, Cached) on the result, so
 	// hand back a copy rather than the struct the cache now owns.
@@ -568,7 +604,12 @@ func (s *Server) handleLambda(w http.ResponseWriter, r *http.Request) {
 		lambda int
 		runErr error
 	)
-	err = s.pool.Do(r.Context(), func() { lambda, runErr = dpslog.Lambda(l, eps, req.Delta) })
+	err = s.pool.Do(r.Context(), func() {
+		// Same oversubscription guard as sanitize solves: the worker pool
+		// already fills the cores, so components solve at the configured
+		// per-solve parallelism rather than the library's GOMAXPROCS.
+		lambda, runErr = dpslog.LambdaParallelism(l, eps, req.Delta, s.cfg.SolveParallelism)
+	})
 	switch {
 	case errors.Is(err, ErrSaturated):
 		w.Header().Set("Retry-After", "1")

@@ -1,0 +1,444 @@
+package ump
+
+// This file is the component-decomposed front door of the package. Theorem
+// 1's constraints couple pairs only through shared users — each row is one
+// user log, and a user's pairs all lie in the user's connected component of
+// the user–pair incidence graph — so every utility-maximizing problem whose
+// objective is separable across pairs splits into independent per-component
+// solves whose plans stitch back together losslessly (DESIGN.md §6):
+//
+//   - O-UMP: fully separable; λ and the plan are additive.
+//   - D-UMP: the BIP optimum is additive. The default SPE heuristic is not
+//     ordering-invariant across components (it eliminates the globally
+//     largest coefficient even from satisfied components), so the
+//     per-component solve retains ≥ as many pairs as the monolithic one.
+//   - Q-UMP: candidates (one pair per distinct query) are selected globally
+//     — a query's pairs can span components — then inserted per component;
+//     the greedy outcome equals the monolithic one exactly.
+//   - F-UMP: the Σx = |O| row spans components, so |O| is allocated across
+//     components proportionally to their per-component λ (largest-remainder
+//     rounding). The allocation is a heuristic: the decomposed optimum is
+//     the monolithic one restricted to that allocation, hence ≥ it in
+//     distance. The linearization scale 1/|O| and the frequent-pair set use
+//     the global corpus, so the model is otherwise identical.
+//   - C-UMP: separable once the scale anchor λ is fixed; the decomposed
+//     path anchors against the sum of per-component λ_LP (within FP
+//     round-off of the monolithic anchor).
+//
+// Per-component solves run concurrently on a bounded worker pool
+// (Options.Parallelism, default GOMAXPROCS). Plans are invariant in the
+// parallelism level: components are solved independently and stitched in a
+// deterministic order, so only wall-clock changes.
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"dpslog/internal/dp"
+	"dpslog/internal/partition"
+	"dpslog/internal/searchlog"
+)
+
+// workerCount resolves Options.Parallelism against the component count.
+func workerCount(parallelism, n int) int {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > n {
+		parallelism = n
+	}
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	return parallelism
+}
+
+// solvePerComponent runs solve for every component on a bounded worker pool
+// and returns the plans in component order (deterministic regardless of
+// scheduling). The first error by component index wins and is annotated
+// with the component's shape.
+func solvePerComponent(comps []partition.Component, parallelism int, solve func(ci int, c *partition.Component) (*Plan, error)) ([]*Plan, error) {
+	plans := make([]*Plan, len(comps))
+	errs := make([]error, len(comps))
+	workers := workerCount(parallelism, len(comps))
+	if workers == 1 {
+		for ci := range comps {
+			plans[ci], errs[ci] = solve(ci, &comps[ci])
+		}
+	} else {
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for ci := range comps {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(ci int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				plans[ci], errs[ci] = solve(ci, &comps[ci])
+			}(ci)
+		}
+		wg.Wait()
+	}
+	for ci, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("ump: component %d/%d (%d pairs, %d users): %w",
+				ci+1, len(comps), comps[ci].Log.NumPairs(), comps[ci].Log.NumUsers(), err)
+		}
+	}
+	return plans, nil
+}
+
+// stitch scatters per-component plans back into a parent-indexed plan,
+// summing sizes, objectives and iteration counts in component order.
+func stitch(kind Kind, l *searchlog.Log, comps []partition.Component, plans []*Plan) *Plan {
+	plan := &Plan{
+		Kind:       kind,
+		Counts:     make([]int, l.NumPairs()),
+		Components: len(comps),
+	}
+	for ci, p := range plans {
+		comps[ci].Scatter(p.Counts, plan.Counts)
+		plan.OutputSize += p.OutputSize
+		plan.Objective += p.Objective
+		plan.RelaxationObjective += p.RelaxationObjective
+		plan.Iterations += p.Iterations
+	}
+	return plan
+}
+
+// MaxOutputSize solves O-UMP: the maximum differentially private output size
+// λ for the preprocessed log under the given parameters. The solve runs per
+// connected component (concurrently, bounded by Options.Parallelism) and is
+// exactly additive: no Theorem-1 row spans two components and the objective
+// Σ x_ij is separable.
+func MaxOutputSize(l *searchlog.Log, params dp.Params, opts Options) (*Plan, error) {
+	comps := decomposeFor(l, opts)
+	if comps == nil {
+		return maxOutputSizeMono(l, params, opts)
+	}
+	plans, err := solvePerComponent(comps, opts.Parallelism, func(_ int, c *partition.Component) (*Plan, error) {
+		return maxOutputSizeMono(c.Log, params, opts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	plan := stitch(KindOutputSize, l, comps, plans)
+	plan.Objective = float64(plan.OutputSize)
+	return plan, nil
+}
+
+// Diversity solves D-UMP: maximize the number of distinct retained pairs.
+// Following Theorem 2, the MIP is reduced to the pure BIP of Equation 8 and
+// the selected pairs receive an output count of one (a single multinomial
+// trial), exactly as §5.3 prescribes. The BIP solves per connected
+// component; with an exact solver the retained-pair count is exactly the
+// monolithic one, and with the SPE heuristics it is at least as large.
+func Diversity(l *searchlog.Log, params dp.Params, opts Options) (*Plan, error) {
+	comps := decomposeFor(l, opts)
+	if comps == nil {
+		return diversityMono(l, params, opts)
+	}
+	plans, err := solvePerComponent(comps, opts.Parallelism, func(_ int, c *partition.Component) (*Plan, error) {
+		return diversityMono(c.Log, params, opts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	plan := stitch(KindDiversity, l, comps, plans)
+	plan.Objective = float64(plan.OutputSize)
+	return plan, nil
+}
+
+// QueryDiversity maximizes the number of distinct *queries* (rather than
+// query-url pairs) retained in the output — the variant §5.3 notes can be
+// modeled "in a similar way". Each query needs only its cheapest pair
+// retained, so the greedy works on one candidate pair per query (the pair
+// whose largest coefficient is smallest), inserting queries in ascending
+// sensitivity while every user budget holds. The returned plan assigns
+// count 1 to each selected pair, like D-UMP.
+//
+// Candidates are selected globally — a query's pairs can span components —
+// and inserted per component, which reproduces the monolithic greedy
+// exactly (the insertion order restricted to a component is the component's
+// own insertion order, and feasibility checks touch only rows of the
+// candidate's component).
+func QueryDiversity(l *searchlog.Log, params dp.Params, opts Options) (*Plan, error) {
+	comps := decomposeFor(l, opts)
+	if comps == nil {
+		return queryDiversityMono(l, params, opts)
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if !searchlog.IsPreprocessed(l) {
+		return nil, dp.ErrNotPreprocessed
+	}
+	// Global candidate selection needs only each pair's worst coefficient,
+	// computable straight from the histogram — restriction preserves the
+	// coefficients, so no full parent constraint system is built; each
+	// component builds its own below.
+	cands := queryCandidates(l, maxCoefFromLog(l))
+	// Group candidates by component, remapped to local pair indices. The
+	// per-component sort by (maxCoef, local index) preserves the global
+	// order: local index order is parent order restricted.
+	compOfPair := make([]int, l.NumPairs())
+	for ci := range comps {
+		for _, pi := range comps[ci].Pairs {
+			compOfPair[pi] = ci
+		}
+	}
+	localOfPair := make([]int, l.NumPairs())
+	for ci := range comps {
+		for j, pi := range comps[ci].Pairs {
+			localOfPair[pi] = j
+		}
+	}
+	byComp := make([][]queryCand, len(comps))
+	for _, c := range cands {
+		ci := compOfPair[c.pair]
+		byComp[ci] = append(byComp[ci], queryCand{pair: localOfPair[c.pair], maxCoef: c.maxCoef})
+	}
+	for ci := range byComp {
+		cc := byComp[ci]
+		sort.Slice(cc, func(a, b int) bool {
+			if cc[a].maxCoef != cc[b].maxCoef {
+				return cc[a].maxCoef < cc[b].maxCoef
+			}
+			return cc[a].pair < cc[b].pair
+		})
+	}
+	plans, err := solvePerComponent(comps, opts.Parallelism, func(ci int, c *partition.Component) (*Plan, error) {
+		ccons, err := dp.Build(c.Log, params)
+		if err != nil {
+			return nil, err
+		}
+		counts := make([]int, c.Log.NumPairs())
+		retained := greedyInsertCands(ccons, byComp[ci], counts)
+		return &Plan{
+			Kind:                KindQueryDiversity,
+			Counts:              counts,
+			OutputSize:          retained,
+			Objective:           float64(retained),
+			RelaxationObjective: float64(retained),
+			Components:          1,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return stitch(KindQueryDiversity, l, comps, plans), nil
+}
+
+// FrequentSupport solves F-UMP: minimize the sum of support distances of the
+// input's frequent pairs (support ≥ minSupport) at the fixed output size
+// outputSize, which must lie in (0, λ]. The integral plan's realized size
+// can fall slightly below outputSize because of flooring.
+//
+// The decomposed solve allocates outputSize across connected components in
+// proportion to each component's λ (its maximum private output size), then
+// solves each component at its allocation with the global linearization
+// scale and frequent-pair set. The allocation is a heuristic — the paper's
+// Σx = |O| row genuinely couples components — so the decomposed distance is
+// an upper bound on the monolithic one; it coincides on connected logs,
+// where the decomposition is a no-op.
+func FrequentSupport(l *searchlog.Log, params dp.Params, minSupport float64, outputSize int, opts Options) (*Plan, error) {
+	if !(minSupport > 0 && minSupport <= 1) {
+		return nil, fmt.Errorf("ump: minimum support must be in (0, 1], got %g", minSupport)
+	}
+	if outputSize <= 0 {
+		return nil, fmt.Errorf("ump: output size must be positive, got %d", outputSize)
+	}
+	comps := decomposeFor(l, opts)
+	if comps == nil {
+		return frequentSupportMono(l, params, minSupport, outputSize, opts)
+	}
+	// Phase 1: per-component λ, for the allocation. Capacities come from the
+	// *fractional* λ_LP (floored): any integer allocation s_c ≤ ⌊λ_c^LP⌋ is
+	// LP-feasible for its component (scale the λ-achieving solution down),
+	// and the fractional bound is never below the integral plan's size, so
+	// the feasibility precheck stays as close to the monolithic one
+	// (outputSize ≤ λ_LP) as an integral allocation permits.
+	lamPlans, err := solvePerComponent(comps, opts.Parallelism, func(_ int, c *partition.Component) (*Plan, error) {
+		return maxOutputSizeMono(c.Log, params, opts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	lambdas := make([]int, len(comps))
+	totalLam := 0
+	for ci, p := range lamPlans {
+		lambdas[ci] = int(math.Floor(p.RelaxationObjective + 1e-7))
+		totalLam += lambdas[ci]
+	}
+	if outputSize > totalLam {
+		return nil, fmt.Errorf("ump: F-UMP infeasible: output size %d exceeds λ = %d for these parameters", outputSize, totalLam)
+	}
+	alloc := allocateProportional(outputSize, lambdas)
+
+	// Phase 2: per-component F-UMP at the allocated sizes. The frequent set
+	// and supports are measured against the parent corpus (component pair
+	// totals equal parent pair totals), and the y rows scale by the global
+	// 1/|O|, so the component LPs are exactly the monolithic model plus the
+	// per-component allocation rows.
+	inSize := float64(l.Size())
+	invO := 1 / float64(outputSize)
+	plans, err := solvePerComponent(comps, opts.Parallelism, func(ci int, c *partition.Component) (*Plan, error) {
+		if alloc[ci] == 0 {
+			return &Plan{Kind: KindFrequent, Counts: make([]int, c.Log.NumPairs()), Components: 1}, nil
+		}
+		ccons, err := dp.Build(c.Log, params)
+		if err != nil {
+			return nil, err
+		}
+		frequent, supIn := frequentPairs(c.Log, minSupport, inSize)
+		return frequentCore(c.Log, ccons, frequent, supIn, invO, alloc[ci], opts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	plan := stitch(KindFrequent, l, comps, plans)
+	// Realized objective at the stitched integral plan, over the global
+	// frequent set and realized |O|.
+	plan.Objective = SupportDistance(l, minSupport, plan.Counts)
+	return plan, nil
+}
+
+// Combined solves the joint utility-maximizing problem: unlike F-UMP it
+// does not fix the output size; the LP itself trades release mass against
+// frequent-pair support fidelity:
+//
+//	max  w_size · Σx/|D|  −  w_dist · Σ_freq y_f
+//	s.t. Theorem-1 rows, 0 ≤ x ≤ c,
+//	     y_f ≥ ±(x_f/|D_scale| − c_f/|D|)   for every frequent pair f
+//
+// Because |O| is variable, the support linearization anchors the output
+// support against the *input* scale (x_f/|D|·γ with γ = |D|/λ_LP), which
+// keeps the model linear; the realized objective is recomputed exactly on
+// the integral plan.
+//
+// The model has no row spanning components, so the decomposed solve is
+// exact once the anchor λ_LP is fixed; the decomposed path anchors against
+// the sum of per-component λ_LP, which agrees with the monolithic anchor up
+// to simplex round-off.
+func Combined(l *searchlog.Log, params dp.Params, minSupport float64, w CombinedWeights, opts Options) (*Plan, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if !(minSupport > 0 && minSupport <= 1) {
+		return nil, fmt.Errorf("ump: minimum support must be in (0, 1], got %g", minSupport)
+	}
+	comps := decomposeFor(l, opts)
+	if comps == nil {
+		return combinedMono(l, params, minSupport, w, opts)
+	}
+	// Phase 1: the λ anchor, from the per-component O-UMP relaxations.
+	lamPlans, err := solvePerComponent(comps, opts.Parallelism, func(_ int, c *partition.Component) (*Plan, error) {
+		return maxOutputSizeMono(c.Log, params, opts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	lam := 0.0
+	for _, p := range lamPlans {
+		lam += p.RelaxationObjective
+	}
+	if lam < 1 {
+		// Nothing can be released; the λ plan (empty) is the optimum.
+		plan := stitch(KindCombined, l, comps, lamPlans)
+		plan.Objective = 0
+		return plan, nil
+	}
+	inSize := float64(l.Size())
+	sizeCoef := w.SizeWeight / inSize
+	invScale := 1 / lam
+	plans, err := solvePerComponent(comps, opts.Parallelism, func(_ int, c *partition.Component) (*Plan, error) {
+		ccons, err := dp.Build(c.Log, params)
+		if err != nil {
+			return nil, err
+		}
+		frequent, supIn := frequentPairs(c.Log, minSupport, inSize)
+		return combinedCore(c.Log, ccons, frequent, supIn, sizeCoef, w.DistanceWeight, invScale, opts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	plan := stitch(KindCombined, l, comps, plans)
+	dist := SupportDistance(l, minSupport, plan.Counts)
+	plan.Objective = w.SizeWeight*float64(plan.OutputSize)/inSize - w.DistanceWeight*dist
+	return plan, nil
+}
+
+// decomposeFor returns the components to solve over, or nil when the
+// monolithic path should run instead: decomposition disabled, an empty log,
+// or a single connected component (where the per-component solve would be
+// the monolithic solve anyway — the nil short-circuit keeps that case
+// bit-identical and copy-free).
+func decomposeFor(l *searchlog.Log, opts Options) []partition.Component {
+	if opts.NoDecompose {
+		return nil
+	}
+	comps := partition.Decompose(l)
+	if len(comps) <= 1 {
+		return nil
+	}
+	return comps
+}
+
+// allocateProportional splits total into per-component shares proportional
+// to the capacities, capped by them, with largest-remainder rounding; the
+// shares sum to total exactly whenever total ≤ Σ capacities. Deterministic:
+// ties break by component index.
+func allocateProportional(total int, capacities []int) []int {
+	n := len(capacities)
+	shares := make([]int, n)
+	capSum := 0
+	for _, c := range capacities {
+		capSum += c
+	}
+	if capSum == 0 || total <= 0 {
+		return shares
+	}
+	if total >= capSum {
+		copy(shares, capacities)
+		return shares
+	}
+	type rem struct {
+		ci   int
+		frac float64
+	}
+	rems := make([]rem, 0, n)
+	assigned := 0
+	for ci, c := range capacities {
+		exact := float64(total) * float64(c) / float64(capSum)
+		s := int(math.Floor(exact))
+		if s > c {
+			s = c
+		}
+		shares[ci] = s
+		assigned += s
+		rems = append(rems, rem{ci: ci, frac: exact - float64(s)})
+	}
+	sort.SliceStable(rems, func(a, b int) bool { return rems[a].frac > rems[b].frac })
+	// Hand out the remainder by descending fractional part, skipping full
+	// components; sweep repeatedly in case caps bind.
+	for assigned < total {
+		progressed := false
+		for _, r := range rems {
+			if assigned >= total {
+				break
+			}
+			if shares[r.ci] < capacities[r.ci] {
+				shares[r.ci]++
+				assigned++
+				progressed = true
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	return shares
+}

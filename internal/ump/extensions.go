@@ -42,35 +42,21 @@ func (w CombinedWeights) Validate() error {
 	return nil
 }
 
-// Combined solves the joint utility-maximizing problem: unlike F-UMP it
-// does not fix the output size; the LP itself trades release mass against
-// frequent-pair support fidelity:
-//
-//	max  w_size · Σx/|D|  −  w_dist · Σ_freq y_f
-//	s.t. Theorem-1 rows, 0 ≤ x ≤ c,
-//	     y_f ≥ ±(x_f/|D_scale| − c_f/|D|)   for every frequent pair f
-//
-// Because |O| is variable, the support linearization anchors the output
-// support against the *input* scale (x_f/|D|·γ with γ = |D|/λ_LP), which
-// keeps the model linear; the realized objective is recomputed exactly on
-// the integral plan.
-func Combined(l *searchlog.Log, params dp.Params, minSupport float64, w CombinedWeights, opts Options) (*Plan, error) {
-	if err := w.Validate(); err != nil {
-		return nil, err
-	}
-	if !(minSupport > 0 && minSupport <= 1) {
-		return nil, fmt.Errorf("ump: minimum support must be in (0, 1], got %g", minSupport)
-	}
+// combinedMono solves the joint utility-maximizing problem over the whole
+// log in one LP (anchored against the monolithic λ_LP). Combined
+// (decompose.go) is the public entry point and carries the model
+// documentation.
+func combinedMono(l *searchlog.Log, params dp.Params, minSupport float64, w CombinedWeights, opts Options) (*Plan, error) {
 	cons, err := dp.Build(l, params)
 	if err != nil {
 		return nil, err
 	}
 	if l.NumPairs() == 0 {
-		return &Plan{Kind: KindCombined, Counts: nil}, nil
+		return &Plan{Kind: KindCombined, Counts: nil, Components: 1}, nil
 	}
 	// Scale anchor: the achievable output size λ, so x/λ is a support-like
 	// quantity comparable to c/|D|.
-	lamPlan, err := MaxOutputSize(l, params, opts)
+	lamPlan, err := maxOutputSizeMono(l, params, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -81,21 +67,30 @@ func Combined(l *searchlog.Log, params dp.Params, minSupport float64, w Combined
 		return lamPlan, nil
 	}
 	inSize := float64(l.Size())
+	frequent, supIn := frequentPairs(l, minSupport, inSize)
+	plan, err := combinedCore(l, cons, frequent, supIn, w.SizeWeight/inSize, w.DistanceWeight, 1/lam, opts)
+	if err != nil {
+		return nil, err
+	}
+	// Realized joint objective on the integral plan.
+	dist := SupportDistance(l, minSupport, plan.Counts)
+	plan.Objective = w.SizeWeight*float64(plan.OutputSize)/inSize - w.DistanceWeight*dist
+	return plan, nil
+}
 
-	prob := buildBase(l, cons, lp.Maximize, w.SizeWeight/inSize, opts.NoBoxConstraint)
-	invScale := 1 / lam
-	var frequent []int
-	for i := 0; i < l.NumPairs(); i++ {
-		supIn := float64(l.PairCount(i)) / inSize
-		if supIn < minSupport {
-			continue
-		}
-		frequent = append(frequent, i)
-		y := prob.AddVariable(-w.DistanceWeight, 0, math.Inf(1))
-		r1 := prob.AddConstraint(lp.LE, supIn) // x/λ − y ≤ c/|D|
+// combinedCore solves the joint LP over l (the whole log, or one component
+// sub-log) and returns the integral plan without a realized objective.
+// sizeCoef is the per-unit objective weight w_size/|D| (|D| of the *parent*
+// corpus, so component objectives sum to the monolithic one); invScale is
+// 1/λ with the global anchor λ.
+func combinedCore(l *searchlog.Log, cons *dp.Constraints, frequent []int, supIn []float64, sizeCoef, distWeight, invScale float64, opts Options) (*Plan, error) {
+	prob := buildBase(l, cons, lp.Maximize, sizeCoef, opts.NoBoxConstraint)
+	for f, i := range frequent {
+		y := prob.AddVariable(-distWeight, 0, math.Inf(1))
+		r1 := prob.AddConstraint(lp.LE, supIn[f]) // x/λ − y ≤ c/|D|
 		prob.SetCoef(r1, i, invScale)
 		prob.SetCoef(r1, y, -1)
-		r2 := prob.AddConstraint(lp.LE, -supIn) // −x/λ − y ≤ −c/|D|
+		r2 := prob.AddConstraint(lp.LE, -supIn[f]) // −x/λ − y ≤ −c/|D|
 		prob.SetCoef(r2, i, -invScale)
 		prob.SetCoef(r2, y, -1)
 	}
@@ -113,26 +108,14 @@ func Combined(l *searchlog.Log, params dp.Params, minSupport float64, w Combined
 		frac[i] += 1
 	}
 	roundUp(cons, counts, frac, pairCaps(l, opts.NoBoxConstraint), 0)
-	plan := &Plan{
+	return &Plan{
 		Kind:                KindCombined,
 		Counts:              counts,
 		OutputSize:          sum(counts),
 		RelaxationObjective: sol.Objective,
 		Iterations:          sol.Iterations,
-	}
-	// Realized joint objective on the integral plan.
-	dist := 0.0
-	if plan.OutputSize > 0 {
-		for _, i := range frequent {
-			dist += math.Abs(float64(counts[i])/float64(plan.OutputSize) - float64(l.PairCount(i))/inSize)
-		}
-	} else {
-		for _, i := range frequent {
-			dist += float64(l.PairCount(i)) / inSize
-		}
-	}
-	plan.Objective = w.SizeWeight*float64(plan.OutputSize)/inSize - w.DistanceWeight*dist
-	return plan, nil
+		Components:          1,
+	}, nil
 }
 
 // MinPrivacyResult is the outcome of the breach-minimizing problem.
@@ -245,6 +228,9 @@ func MinPrivacy(l *searchlog.Log, target int, opts Options) (*MinPrivacyResult, 
 			realized = lhs
 		}
 	}
+	// MinPrivacy is not component-decomposed: the shared exposure variable z
+	// (a minimax objective) and the Σx = target row both couple every
+	// component, so no per-component split is exact.
 	plan := &Plan{
 		Kind:                KindMinPrivacy,
 		Counts:              counts,
@@ -252,6 +238,7 @@ func MinPrivacy(l *searchlog.Log, target int, opts Options) (*MinPrivacyResult, 
 		Objective:           realized,
 		RelaxationObjective: zLP,
 		Iterations:          sol.Iterations,
+		Components:          1,
 	}
 	return &MinPrivacyResult{Plan: plan, Epsilon: realized}, nil
 }
@@ -338,25 +325,17 @@ func fillCheapestFirst(cons *dp.Constraints, counts []int, caps []int, target in
 	}
 }
 
-// QueryDiversity maximizes the number of distinct *queries* (rather than
-// query-url pairs) retained in the output — the variant §5.3 notes can be
-// modeled "in a similar way". Each query needs only its cheapest pair
-// retained, so the greedy works on one candidate pair per query (the pair
-// whose largest coefficient is smallest), inserting queries in ascending
-// sensitivity while every user budget holds. The returned plan assigns
-// count 1 to each selected pair, like D-UMP.
-func QueryDiversity(l *searchlog.Log, params dp.Params, opts Options) (*Plan, error) {
-	cons, err := dp.Build(l, params)
-	if err != nil {
-		return nil, err
-	}
-	// Cheapest pair per query by worst-case coefficient.
-	type cand struct {
-		pair    int
-		maxCoef float64
-	}
-	best := map[string]cand{}
-	maxCoef := make([]float64, l.NumPairs())
+// queryCand is one query's candidate pair for Q-UMP: the query's cheapest
+// pair by worst-case coefficient.
+type queryCand struct {
+	pair    int
+	maxCoef float64
+}
+
+// maxCoefPerPair returns each pair's largest constraint coefficient — the
+// pair's worst-case per-unit privacy cost across user logs.
+func maxCoefPerPair(cons *dp.Constraints, numPairs int) []float64 {
+	maxCoef := make([]float64, numPairs)
 	for _, row := range cons.Rows {
 		for _, t := range row.Terms {
 			if t.Coef > maxCoef[t.Pair] {
@@ -364,32 +343,60 @@ func QueryDiversity(l *searchlog.Log, params dp.Params, opts Options) (*Plan, er
 			}
 		}
 	}
+	return maxCoef
+}
+
+// maxCoefFromLog computes the same worst coefficients straight from the
+// histogram (max entry per pair), without materializing a constraint
+// system. The log must be preprocessed, or the coefficient is +Inf.
+func maxCoefFromLog(l *searchlog.Log) []float64 {
+	maxCoef := make([]float64, l.NumPairs())
+	for i := 0; i < l.NumPairs(); i++ {
+		p := l.Pair(i)
+		_, top := p.MaxEntry()
+		maxCoef[i] = dp.Coef(p.Total, top)
+	}
+	return maxCoef
+}
+
+// queryCandidates picks one candidate pair per distinct query — the pair
+// whose largest coefficient is smallest (ties to the lower pair index, via
+// the ascending scan) — sorted by ascending sensitivity with a
+// deterministic pair-index tie-break. The sort order is preserved under
+// restriction to a component, which is what makes the per-component greedy
+// reproduce the monolithic one exactly.
+func queryCandidates(l *searchlog.Log, maxCoef []float64) []queryCand {
+	best := map[string]queryCand{}
 	for i := 0; i < l.NumPairs(); i++ {
 		q := l.Pair(i).Query
 		if c, ok := best[q]; !ok || maxCoef[i] < c.maxCoef {
-			best[q] = cand{pair: i, maxCoef: maxCoef[i]}
+			best[q] = queryCand{pair: i, maxCoef: maxCoef[i]}
 		}
 	}
-	cands := make([]cand, 0, len(best))
+	cands := make([]queryCand, 0, len(best))
 	for _, c := range best {
 		cands = append(cands, c)
 	}
-	// Ascending sensitivity, deterministic tie-break by pair index.
 	sort.Slice(cands, func(a, b int) bool {
 		if cands[a].maxCoef != cands[b].maxCoef {
 			return cands[a].maxCoef < cands[b].maxCoef
 		}
 		return cands[a].pair < cands[b].pair
 	})
+	return cands
+}
 
-	counts := make([]int, l.NumPairs())
+// greedyInsertCands walks the candidates in order, setting each candidate
+// pair's count to one whenever every touched user budget still holds, and
+// returns the number retained.
+func greedyInsertCands(cons *dp.Constraints, cands []queryCand, counts []int) int {
 	lhs := make([]float64, len(cons.Rows))
 	// pair → (row, coef) transpose for incremental feasibility.
 	type entry struct {
 		row  int
 		coef float64
 	}
-	byPair := make([][]entry, l.NumPairs())
+	byPair := make([][]entry, len(counts))
 	for k, row := range cons.Rows {
 		for _, t := range row.Terms {
 			byPair[t.Pair] = append(byPair[t.Pair], entry{row: k, coef: t.Coef})
@@ -413,11 +420,25 @@ func QueryDiversity(l *searchlog.Log, params dp.Params, opts Options) (*Plan, er
 			lhs[e.row] += e.coef
 		}
 	}
+	return retained
+}
+
+// queryDiversityMono solves Q-UMP over the whole log in one greedy pass.
+// QueryDiversity (decompose.go) is the public entry point.
+func queryDiversityMono(l *searchlog.Log, params dp.Params, opts Options) (*Plan, error) {
+	cons, err := dp.Build(l, params)
+	if err != nil {
+		return nil, err
+	}
+	cands := queryCandidates(l, maxCoefPerPair(cons, l.NumPairs()))
+	counts := make([]int, l.NumPairs())
+	retained := greedyInsertCands(cons, cands, counts)
 	plan := &Plan{
 		Kind:       KindQueryDiversity,
 		Counts:     counts,
 		OutputSize: retained,
 		Objective:  float64(retained),
+		Components: 1,
 	}
 	plan.RelaxationObjective = float64(retained)
 	return plan, nil

@@ -61,6 +61,14 @@ type Options struct {
 	// Solver names the BIP solver for D-UMP; empty means "spe" (the paper's
 	// Algorithm 2).
 	Solver string
+	// Parallelism bounds concurrent connected-component solves (0 means
+	// GOMAXPROCS, 1 solves components sequentially). Plans are invariant in
+	// it — only wall-clock changes.
+	Parallelism int
+	// NoDecompose skips the component decomposition and solves the log
+	// monolithically, exactly as before internal/partition existed. It is
+	// the differential-testing and ablation-benchmark baseline.
+	NoDecompose bool
 }
 
 // Plan is an integral, strictly feasible assignment of output counts.
@@ -79,8 +87,11 @@ type Plan struct {
 	// (equals Objective for D-UMP).
 	RelaxationObjective float64
 	// Iterations counts simplex iterations (LP problems) or solver nodes
-	// (D-UMP).
+	// (D-UMP); for a decomposed solve it is the sum over components.
 	Iterations int
+	// Components is the number of connected components the solve decomposed
+	// into (1 for a monolithic solve or a connected log).
+	Components int
 }
 
 // buildBase creates the LP skeleton shared by O-UMP and F-UMP: one variable
@@ -229,15 +240,16 @@ func pairCaps(l *searchlog.Log, noBox bool) []int {
 	return caps
 }
 
-// MaxOutputSize solves O-UMP: the maximum differentially private output size
-// λ for the preprocessed log under the given parameters.
-func MaxOutputSize(l *searchlog.Log, params dp.Params, opts Options) (*Plan, error) {
+// maxOutputSizeMono solves O-UMP over the whole log in one LP. MaxOutputSize
+// (decompose.go) is the public entry point; it runs this per connected
+// component unless Options.NoDecompose forces the monolithic path.
+func maxOutputSizeMono(l *searchlog.Log, params dp.Params, opts Options) (*Plan, error) {
 	cons, err := dp.Build(l, params)
 	if err != nil {
 		return nil, err
 	}
 	if l.NumPairs() == 0 {
-		return &Plan{Kind: KindOutputSize, Counts: nil, OutputSize: 0}, nil
+		return &Plan{Kind: KindOutputSize, Counts: nil, OutputSize: 0, Components: 1}, nil
 	}
 	prob := buildBase(l, cons, lp.Maximize, 1, opts.NoBoxConstraint)
 	sol, err := lp.Solve(prob, opts.LP)
@@ -260,53 +272,76 @@ func MaxOutputSize(l *searchlog.Log, params dp.Params, opts Options) (*Plan, err
 		OutputSize:          sum(counts),
 		RelaxationObjective: sol.Objective,
 		Iterations:          sol.Iterations,
+		Components:          1,
 	}
 	plan.Objective = float64(plan.OutputSize)
 	return plan, nil
 }
 
-// FrequentSupport solves F-UMP: minimize the sum of support distances of the
-// input's frequent pairs (support ≥ minSupport) at the fixed output size
-// outputSize, which must lie in (0, λ]. The integral plan's realized size
-// can fall slightly below outputSize because of flooring.
-func FrequentSupport(l *searchlog.Log, params dp.Params, minSupport float64, outputSize int, opts Options) (*Plan, error) {
-	if !(minSupport > 0 && minSupport <= 1) {
-		return nil, fmt.Errorf("ump: minimum support must be in (0, 1], got %g", minSupport)
+// frequentPairs lists the pair indices of l whose input support, measured
+// against inSize tuples, reaches minSupport, together with those supports.
+// For a component sub-log inSize is the *parent* corpus size, so the
+// frequent set matches the monolithic model exactly (component pair totals
+// equal parent pair totals — every user holding a pair lies in its
+// component).
+func frequentPairs(l *searchlog.Log, minSupport, inSize float64) (frequent []int, supIn []float64) {
+	for i := 0; i < l.NumPairs(); i++ {
+		sup := float64(l.PairCount(i)) / inSize
+		if sup < minSupport {
+			continue
+		}
+		frequent = append(frequent, i)
+		supIn = append(supIn, sup)
 	}
-	if outputSize <= 0 {
-		return nil, fmt.Errorf("ump: output size must be positive, got %d", outputSize)
-	}
-	cons, err := dp.Build(l, params)
-	if err != nil {
-		return nil, err
-	}
-	if l.NumPairs() == 0 {
-		return nil, fmt.Errorf("ump: empty log cannot meet output size %d", outputSize)
-	}
+	return frequent, supIn
+}
+
+// SupportDistance returns the F-UMP objective realized by an integral plan:
+// the sum over l's frequent pairs (input support ≥ minSupport against l's
+// own size) of |x_f/|O| − c_f/|D||, where |O| = Σ counts. An empty output
+// realizes the maximal distance Σ_f c_f/|D|. It is exported for the
+// sanitizer, which must recompute the objective after §4.2 noise perturbs
+// the counts.
+func SupportDistance(l *searchlog.Log, minSupport float64, counts []int) float64 {
 	inSize := float64(l.Size())
+	frequent, supIn := frequentPairs(l, minSupport, inSize)
+	outSize := sum(counts)
+	realized := 0.0
+	if outSize > 0 {
+		for f, i := range frequent {
+			realized += math.Abs(float64(counts[i])/float64(outSize) - supIn[f])
+		}
+	} else {
+		for _, s := range supIn {
+			realized += s
+		}
+	}
+	return realized
+}
+
+// frequentCore solves the F-UMP LP over l (the whole log, or one component
+// sub-log) and returns the integral plan without a realized objective —
+// callers compute that where the full output is known. frequent/supIn come
+// from frequentPairs; invO is 1/|O| of the *global* requested output size
+// (the linearization scale of the y rows); alloc is the portion of |O|
+// assigned to l, the right-hand side of the Σx equality row.
+func frequentCore(l *searchlog.Log, cons *dp.Constraints, frequent []int, supIn []float64, invO float64, alloc int, opts Options) (*Plan, error) {
 	prob := buildBase(l, cons, lp.Minimize, 0, opts.NoBoxConstraint)
 
-	// Σ x_ij = |O|.
-	eq := prob.AddConstraint(lp.EQ, float64(outputSize))
+	// Σ x_ij = alloc.
+	eq := prob.AddConstraint(lp.EQ, float64(alloc))
 	for i := 0; i < l.NumPairs(); i++ {
 		prob.SetCoef(eq, i, 1)
 	}
 
 	// One distance variable per frequent pair with the two linearization
 	// rows y ≥ ±(x/|O| − c/|D|).
-	invO := 1 / float64(outputSize)
-	var frequent []int
-	for i := 0; i < l.NumPairs(); i++ {
-		supIn := float64(l.PairCount(i)) / inSize
-		if supIn < minSupport {
-			continue
-		}
-		frequent = append(frequent, i)
+	for f, i := range frequent {
 		y := prob.AddVariable(1, 0, math.Inf(1))
-		r1 := prob.AddConstraint(lp.LE, supIn) // x/|O| − y ≤ c/|D|
+		r1 := prob.AddConstraint(lp.LE, supIn[f]) // x/|O| − y ≤ c/|D|
 		prob.SetCoef(r1, i, invO)
 		prob.SetCoef(r1, y, -1)
-		r2 := prob.AddConstraint(lp.LE, -supIn) // −x/|O| − y ≤ −c/|D|
+		r2 := prob.AddConstraint(lp.LE, -supIn[f]) // −x/|O| − y ≤ −c/|D|
 		prob.SetCoef(r2, i, -invO)
 		prob.SetCoef(r2, y, -1)
 	}
@@ -316,7 +351,7 @@ func FrequentSupport(l *searchlog.Log, params dp.Params, minSupport float64, out
 		return nil, fmt.Errorf("ump: F-UMP solve: %w", err)
 	}
 	if sol.Status == lp.Infeasible {
-		return nil, fmt.Errorf("ump: F-UMP infeasible: output size %d exceeds λ for these parameters", outputSize)
+		return nil, fmt.Errorf("ump: F-UMP infeasible: output size %d exceeds λ for these parameters", alloc)
 	}
 	if sol.Status != lp.Optimal {
 		return nil, fmt.Errorf("ump: F-UMP status %v", sol.Status)
@@ -332,34 +367,43 @@ func FrequentSupport(l *searchlog.Log, params dp.Params, minSupport float64, out
 	for _, i := range frequent {
 		frac[i] += 1
 	}
-	roundUp(cons, counts, frac, pairCaps(l, opts.NoBoxConstraint), outputSize)
-	plan := &Plan{
+	roundUp(cons, counts, frac, pairCaps(l, opts.NoBoxConstraint), alloc)
+	return &Plan{
 		Kind:                KindFrequent,
 		Counts:              counts,
 		OutputSize:          sum(counts),
 		RelaxationObjective: sol.Objective,
 		Iterations:          sol.Iterations,
+		Components:          1,
+	}, nil
+}
+
+// frequentSupportMono solves F-UMP over the whole log in one LP.
+// FrequentSupport (decompose.go) is the public entry point.
+func frequentSupportMono(l *searchlog.Log, params dp.Params, minSupport float64, outputSize int, opts Options) (*Plan, error) {
+	cons, err := dp.Build(l, params)
+	if err != nil {
+		return nil, err
+	}
+	if l.NumPairs() == 0 {
+		return nil, fmt.Errorf("ump: empty log cannot meet output size %d", outputSize)
+	}
+	frequent, supIn := frequentPairs(l, minSupport, float64(l.Size()))
+	plan, err := frequentCore(l, cons, frequent, supIn, 1/float64(outputSize), outputSize, opts)
+	if err != nil {
+		return nil, err
 	}
 	// Realized objective at the integral plan.
-	realized := 0.0
-	if plan.OutputSize > 0 {
-		for _, i := range frequent {
-			realized += math.Abs(float64(counts[i])/float64(plan.OutputSize) - float64(l.PairCount(i))/inSize)
-		}
-	} else {
-		for _, i := range frequent {
-			realized += float64(l.PairCount(i)) / inSize
-		}
-	}
-	plan.Objective = realized
+	plan.Objective = SupportDistance(l, minSupport, plan.Counts)
 	return plan, nil
 }
 
-// Diversity solves D-UMP: maximize the number of distinct retained pairs.
-// Following Theorem 2, the MIP is reduced to the pure BIP of Equation 8 and
-// the selected pairs receive an output count of one (a single multinomial
-// trial), exactly as §5.3 prescribes.
-func Diversity(l *searchlog.Log, params dp.Params, opts Options) (*Plan, error) {
+// diversityMono solves D-UMP over the whole log in one BIP. Diversity
+// (decompose.go) is the public entry point. Note the default SPE heuristic
+// is *not* decomposition-invariant: it eliminates the globally largest
+// coefficient even when that column's rows are already satisfied, so the
+// per-component solve retains at least as many pairs (see DESIGN.md §6).
+func diversityMono(l *searchlog.Log, params dp.Params, opts Options) (*Plan, error) {
 	cons, err := dp.Build(l, params)
 	if err != nil {
 		return nil, err
@@ -398,6 +442,7 @@ func Diversity(l *searchlog.Log, params dp.Params, opts Options) (*Plan, error) 
 		OutputSize:          sum(counts),
 		RelaxationObjective: float64(sol.Objective),
 		Iterations:          sol.Nodes,
+		Components:          1,
 	}
 	plan.Objective = float64(plan.OutputSize)
 	return plan, nil

@@ -2,7 +2,6 @@ package dpslog
 
 import (
 	"fmt"
-	"math"
 	"slices"
 	"strings"
 
@@ -118,6 +117,12 @@ type Options struct {
 	// Seed drives the multinomial sampling (and the Laplace noise when
 	// end-to-end mode is on). Runs are deterministic in the seed.
 	Seed uint64 `json:"seed,omitzero"`
+	// Parallelism bounds the concurrent connected-component solves of the
+	// optimization step (0 = GOMAXPROCS, 1 = sequential). The sanitized
+	// output is invariant in it — components of the user–pair graph are
+	// solved independently and stitched deterministically — so it tunes
+	// wall-clock only. See DESIGN.md §6.
+	Parallelism int `json:"parallelism,omitzero"`
 
 	// EndToEnd enables §4.2: Laplace noise Lap(D/EpsPrime) is added to the
 	// optimal counts (making the count computation itself differentially
@@ -161,9 +166,7 @@ func (o Options) Canonical() Options {
 	switch o.Objective {
 	case ObjectiveFrequent:
 	case ObjectiveCombined:
-		if o.SizeWeight == 0 && o.DistanceWeight == 0 {
-			o.SizeWeight, o.DistanceWeight = 1, 1
-		}
+		o.SizeWeight, o.DistanceWeight = o.combinedWeights()
 		o.OutputSize = 0
 	default:
 		o.MinSupport, o.OutputSize = 0, 0
@@ -174,6 +177,11 @@ func (o Options) Canonical() Options {
 	if !o.EndToEnd {
 		o.D, o.EpsPrime, o.BoundSensitivity = 0, 0, false
 	}
+	// Plans (and therefore outputs) are parallelism-invariant, so the
+	// canonical form — and the server's plan cache key — ignores it:
+	// identical corpora solved at different parallelism levels share one
+	// cache entry.
+	o.Parallelism = 0
 	return o
 }
 
@@ -196,6 +204,9 @@ func (o Options) validate() error {
 		}
 	default:
 		return fmt.Errorf("dpslog: unknown objective %v", o.Objective)
+	}
+	if o.Parallelism < 0 {
+		return fmt.Errorf("dpslog: Parallelism must be non-negative (0 = GOMAXPROCS), got %d", o.Parallelism)
 	}
 	// Fail fast on a bad solver name here rather than deep inside a D-UMP
 	// solve. The empty string means the default ("spe").
@@ -233,8 +244,12 @@ type Plan struct {
 	// Lambda is the O-UMP maximum output size computed for ObjectiveFrequent
 	// runs (0 otherwise).
 	Lambda int
-	// Iterations counts simplex iterations or BIP solver nodes.
+	// Iterations counts simplex iterations or BIP solver nodes (summed over
+	// components for a decomposed solve).
 	Iterations int
+	// Components is the number of connected components of the user–pair
+	// incidence graph the solve decomposed into (1 for a connected corpus).
+	Components int
 	// NoiseApplied reports that §4.2 end-to-end noise perturbed the counts.
 	NoiseApplied bool
 }
@@ -266,6 +281,17 @@ type Sanitizer struct {
 // want to reject bad configurations before committing resources.
 func (o Options) Validate() error { return o.validate() }
 
+// combinedWeights returns the effective ObjectiveCombined weights: the
+// configured values, or (1, 1) when both are left zero. Canonical, the
+// solve dispatch and the noisy-objective recompute must all agree on this
+// defaulting, so it lives in exactly one place.
+func (o Options) combinedWeights() (sizeWeight, distanceWeight float64) {
+	if o.SizeWeight == 0 && o.DistanceWeight == 0 {
+		return 1, 1
+	}
+	return o.SizeWeight, o.DistanceWeight
+}
+
 // New validates the options and returns a Sanitizer.
 func New(opts Options) (*Sanitizer, error) {
 	if err := opts.validate(); err != nil {
@@ -286,7 +312,7 @@ func (s *Sanitizer) Sanitize(in *Log) (*Result, error) {
 	opts := s.opts
 	pre, preStats := Preprocess(in)
 	params := dp.Params{Eps: opts.Epsilon, Delta: opts.Delta}
-	uopts := ump.Options{NoBoxConstraint: opts.NoBoxConstraint, Solver: opts.Solver}
+	uopts := ump.Options{NoBoxConstraint: opts.NoBoxConstraint, Solver: opts.Solver, Parallelism: opts.Parallelism}
 
 	// §4.2 sensitivity-bounding preprocessing: drop user logs whose removal
 	// shifts any optimal count by more than D, so the Lap(D/ε′) scale below
@@ -362,12 +388,26 @@ func (s *Sanitizer) Sanitize(in *Log) (*Result, error) {
 	}
 	objective := plan.Objective
 	if noised {
-		// Recompute size-like objectives for the noisy plan.
+		// Recompute every objective on the noisy counts: the plan the
+		// release realizes is the noisy one, and the solver's objective no
+		// longer describes it.
 		switch opts.Objective {
-		case ObjectiveOutputSize, ObjectiveDiversity:
+		case ObjectiveOutputSize:
 			objective = float64(outSize)
+		case ObjectiveDiversity:
+			// Distinct retained pairs: noise and re-projection can push a
+			// pair's count past one, so output size over-counts diversity.
+			objective = float64(countPositive(counts))
+		case ObjectiveQueryDiversity:
+			objective = float64(distinctQueries(pre, counts))
 		case ObjectiveFrequent:
-			objective = math.NaN() // distance objective no longer tracked
+			// The realized support-distance sum (previously NaN, which also
+			// broke JSON encoding of the server's sync response).
+			objective = ump.SupportDistance(pre, opts.MinSupport, counts)
+		case ObjectiveCombined:
+			ws, wd := opts.combinedWeights()
+			dist := ump.SupportDistance(pre, opts.MinSupport, counts)
+			objective = ws*float64(outSize)/float64(pre.Size()) - wd*dist
 		}
 	}
 	return &Result{
@@ -383,9 +423,33 @@ func (s *Sanitizer) Sanitize(in *Log) (*Result, error) {
 			RelaxationObjective: plan.RelaxationObjective,
 			Lambda:              lambda,
 			Iterations:          plan.Iterations,
+			Components:          plan.Components,
 			NoiseApplied:        noised,
 		},
 	}, nil
+}
+
+// countPositive counts the pairs with a positive planned count.
+func countPositive(counts []int) int {
+	n := 0
+	for _, c := range counts {
+		if c > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// distinctQueries counts the distinct queries among pairs with a positive
+// planned count.
+func distinctQueries(l *Log, counts []int) int {
+	seen := make(map[string]struct{})
+	for i, c := range counts {
+		if c > 0 {
+			seen[l.Pair(i).Query] = struct{}{}
+		}
+	}
+	return len(seen)
 }
 
 // solveObjective dispatches to the configured utility-maximizing problem.
@@ -426,10 +490,8 @@ func (s *Sanitizer) solveObjectiveWithLambda(pre *Log, params dp.Params, uopts u
 		plan, err := ump.Diversity(pre, params, uopts)
 		return plan, 0, err
 	case ObjectiveCombined:
-		w := ump.CombinedWeights{SizeWeight: opts.SizeWeight, DistanceWeight: opts.DistanceWeight}
-		if w.SizeWeight == 0 && w.DistanceWeight == 0 {
-			w = ump.CombinedWeights{SizeWeight: 1, DistanceWeight: 1}
-		}
+		var w ump.CombinedWeights
+		w.SizeWeight, w.DistanceWeight = opts.combinedWeights()
 		plan, err := ump.Combined(pre, params, opts.MinSupport, w, uopts)
 		return plan, 0, err
 	case ObjectiveQueryDiversity:
@@ -441,10 +503,19 @@ func (s *Sanitizer) solveObjectiveWithLambda(pre *Log, params dp.Params, uopts u
 
 // Lambda computes the maximum differentially private output size λ (the
 // O-UMP optimum) for a raw input log under (ε, δ) — the quantity the paper
-// tabulates in Table 4. The log is preprocessed internally.
+// tabulates in Table 4. The log is preprocessed internally and solved per
+// connected component at GOMAXPROCS parallelism; servers multiplexing many
+// solves should use LambdaParallelism to bound the fan-out.
 func Lambda(in *Log, epsilon, delta float64) (int, error) {
+	return LambdaParallelism(in, epsilon, delta, 0)
+}
+
+// LambdaParallelism is Lambda with an explicit bound on concurrent
+// component solves (0 = GOMAXPROCS, 1 = sequential). The result does not
+// depend on parallelism.
+func LambdaParallelism(in *Log, epsilon, delta float64, parallelism int) (int, error) {
 	pre, _ := Preprocess(in)
-	plan, err := ump.MaxOutputSize(pre, dp.Params{Eps: epsilon, Delta: delta}, ump.Options{})
+	plan, err := ump.MaxOutputSize(pre, dp.Params{Eps: epsilon, Delta: delta}, ump.Options{Parallelism: parallelism})
 	if err != nil {
 		return 0, err
 	}
