@@ -1,12 +1,14 @@
 // Command slbench measures the solver hot paths — monolithic vs
-// component-decomposed, sequential vs parallel — plus the multinomial
-// sampling step, and emits a machine-readable benchmark trajectory
-// (BENCH_pr2.json) that future changes are compared against.
+// component-decomposed, sequential vs parallel, dense vs sparse-LU basis
+// engine — plus the multinomial sampling step and the warm-started grid
+// sweeps, and emits a machine-readable benchmark trajectory
+// (BENCH_pr3.json) that future changes are compared against.
 //
 // Usage:
 //
-//	slbench [-o BENCH_pr2.json] [-profiles tiny,small,tiny-sharded,small-sharded]
+//	slbench [-o BENCH_pr3.json] [-profiles tiny,small,tiny-sharded,small-sharded]
 //	        [-objectives output-size,diversity] [-benchtime 1s|1x] [-seed 1]
+//	        [-baseline BENCH_pr2.json] [-no-sweeps]
 //
 // Each benchmark runs through testing.Benchmark, so -benchtime follows the
 // go test convention (a duration, or N iterations as "Nx"). Corpus
@@ -14,7 +16,14 @@
 // are pure solve cost. Single-market profiles (tiny, small) form one giant
 // connected component — there the decomposed rows measure the
 // decomposition's overhead, not a speedup; the *-sharded profiles decompose
-// into one component per market and show the win.
+// into one component per market and show the win. The monolithic-dense rows
+// re-run the monolithic O-UMP solve on the legacy dense basis engine: the
+// dense-vs-sparse ratio at equal λ is the PR 3 headline.
+//
+// With -baseline, slbench compares every objective value against the named
+// earlier trajectory by benchmark name and exits nonzero on any mismatch:
+// speed may drift between engines and machines, λ and plan objectives may
+// not.
 package main
 
 import (
@@ -24,11 +33,13 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"testing"
 
 	"dpslog/internal/dp"
 	"dpslog/internal/gen"
+	"dpslog/internal/lp"
 	"dpslog/internal/rng"
 	"dpslog/internal/sampling"
 	"dpslog/internal/searchlog"
@@ -62,12 +73,22 @@ type trajectory struct {
 	Benchmarks []benchResult `json:"benchmarks"`
 }
 
+// The paper's (e^ε, δ) grids, for the warm-started Table-4 sweep (kept in
+// sync with internal/experiments; duplicated to keep slbench free of the
+// experiment runner's corpus-generation weight).
+var (
+	eExpGrid7  = []float64{1.001, 1.01, 1.1, 1.4, 1.7, 2.0, 2.3}
+	deltaGrid7 = []float64{1e-4, 1e-3, 1e-2, 1e-1, 0.2, 0.5, 0.8}
+)
+
 func main() {
-	out := flag.String("o", "BENCH_pr2.json", "output JSON file (- for stdout)")
+	out := flag.String("o", "BENCH_pr3.json", "output JSON file (- for stdout)")
 	profiles := flag.String("profiles", "tiny,small,tiny-sharded,small-sharded", "comma-separated corpus profiles")
 	objectives := flag.String("objectives", "output-size,diversity", "comma-separated objectives: output-size, diversity")
 	benchtime := flag.String("benchtime", "", "per-benchmark budget, go test style (e.g. 2s or 1x); empty = testing default (1s)")
 	seed := flag.Uint64("seed", 1, "corpus generation seed")
+	baseline := flag.String("baseline", "", "comma-separated earlier trajectory JSONs; objective values must match by name (λ drift fails the run)")
+	noSweeps := flag.Bool("no-sweeps", false, "skip the warm-started table4/frontier sweep benchmarks")
 	testing.Init()
 	flag.Parse()
 	if *benchtime != "" {
@@ -78,7 +99,7 @@ func main() {
 
 	params := dp.Params{Eps: math.Log(2), Delta: 0.5}
 	traj := trajectory{
-		PR:         "pr2",
+		PR:         "pr3",
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Seed:       *seed,
 		Benchtime:  *benchtime,
@@ -99,17 +120,22 @@ func main() {
 		pre, _ := searchlog.Preprocess(raw)
 
 		modes := []struct {
-			name string
-			opts ump.Options
-			par  int
+			name       string
+			opts       ump.Options
+			par        int
+			objectives string // empty = all
 		}{
-			{"monolithic", ump.Options{NoDecompose: true}, 1},
-			{"decomposed-p1", ump.Options{Parallelism: 1}, 1},
-			{"decomposed-pmax", ump.Options{}, runtime.GOMAXPROCS(0)},
+			{"monolithic", ump.Options{NoDecompose: true}, 1, ""},
+			{"monolithic-dense", ump.Options{NoDecompose: true, LP: lp.Options{Engine: lp.EngineDense}}, 1, "output-size"},
+			{"decomposed-p1", ump.Options{Parallelism: 1}, 1, ""},
+			{"decomposed-pmax", ump.Options{}, runtime.GOMAXPROCS(0), ""},
 		}
 		for _, objective := range strings.Split(*objectives, ",") {
 			objective = strings.TrimSpace(objective)
 			for _, mode := range modes {
+				if mode.objectives != "" && !strings.Contains(mode.objectives, objective) {
+					continue
+				}
 				solve, err := solverFor(objective, pre, params, mode.opts)
 				if err != nil {
 					fatal(err)
@@ -127,7 +153,7 @@ func main() {
 						}
 					}
 				})
-				row := benchResult{
+				addRow(&traj, benchResult{
 					Name:           fmt.Sprintf("%s/%s/%s", profile, objective, mode.name),
 					Profile:        profile,
 					Objective:      objective,
@@ -141,10 +167,7 @@ func main() {
 					NsPerOp:        float64(r.NsPerOp()),
 					BytesPerOp:     r.AllocedBytesPerOp(),
 					AllocsPerOp:    r.AllocsPerOp(),
-				}
-				traj.Benchmarks = append(traj.Benchmarks, row)
-				fmt.Fprintf(os.Stderr, "slbench: %-44s %12.0f ns/op  %8d allocs/op  (N=%d, comps=%d, obj=%g)\n",
-					row.Name, row.NsPerOp, row.AllocsPerOp, row.N, row.Components, row.ObjectiveValue)
+				})
 			}
 		}
 
@@ -162,7 +185,7 @@ func main() {
 				}
 			}
 		})
-		traj.Benchmarks = append(traj.Benchmarks, benchResult{
+		addRow(&traj, benchResult{
 			Name:        profile + "/sampling",
 			Profile:     profile,
 			Objective:   "sampling",
@@ -176,6 +199,13 @@ func main() {
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			AllocsPerOp: r.AllocsPerOp(),
 		})
+
+		// Warm-started sweep benchmarks: the experiment-layer workloads the
+		// warm starts were built for, on the small profiles only (the tiny
+		// ones drown in fixed costs).
+		if !*noSweeps && strings.HasPrefix(profile, "small") {
+			benchSweeps(&traj, profile, pre)
+		}
 	}
 
 	enc, err := json.MarshalIndent(traj, "", "  ")
@@ -183,6 +213,16 @@ func main() {
 		fatal(err)
 	}
 	enc = append(enc, '\n')
+	for _, base := range strings.Split(*baseline, ",") {
+		base = strings.TrimSpace(base)
+		if base == "" {
+			continue
+		}
+		if err := checkBaseline(traj, base); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "slbench: objective values match baseline %s\n", base)
+	}
 	if *out == "-" {
 		os.Stdout.Write(enc)
 		return
@@ -191,6 +231,185 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "slbench: wrote %d benchmarks to %s\n", len(traj.Benchmarks), *out)
+}
+
+func addRow(traj *trajectory, row benchResult) {
+	traj.Benchmarks = append(traj.Benchmarks, row)
+	fmt.Fprintf(os.Stderr, "slbench: %-48s %12.0f ns/op  %8d allocs/op  (N=%d, comps=%d, obj=%g)\n",
+		row.Name, row.NsPerOp, row.AllocsPerOp, row.N, row.Components, row.ObjectiveValue)
+}
+
+// distinctBudgets reduces the paper's 7×7 grid to its distinct merged
+// budgets (the constraint system depends on min{ε, ln 1/(1−δ)} only),
+// sorted ascending for determinism.
+func distinctBudgets() []dp.Params {
+	seen := map[float64]dp.Params{}
+	for _, e := range eExpGrid7 {
+		for _, d := range deltaGrid7 {
+			p := dp.FromEExp(e, d)
+			seen[p.Budget()] = p
+		}
+	}
+	budgets := make([]float64, 0, len(seen))
+	for b := range seen {
+		budgets = append(budgets, b)
+	}
+	sort.Float64s(budgets)
+	out := make([]dp.Params, 0, len(budgets))
+	for _, b := range budgets {
+		out = append(out, seen[b])
+	}
+	return out
+}
+
+// benchSweeps measures the table4 λ sweep (distinct budgets of the paper
+// grid) and the frontier ladder (min-privacy solves for rising targets),
+// cold versus warm-started, and records the summed integral objectives so
+// the baseline gate covers the sweeps too.
+func benchSweeps(traj *trajectory, profile string, pre *searchlog.Log) {
+	budgets := distinctBudgets()
+	reference := dp.FromEExp(2.0, 0.5)
+
+	sweepLambda := func(warm bool) (float64, testing.BenchmarkResult) {
+		total := 0.0
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				total = 0
+				var pool *ump.WarmStarts
+				if warm {
+					// Anchor exactly like internal/experiments: one cold
+					// solve of the reference point seeds the sticky pool;
+					// every other budget warm-starts from it.
+					pool = ump.NewWarmStarts(true)
+					if _, err := ump.MaxOutputSize(pre, reference, ump.Options{Warm: pool}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				for _, p := range budgets {
+					plan, err := ump.MaxOutputSize(pre, p, ump.Options{Warm: pool})
+					if err != nil {
+						b.Fatal(err)
+					}
+					total += math.Floor(plan.RelaxationObjective)
+				}
+			}
+		})
+		return total, r
+	}
+
+	for _, mode := range []string{"cold", "warm"} {
+		total, r := sweepLambda(mode == "warm")
+		addRow(traj, benchResult{
+			Name:           fmt.Sprintf("%s/sweep-table4/%s", profile, mode),
+			Profile:        profile,
+			Objective:      "sweep-table4",
+			Mode:           mode,
+			Parallelism:    runtime.GOMAXPROCS(0),
+			Components:     len(budgets),
+			Pairs:          pre.NumPairs(),
+			Users:          pre.NumUsers(),
+			ObjectiveValue: total,
+			N:              r.N,
+			NsPerOp:        float64(r.NsPerOp()),
+			BytesPerOp:     r.AllocedBytesPerOp(),
+			AllocsPerOp:    r.AllocsPerOp(),
+		})
+	}
+
+	// Frontier ladder: targets as fractions of the reference λ.
+	refPlan, err := ump.MaxOutputSize(pre, reference, ump.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	ref := int(math.Floor(refPlan.RelaxationObjective))
+	if ref < 4 {
+		return
+	}
+	var targets []int
+	for _, frac := range []float64{0.1, 0.25, 0.5, 0.75, 1.0} {
+		if t := int(frac * float64(ref)); t >= 1 {
+			targets = append(targets, t)
+		}
+	}
+	sweepFrontier := func(warm bool) (float64, testing.BenchmarkResult) {
+		total := 0.0
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				total = 0
+				var pool *ump.WarmStarts
+				if warm {
+					// Sequential ladder: rolling semantics, each step
+					// continues from its predecessor's basis.
+					pool = ump.NewWarmStarts(false)
+				}
+				for _, target := range targets {
+					res, err := ump.MinPrivacy(pre, target, ump.Options{Warm: pool})
+					if err != nil {
+						b.Fatal(err)
+					}
+					total += float64(res.Plan.OutputSize)
+				}
+			}
+		})
+		return total, r
+	}
+	for _, mode := range []string{"cold", "warm"} {
+		total, r := sweepFrontier(mode == "warm")
+		addRow(traj, benchResult{
+			Name:           fmt.Sprintf("%s/sweep-frontier/%s", profile, mode),
+			Profile:        profile,
+			Objective:      "sweep-frontier",
+			Mode:           mode,
+			Parallelism:    1,
+			Components:     len(targets),
+			Pairs:          pre.NumPairs(),
+			Users:          pre.NumUsers(),
+			ObjectiveValue: total,
+			N:              r.N,
+			NsPerOp:        float64(r.NsPerOp()),
+			BytesPerOp:     r.AllocedBytesPerOp(),
+			AllocsPerOp:    r.AllocsPerOp(),
+		})
+	}
+}
+
+// checkBaseline fails when any benchmark present in both trajectories
+// disagrees on its objective value: engines and machines may change speed,
+// never λ or plan objectives.
+func checkBaseline(traj trajectory, path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base trajectory
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	baseVals := make(map[string]float64, len(base.Benchmarks))
+	for _, r := range base.Benchmarks {
+		baseVals[r.Name] = r.ObjectiveValue
+	}
+	var mismatches []string
+	compared := 0
+	for _, r := range traj.Benchmarks {
+		want, ok := baseVals[r.Name]
+		if !ok {
+			continue
+		}
+		compared++
+		if r.ObjectiveValue != want {
+			mismatches = append(mismatches, fmt.Sprintf("%s: objective %g != baseline %g", r.Name, r.ObjectiveValue, want))
+		}
+	}
+	if compared == 0 {
+		return fmt.Errorf("baseline %s shares no benchmark names with this run", path)
+	}
+	if len(mismatches) > 0 {
+		return fmt.Errorf("objective drift vs %s:\n  %s", path, strings.Join(mismatches, "\n  "))
+	}
+	return nil
 }
 
 // solverFor binds one objective solve over the preprocessed corpus.

@@ -147,6 +147,44 @@ func TestMinBudgetForSizeMonotone(t *testing.T) {
 	}
 }
 
+// TestMinBudgetForSizesMatchesSingles (PR 3): the warm-started ladder must
+// reproduce the per-target results of independent MinBudgetForSize calls —
+// basis reuse across the sweep is a latency optimization only.
+func TestMinBudgetForSizes(t *testing.T) {
+	in := testCorpus(t)
+	targets := []int{2, 5, 10, 20}
+	sweep, err := MinBudgetForSizes(in, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep) != len(targets) {
+		t.Fatalf("sweep returned %d results for %d targets", len(sweep), len(targets))
+	}
+	for i, target := range targets {
+		single, err := MinBudgetForSize(in, target)
+		if err != nil {
+			t.Fatalf("target %d: %v", target, err)
+		}
+		if sweep[i].OutputSize != single.OutputSize {
+			t.Errorf("target %d: sweep size %d != single-solve size %d", target, sweep[i].OutputSize, single.OutputSize)
+		}
+		if math.Abs(sweep[i].Epsilon-single.Epsilon) > 1e-6*(1+single.Epsilon) {
+			t.Errorf("target %d: sweep ε* %g != single-solve ε* %g", target, sweep[i].Epsilon, single.Epsilon)
+		}
+		delta := 1 - math.Exp(-sweep[i].Epsilon)
+		if delta <= 0 {
+			delta = 1e-9
+		}
+		if err := VerifyCounts(sweep[i].Preprocessed, sweep[i].Epsilon+1e-9, delta+1e-9, sweep[i].Counts); err != nil {
+			t.Errorf("target %d: sweep plan fails audit at its ε*: %v", target, err)
+		}
+	}
+	// An infeasible target anywhere in the ladder fails the whole sweep.
+	if _, err := MinBudgetForSizes(in, []int{2, 1 << 30}); err == nil {
+		t.Error("absurd target inside a sweep accepted")
+	}
+}
+
 func TestMinBudgetForSizeRejectsBadTarget(t *testing.T) {
 	in := testCorpus(t)
 	if _, err := MinBudgetForSize(in, 0); err == nil {

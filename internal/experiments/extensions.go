@@ -109,7 +109,7 @@ func (r *Runner) Frontier() (*Table, error) {
 		if target < 1 {
 			target = 1
 		}
-		res, err := ump.MinPrivacy(r.pre, target, ump.Options{})
+		res, err := ump.MinPrivacy(r.pre, target, ump.Options{Warm: r.warm})
 		if err != nil {
 			return nil, err
 		}
@@ -140,7 +140,7 @@ func (r *Runner) CombinedSweep() (*Table, error) {
 		if dw == 0 {
 			w = ump.CombinedWeights{SizeWeight: 1}
 		}
-		plan, err := ump.Combined(r.pre, p, s, w, ump.Options{})
+		plan, err := ump.Combined(r.pre, p, s, w, ump.Options{Warm: r.warm})
 		if err != nil {
 			return nil, err
 		}

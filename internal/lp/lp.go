@@ -178,6 +178,61 @@ func (p *Problem) validate() error {
 	return nil
 }
 
+// Engine selects the basis-inverse representation of the simplex engine.
+type Engine int
+
+const (
+	// EngineSparseLU (the default) factorizes the basis as a sparse
+	// Markowitz-ordered LU with product-form eta updates and periodic
+	// refactorization.
+	EngineSparseLU Engine = iota
+	// EngineDense maintains the explicit dense m×m basis inverse — the
+	// original engine, kept for differential testing and the
+	// dense-vs-sparse benchmark comparison.
+	EngineDense
+)
+
+// Basis statuses, matching the solver's internal nonbasic/basic encoding.
+const (
+	// BasisAtLower marks a variable nonbasic at its lower bound (or a row
+	// whose logical column is nonbasic).
+	BasisAtLower int8 = iota
+	// BasisAtUpper marks a variable nonbasic at its upper bound.
+	BasisAtUpper
+	// BasisBasic marks a basic variable (or a row whose logical — slack,
+	// surplus or artificial — is basic).
+	BasisBasic
+)
+
+// Basis is a problem-space snapshot of a simplex basis: one status per
+// structural variable and one per row describing the row's logical column.
+// A Solution carries the final basis, and Options.WarmStart accepts one to
+// seed a later solve of the same (or a structurally similar) problem. Warm
+// starts are validated — shape, nonsingularity, primal feasibility under
+// the new data — and silently fall back to a cold start when the snapshot
+// does not fit, so they can never change which solutions are optimal, only
+// how fast one is found.
+type Basis struct {
+	// Vars holds BasisAtLower/BasisAtUpper/BasisBasic per structural
+	// variable.
+	Vars []int8
+	// Rows holds, per constraint row, BasisBasic when the row's logical
+	// column is basic and BasisAtLower otherwise.
+	Rows []int8
+}
+
+// Clone returns a deep copy (snapshots are retained across solves; callers
+// that cache them should not alias solver-owned memory).
+func (b *Basis) Clone() *Basis {
+	if b == nil {
+		return nil
+	}
+	return &Basis{
+		Vars: append([]int8(nil), b.Vars...),
+		Rows: append([]int8(nil), b.Rows...),
+	}
+}
+
 // Solution is the result of a solve.
 type Solution struct {
 	// Status is the solve outcome. X/Objective are meaningful only for
@@ -197,6 +252,9 @@ type Solution struct {
 	ReducedCost []float64
 	// Iterations is the total simplex iterations across both phases.
 	Iterations int
+	// Basis is the final basis snapshot (Optimal and IterLimit solves),
+	// usable as Options.WarmStart for a subsequent solve.
+	Basis *Basis
 }
 
 // Options tune the solver.
@@ -210,16 +268,45 @@ type Options struct {
 	// ablation benchmark). The default is Dantzig pricing with an automatic
 	// Bland fallback under degeneracy.
 	Bland bool
+	// Engine selects the basis representation; the zero value is the sparse
+	// LU engine.
+	Engine Engine
+	// WarmStart seeds the solve with a prior basis snapshot. Invalid or
+	// infeasible snapshots fall back to a cold start.
+	WarmStart *Basis
+	// NoPresolve disables the presolve reductions (empty/always-slack row
+	// elimination, empty-column fixing, singleton-row bound tightening).
+	NoPresolve bool
 }
 
 // ErrBadProblem wraps structural validation errors.
 var ErrBadProblem = errors.New("lp: malformed problem")
 
-// Solve runs the two-phase revised simplex method on the problem.
+// Solve runs the two-phase revised simplex method on the problem: presolve
+// (unless disabled), warm or cold start, iterate, postsolve.
 func Solve(p *Problem, opts Options) (*Solution, error) {
 	if err := p.validate(); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadProblem, err)
 	}
+	if opts.NoPresolve {
+		return solveCore(p, opts, opts.WarmStart)
+	}
+	ps := presolveProblem(p)
+	if ps.infeasible {
+		return infeasibleSolution(p), nil
+	}
+	sol, err := solveCore(ps.reduced, opts, ps.mapWarm(opts.WarmStart))
+	if err != nil {
+		return nil, err
+	}
+	return ps.postsolve(p, sol), nil
+}
+
+// solveCore runs the simplex proper on an already-reduced problem.
+func solveCore(p *Problem, opts Options, warm *Basis) (*Solution, error) {
 	s := newSolver(p, opts)
+	if warm == nil || !s.warmStart(opts.Engine, warm) {
+		s.coldStart(opts.Engine)
+	}
 	return s.solve()
 }

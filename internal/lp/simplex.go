@@ -4,7 +4,8 @@ import (
 	"math"
 )
 
-// Variable statuses for nonbasic variables.
+// Variable statuses for nonbasic variables. The values deliberately match
+// the exported Basis* constants so basis snapshots copy without translation.
 const (
 	atLower int8 = iota
 	atUpper
@@ -18,8 +19,12 @@ const (
 // Pricing uses the Devex rule with incrementally maintained reduced costs:
 // each pivot updates d and the Devex reference weights in one O(nnz) pass
 // over the pivot row, and full dual recomputation happens only on periodic
-// refreshes, keeping per-iteration cost at O(m²) for the eta update of the
-// explicit basis inverse plus O(nnz) for pricing.
+// refreshes. The basis inverse lives behind the basisFactor interface: the
+// default sparse LU engine pays O(nnz of the factors) per FTRAN/BTRAN and
+// appends a product-form eta per pivot, with periodic and
+// stability-triggered refactorization; the legacy dense engine keeps the
+// explicit m×m inverse (O(m²) per pivot) for differential testing and the
+// BENCH_pr3 dense-vs-sparse comparison.
 type solver struct {
 	m, n    int // rows, total columns (structural + slack + artificial)
 	nStruct int // structural column count
@@ -31,17 +36,20 @@ type solver struct {
 	lower []float64
 	upper []float64
 	b     []float64
+	ops   []Op
 
-	basis  []int   // row -> column
-	pos    []int32 // column -> basis row, or -1
+	slackOf []int // row -> slack/surplus column, or -1 (EQ rows)
+
+	basis  []int   // basis position -> column
+	pos    []int32 // column -> basis position, or -1
 	status []int8  // column -> atLower/atUpper/basic
 	xB     []float64
-	binv   []float64 // m×m row-major explicit basis inverse
+	factor basisFactor
 
 	// scratch
 	y     []float64 // duals c_B·B^{-1}
 	w     []float64 // FTRAN result B^{-1}·A_j
-	rho   []float64 // pivot row of B^{-1} (copied before the eta update)
+	rho   []float64 // pivot row of B^{-1} (computed before the basis update)
 	d     []float64 // reduced costs, maintained incrementally
 	devex []float64 // Devex reference weights
 
@@ -56,8 +64,12 @@ type solver struct {
 	iterations  int
 	refactEvery int
 	maximize    bool
+	warmOK      bool // a warm basis was installed; phase 1 is skipped
 }
 
+// newSolver copies the problem into solver form: structural and slack
+// columns, bounds and costs. The starting basis is installed separately by
+// coldStart or warmStart.
 func newSolver(p *Problem, opts Options) *solver {
 	m := len(p.ops)
 	nStruct := len(p.obj)
@@ -67,6 +79,7 @@ func newSolver(p *Problem, opts Options) *solver {
 		tol:     opts.Tol,
 		maxIter: opts.MaxIterations,
 		bland:   opts.Bland,
+		ops:     p.ops,
 	}
 	if s.tol <= 0 {
 		s.tol = 1e-9
@@ -100,9 +113,9 @@ func newSolver(p *Problem, opts Options) *solver {
 	// Slack/surplus columns: LE gets +1 slack in [0, inf); GE gets -1 surplus
 	// in [0, inf); EQ gets none.
 	s.b = append([]float64(nil), p.rhs...)
-	slackOf := make([]int, m)
+	s.slackOf = make([]int, m)
 	for i := 0; i < m; i++ {
-		slackOf[i] = -1
+		s.slackOf[i] = -1
 		switch p.ops[i] {
 		case LE:
 			s.cols = append(s.cols, []nz{{row: int32(i), val: 1}})
@@ -114,12 +127,39 @@ func newSolver(p *Problem, opts Options) *solver {
 		s.cost2 = append(s.cost2, 0)
 		s.lower = append(s.lower, 0)
 		s.upper = append(s.upper, math.Inf(1))
-		slackOf[i] = len(s.cols) - 1
+		s.slackOf[i] = len(s.cols) - 1
 	}
 	s.nSlack = len(s.cols) - nStruct
-
-	// Initial nonbasic point: every structural variable at a finite bound.
 	s.status = make([]int8, len(s.cols), len(s.cols)+m)
+	s.pos = make([]int32, len(s.cols), len(s.cols)+m)
+	return s
+}
+
+// newFactor builds the basis representation for the configured engine.
+func newFactor(engine Engine, m int) basisFactor {
+	if engine == EngineDense {
+		return newDenseFactor(m)
+	}
+	return newLUFactor(m)
+}
+
+// finishInit sizes the iteration workspace once the basis (and any
+// artificial columns) are in place.
+func (s *solver) finishInit() {
+	s.n = len(s.cols)
+	s.y = make([]float64, s.m)
+	s.w = make([]float64, s.m)
+	s.rho = make([]float64, s.m)
+	s.d = make([]float64, s.n)
+	s.devex = make([]float64, s.n)
+}
+
+// coldStart installs the standard slack/artificial starting basis: every
+// structural variable at a finite bound, slacks basic where feasible,
+// artificials elsewhere.
+func (s *solver) coldStart(engine Engine) {
+	m := s.m
+	// Initial nonbasic point: every variable at a finite bound.
 	for j := 0; j < len(s.cols); j++ {
 		if math.IsInf(s.lower[j], -1) {
 			s.status[j] = atUpper
@@ -130,7 +170,7 @@ func newSolver(p *Problem, opts Options) *solver {
 
 	// Residual r = b - A·x_N over structural columns only (slacks are at 0).
 	r := append([]float64(nil), s.b...)
-	for j := 0; j < nStruct; j++ {
+	for j := 0; j < s.nStruct; j++ {
 		v := s.nbValue(j)
 		if v == 0 {
 			continue
@@ -144,16 +184,15 @@ func newSolver(p *Problem, opts Options) *solver {
 	// otherwise an artificial with the residual's sign.
 	s.basis = make([]int, m)
 	s.xB = make([]float64, m)
-	s.pos = make([]int32, len(s.cols), len(s.cols)+m)
 	for j := range s.pos {
 		s.pos[j] = -1
 	}
 	binvDiag := make([]float64, m) // initial basis is diagonal ±1
 	for i := 0; i < m; i++ {
-		j := slackOf[i]
+		j := s.slackOf[i]
 		feasibleSlack := false
 		if j >= 0 {
-			switch p.ops[i] {
+			switch s.ops[i] {
 			case LE:
 				feasibleSlack = r[i] >= -s.tol
 			case GE:
@@ -164,7 +203,7 @@ func newSolver(p *Problem, opts Options) *solver {
 			s.basis[i] = j
 			s.status[j] = basic
 			s.pos[j] = int32(i)
-			if p.ops[i] == LE {
+			if s.ops[i] == LE {
 				s.xB[i] = math.Max(r[i], 0)
 				binvDiag[i] = 1
 			} else {
@@ -190,17 +229,114 @@ func newSolver(p *Problem, opts Options) *solver {
 		binvDiag[i] = val // inverse of ±1 is itself
 		s.nArtificial++
 	}
-	s.n = len(s.cols)
-	s.binv = make([]float64, m*m)
-	for i := 0; i < m; i++ {
-		s.binv[i*m+i] = binvDiag[i]
+	s.factor = newFactor(engine, m)
+	s.factor.initDiag(binvDiag)
+	s.finishInit()
+}
+
+// warmStart tries to install the basis snapshot b. On success the solver is
+// primal feasible and solve skips phase 1. On any mismatch — wrong shape,
+// basic-column count, singular basis, or primal infeasibility under the
+// current bounds and right-hand side — it reports false without touching
+// the solver, and the caller falls back to a cold start.
+func (s *solver) warmStart(engine Engine, bs *Basis) bool {
+	m := s.m
+	if bs == nil || len(bs.Vars) != s.nStruct || len(bs.Rows) != m {
+		return false
 	}
-	s.y = make([]float64, m)
-	s.w = make([]float64, m)
-	s.rho = make([]float64, m)
-	s.d = make([]float64, s.n)
-	s.devex = make([]float64, s.n)
-	return s
+	baseCols := s.nStruct + s.nSlack
+	rollback := func() bool {
+		s.cols = s.cols[:baseCols]
+		s.cost2 = s.cost2[:baseCols]
+		s.lower = s.lower[:baseCols]
+		s.upper = s.upper[:baseCols]
+		s.status = s.status[:baseCols]
+		s.pos = s.pos[:baseCols]
+		s.nArtificial = 0
+		s.basis = nil
+		s.xB = nil
+		return false
+	}
+
+	var basicCols []int
+	for j := 0; j < s.nStruct; j++ {
+		switch bs.Vars[j] {
+		case BasisBasic:
+			s.status[j] = basic
+			basicCols = append(basicCols, j)
+		case BasisAtUpper:
+			if math.IsInf(s.upper[j], 1) {
+				if math.IsInf(s.lower[j], -1) {
+					return rollback()
+				}
+				s.status[j] = atLower
+			} else {
+				s.status[j] = atUpper
+			}
+		default:
+			if math.IsInf(s.lower[j], -1) {
+				s.status[j] = atUpper
+			} else {
+				s.status[j] = atLower
+			}
+		}
+	}
+	for i := 0; i < m; i++ {
+		if j := s.slackOf[i]; j >= 0 {
+			s.status[j] = atLower
+		}
+		if bs.Rows[i] != BasisBasic {
+			continue
+		}
+		if j := s.slackOf[i]; j >= 0 {
+			s.status[j] = basic
+			basicCols = append(basicCols, j)
+			continue
+		}
+		// EQ row with its logical basic: recreate it as an artificial fixed
+		// at zero (a degenerate but perfectly valid basic column).
+		s.cols = append(s.cols, []nz{{row: int32(i), val: 1}})
+		s.cost2 = append(s.cost2, 0)
+		s.lower = append(s.lower, 0)
+		s.upper = append(s.upper, 0)
+		s.status = append(s.status, basic)
+		s.pos = append(s.pos, -1)
+		s.nArtificial++
+		basicCols = append(basicCols, len(s.cols)-1)
+	}
+	if len(basicCols) != m {
+		return rollback()
+	}
+
+	s.basis = make([]int, m)
+	s.xB = make([]float64, m)
+	for j := range s.pos {
+		s.pos[j] = -1
+	}
+	// The basis matrix is the set of basic columns; the position pairing is
+	// bookkeeping only, so ascending column order is as good as any and
+	// deterministic.
+	for i, j := range basicCols {
+		s.basis[i] = j
+		s.pos[j] = int32(i)
+	}
+	s.factor = newFactor(engine, m)
+	if m > 0 && !s.factor.refactor(s.basis, s.cols) {
+		return rollback()
+	}
+	s.finishInit()
+	s.recomputeXB()
+
+	// Primal feasibility of the warm basis under the current data.
+	ftol := 1e-7 * (1 + s.bNorm())
+	for i := 0; i < m; i++ {
+		j := s.basis[i]
+		if s.xB[i] < s.lower[j]-ftol || s.xB[i] > s.upper[j]+ftol {
+			return rollback()
+		}
+	}
+	s.warmOK = true
+	return true
 }
 
 // nbValue returns the value of nonbasic column j.
@@ -220,7 +356,7 @@ func (s *solver) value(j int) float64 {
 }
 
 func (s *solver) solve() (*Solution, error) {
-	if s.nArtificial > 0 {
+	if !s.warmOK && s.nArtificial > 0 {
 		// Phase 1: minimize the sum of artificials.
 		s.cost = make([]float64, s.n)
 		for j := s.nStruct + s.nSlack; j < s.n; j++ {
@@ -269,22 +405,12 @@ func (s *solver) phaseObjective() float64 {
 	return obj
 }
 
-// computeDuals fills s.y = c_B · B^{-1}.
+// computeDuals fills s.y = c_B · B^{-1} via one BTRAN.
 func (s *solver) computeDuals() {
-	m := s.m
 	for i := range s.y {
-		s.y[i] = 0
+		s.y[i] = s.cost[s.basis[i]]
 	}
-	for r := 0; r < m; r++ {
-		cb := s.cost[s.basis[r]]
-		if cb == 0 {
-			continue
-		}
-		row := s.binv[r*m : (r+1)*m]
-		for i, v := range row {
-			s.y[i] += cb * v
-		}
-	}
+	s.factor.btran(s.y)
 }
 
 // reducedCost returns c_j - y·A_j using the current s.y.
@@ -313,17 +439,7 @@ func (s *solver) refreshDuals() {
 
 // ftran fills s.w = B^{-1} A_j.
 func (s *solver) ftran(j int) {
-	m := s.m
-	for i := range s.w {
-		s.w[i] = 0
-	}
-	for _, e := range s.cols[j] {
-		v := e.val
-		col := int(e.row)
-		for i := 0; i < m; i++ {
-			s.w[i] += s.binv[i*m+col] * v
-		}
-	}
+	s.factor.ftranCol(s.cols[j], s.w)
 }
 
 // iterate runs simplex pivots until optimality/unboundedness/limit for the
@@ -417,7 +533,7 @@ func (s *solver) iterate() Status {
 		// Ratio test.
 		tBound := s.upper[enter] - s.lower[enter] // bound-flip distance
 		tBest := tBound
-		leave := -1           // basis row index of the leaving variable
+		leave := -1           // basis position of the leaving variable
 		leaveToUpper := false // side the leaving variable exits at
 		bestPivot := 0.0
 		for i := 0; i < s.m; i++ {
@@ -491,9 +607,12 @@ func (s *solver) iterate() Status {
 		}
 
 		alphaQ := s.w[leave]
-		if math.Abs(alphaQ) < 1e-9 {
-			// Pivot too small for a stable eta update: refactorize and retry
-			// with clean numbers.
+		if math.Abs(alphaQ) < 1e-9 || !s.factor.willAccept(leave, s.w) {
+			// Pivot too small for a stable eta update (or the eta file is
+			// full): refactorize the current — still consistent — basis and
+			// retry with clean numbers. Checking before the pivot commits
+			// means the factorization and the basis bookkeeping can never
+			// disagree, even if a later refactorization were to fail.
 			s.refactorize()
 			s.refreshDuals()
 			sinceRefactor, sinceRefresh = 0, 0
@@ -501,9 +620,9 @@ func (s *solver) iterate() Status {
 			continue
 		}
 
-		// Save the pivot row of B^{-1} before the eta update; it drives the
-		// incremental reduced-cost and Devex weight updates.
-		copy(s.rho, s.binv[leave*s.m:(leave+1)*s.m])
+		// The pivot row of B^{-1} drives the incremental reduced-cost and
+		// Devex updates; it must be taken before the basis changes.
+		s.factor.pivotRow(leave, s.rho)
 
 		// Pivot: entering replaces basis[leave].
 		enterStart := s.nbValue(enter)
@@ -524,7 +643,7 @@ func (s *solver) iterate() Status {
 		s.pos[enter] = int32(leave)
 		s.xB[leave] = enterStart + enterDir*tBest
 
-		s.updateBinv(leave)
+		s.factor.update(leave, s.w)
 
 		// Incremental dual update: y' = y + θ·ρ with θ = d_q/α_q, hence
 		// d'_j = d_j − θ·α_j where α_j = ρ·A_j. One sparse pass updates the
@@ -556,100 +675,22 @@ func (s *solver) iterate() Status {
 	}
 }
 
-// updateBinv applies the eta transformation for a pivot in row r using the
-// already computed FTRAN vector s.w (= B^{-1} A_enter).
-func (s *solver) updateBinv(r int) {
-	m := s.m
-	piv := s.w[r]
-	rowR := s.binv[r*m : (r+1)*m]
-	inv := 1.0 / piv
-	for c := 0; c < m; c++ {
-		rowR[c] *= inv
-	}
-	for i := 0; i < m; i++ {
-		if i == r {
-			continue
-		}
-		f := s.w[i]
-		if f == 0 {
-			continue
-		}
-		row := s.binv[i*m : (i+1)*m]
-		for c := 0; c < m; c++ {
-			row[c] -= f * rowR[c]
-		}
-	}
-}
-
-// refactorize rebuilds the explicit basis inverse from the basis columns via
-// Gauss-Jordan elimination with partial pivoting and recomputes the basic
-// variable values, correcting accumulated floating-point drift.
+// refactorize rebuilds the basis factorization from the basis columns and
+// recomputes the basic variable values, correcting accumulated
+// floating-point drift. A numerically singular basis keeps the previous
+// factorization rather than propagating garbage (it should not happen with
+// valid pivots).
 func (s *solver) refactorize() {
-	m := s.m
-	// Dense basis matrix.
-	B := make([]float64, m*m)
-	for c := 0; c < m; c++ {
-		for _, e := range s.cols[s.basis[c]] {
-			B[int(e.row)*m+c] = e.val
-		}
+	if s.m == 0 {
+		return
 	}
-	inv := make([]float64, m*m)
-	for i := 0; i < m; i++ {
-		inv[i*m+i] = 1
-	}
-	for col := 0; col < m; col++ {
-		// Partial pivot.
-		p := col
-		best := math.Abs(B[col*m+col])
-		for i := col + 1; i < m; i++ {
-			if a := math.Abs(B[i*m+col]); a > best {
-				best, p = a, i
-			}
-		}
-		if best < 1e-13 {
-			// Numerically singular basis; keep the old inverse rather than
-			// propagating garbage. This should not happen with valid pivots.
-			return
-		}
-		if p != col {
-			swapRows(B, m, p, col)
-			swapRows(inv, m, p, col)
-		}
-		piv := B[col*m+col]
-		invPiv := 1.0 / piv
-		for c := 0; c < m; c++ {
-			B[col*m+c] *= invPiv
-			inv[col*m+c] *= invPiv
-		}
-		for i := 0; i < m; i++ {
-			if i == col {
-				continue
-			}
-			f := B[i*m+col]
-			if f == 0 {
-				continue
-			}
-			for c := 0; c < m; c++ {
-				B[i*m+c] -= f * B[col*m+c]
-				inv[i*m+c] -= f * inv[col*m+c]
-			}
-		}
-	}
-	s.binv = inv
-	s.recomputeXB()
-}
-
-func swapRows(a []float64, m, i, j int) {
-	ri := a[i*m : (i+1)*m]
-	rj := a[j*m : (j+1)*m]
-	for c := 0; c < m; c++ {
-		ri[c], rj[c] = rj[c], ri[c]
+	if s.factor.refactor(s.basis, s.cols) {
+		s.recomputeXB()
 	}
 }
 
 // recomputeXB sets xB = B^{-1}(b - N x_N) from scratch.
 func (s *solver) recomputeXB() {
-	m := s.m
 	r := append([]float64(nil), s.b...)
 	for j := 0; j < s.n; j++ {
 		if s.status[j] == basic {
@@ -663,14 +704,25 @@ func (s *solver) recomputeXB() {
 			r[e.row] -= e.val * v
 		}
 	}
-	for i := 0; i < m; i++ {
-		sum := 0.0
-		row := s.binv[i*m : (i+1)*m]
-		for c := 0; c < m; c++ {
-			sum += row[c] * r[c]
-		}
-		s.xB[i] = sum
+	s.factor.ftran(r)
+	copy(s.xB, r)
+}
+
+// snapshotBasis records the final basis in problem space: a status per
+// structural variable and, per row, whether the row's logical (slack,
+// surplus or artificial) column is basic.
+func (s *solver) snapshotBasis() *Basis {
+	b := &Basis{Vars: make([]int8, s.nStruct), Rows: make([]int8, s.m)}
+	for j := 0; j < s.nStruct; j++ {
+		b.Vars[j] = s.status[j]
 	}
+	for _, j := range s.basis {
+		if j >= s.nStruct {
+			// Logical columns have exactly one entry; its row identifies them.
+			b.Rows[s.cols[j][0].row] = BasisBasic
+		}
+	}
+	return b
 }
 
 // report assembles the Solution in the caller's orientation.
@@ -715,6 +767,9 @@ func (s *solver) report(st Status) *Solution {
 	}
 	for j := 0; j < s.nStruct; j++ {
 		sol.ReducedCost[j] = sign * s.reducedCost(j)
+	}
+	if st == Optimal || st == IterLimit {
+		sol.Basis = s.snapshotBasis()
 	}
 	return sol
 }

@@ -44,14 +44,36 @@ func (g *RNG) Uint64() uint64 { return g.r.Uint64() }
 // the given scale parameter b (density (1/2b)·exp(−|x|/b)), via inverse-CDF
 // sampling. This is the noise distribution Lap(d/ε′) of §4.2.
 func (g *RNG) Laplace(scale float64) float64 {
+	return laplace(g.r.Float64(), scale)
+}
+
+// laplaceMinTail clamps the inverse-CDF argument away from zero. Float64
+// draws lie on the 2⁻⁵³ grid, so the smallest nonzero value of 1±2u is
+// 2⁻⁵²; clamping the u01 = 0 edge draw to the adjacent grid point keeps the
+// tail magnitude at its legitimate maximum (≈ 36·scale) instead of −Inf.
+const laplaceMinTail = 0x1p-52
+
+// laplace maps a uniform u01 ∈ [0, 1) through the Laplace inverse CDF.
+// The edge draw u01 = 0 (u = −0.5) would otherwise produce scale·log(0) =
+// −Inf — an infinite noise value that poisons the §4.2 noisy counts and
+// everything downstream of the feasibility projection.
+func laplace(u01, scale float64) float64 {
 	if scale <= 0 {
 		return 0
 	}
-	u := g.r.Float64() - 0.5 // (-0.5, 0.5)
+	u := u01 - 0.5 // [-0.5, 0.5)
 	if u >= 0 {
-		return -scale * math.Log(1-2*u)
+		t := 1 - 2*u
+		if t < laplaceMinTail {
+			t = laplaceMinTail
+		}
+		return -scale * math.Log(t)
 	}
-	return scale * math.Log(1+2*u)
+	t := 1 + 2*u
+	if t < laplaceMinTail {
+		t = laplaceMinTail
+	}
+	return scale * math.Log(t)
 }
 
 // Zipf samples from a bounded Zipf distribution over {0, …, n−1} with

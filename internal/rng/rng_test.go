@@ -96,6 +96,56 @@ func TestLaplaceZeroScale(t *testing.T) {
 	}
 }
 
+// TestLaplaceEdgeDrawFinite regresses the −Inf bug: a uniform draw of
+// exactly 0 maps to u = −0.5 and, unclamped, to scale·log(0) = −Inf. The
+// inverse CDF is exercised directly at both edges of the uniform grid and
+// across it, since no practical seed search forces the PCG to emit the
+// exact edge draw.
+func TestLaplaceEdgeDrawFinite(t *testing.T) {
+	for _, scale := range []float64{0.5, 1, 17.3} {
+		v := laplace(0, scale) // the edge draw
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			t.Fatalf("laplace(0, %g) = %g, want finite", scale, v)
+		}
+		if v >= 0 {
+			t.Errorf("laplace(0, %g) = %g, want the extreme negative tail", scale, v)
+		}
+		// The clamp pins the edge draw to the adjacent grid point's value:
+		// scale·log(2⁻⁵²) = −52·ln2·scale.
+		want := scale * math.Log(laplaceMinTail)
+		if v != want {
+			t.Errorf("laplace(0, %g) = %g, want %g", scale, v, want)
+		}
+		// Largest representable draw below 1 (positive tail) is finite too.
+		hi := laplace(math.Nextafter(1, 0), scale)
+		if math.IsInf(hi, 0) || math.IsNaN(hi) || hi <= 0 {
+			t.Errorf("laplace(1⁻, %g) = %g, want finite positive", scale, hi)
+		}
+		// Symmetry of the two tails at matching grid offsets.
+		if lo := laplace(0x1p-53, scale); !approxEq(-lo, laplace(1-0x1p-53, scale), 1e-12) {
+			t.Errorf("tails asymmetric: %g vs %g", lo, laplace(1-0x1p-53, scale))
+		}
+	}
+	// Median draw is exactly zero noise.
+	if v := laplace(0.5, 3); v != 0 {
+		t.Errorf("laplace(0.5, 3) = %g, want 0", v)
+	}
+}
+
+func approxEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// TestLaplaceAlwaysFinite sweeps many seeds: no draw may ever be ±Inf/NaN.
+func TestLaplaceAlwaysFinite(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		g := New(seed)
+		for i := 0; i < 50000; i++ {
+			if v := g.Laplace(4.2); math.IsInf(v, 0) || math.IsNaN(v) {
+				t.Fatalf("seed %d draw %d: non-finite Laplace noise %g", seed, i, v)
+			}
+		}
+	}
+}
+
 func TestZipfDistribution(t *testing.T) {
 	g := New(6)
 	n := 50

@@ -31,8 +31,11 @@ type Job struct {
 
 // jobStore is an in-memory async job registry. It retains at most cap jobs;
 // when full, the oldest *finished* (done or failed) job is evicted so that
-// queued and running work is never forgotten. IDs are sequential and unique
-// for the lifetime of the store.
+// queued and running work is never forgotten. Eviction runs on Create and on
+// every Finish/Fail: a store pushed over cap by queued/running work (which
+// is never evicted) shrinks back to cap as soon as jobs complete, instead of
+// retaining finished jobs until the next submission. IDs are sequential and
+// unique for the lifetime of the store.
 type jobStore struct {
 	mu    sync.Mutex
 	seq   int
@@ -141,7 +144,9 @@ func (s *jobStore) Start(id string) {
 	}
 }
 
-// Finish transitions a job to done with its result.
+// Finish transitions a job to done with its result. If the store is over
+// cap (it filled up with running work), completing makes the job evictable
+// — possibly immediately, oldest finished first.
 func (s *jobStore) Finish(id string, res *sanitizeResponse) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -149,10 +154,12 @@ func (s *jobStore) Finish(id string, res *sanitizeResponse) {
 		j.State = JobDone
 		j.Finished = s.now()
 		j.Result = res
+		s.evictLocked()
 	}
 }
 
-// Fail transitions a job to failed with an error message.
+// Fail transitions a job to failed with an error message, then evicts like
+// Finish.
 func (s *jobStore) Fail(id string, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -160,6 +167,7 @@ func (s *jobStore) Fail(id string, err error) {
 		j.State = JobFailed
 		j.Finished = s.now()
 		j.Error = err.Error()
+		s.evictLocked()
 	}
 }
 

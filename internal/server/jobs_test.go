@@ -74,3 +74,60 @@ func TestJobStoreEvictsOldestFinishedOnly(t *testing.T) {
 		t.Fatalf("CountByState() = %v, want 2 queued", counts)
 	}
 }
+
+// TestJobStoreEvictsOnFinish regresses the PR 3 bug: a store pushed over
+// cap by all-running work grew unbounded and retained finished jobs until
+// the *next* Create. Completions must now trigger eviction themselves.
+func TestJobStoreEvictsOnFinish(t *testing.T) {
+	const capacity = 3
+	const extra = 4
+	s := newJobStore(capacity)
+
+	// Fill past cap with running jobs: nothing is evictable, so the store
+	// legitimately holds cap+extra entries.
+	jobs := make([]Job, 0, capacity+extra)
+	for i := 0; i < capacity+extra; i++ {
+		j := s.Create()
+		s.Start(j.ID)
+		jobs = append(jobs, j)
+	}
+	if got := len(s.List()); got != capacity+extra {
+		t.Fatalf("all-running store retains %d jobs, want %d (running work is never dropped)", got, capacity+extra)
+	}
+
+	// Each completion while over cap must evict immediately — no Create in
+	// between. The just-finished job is the only evictable one, so the store
+	// shrinks by one per completion until it fits its cap.
+	for i := 0; i < extra; i++ {
+		s.Finish(jobs[i].ID, resp("r"))
+		want := capacity + extra - (i + 1)
+		if got := len(s.List()); got != want {
+			t.Fatalf("after finishing %d jobs: store holds %d, want %d (eviction must run on Finish)", i+1, got, want)
+		}
+		if _, ok := s.Get(jobs[i].ID); ok && len(s.List()) > capacity {
+			t.Fatalf("finished job %s retained while store is over cap", jobs[i].ID)
+		}
+	}
+
+	// At cap: further completions are retained (nothing is over cap).
+	s.Fail(jobs[extra].ID, errors.New("boom"))
+	if got := len(s.List()); got != capacity {
+		t.Fatalf("store at cap holds %d, want %d", got, capacity)
+	}
+	if j, ok := s.Get(jobs[extra].ID); !ok || j.State != JobFailed {
+		t.Fatalf("failed job should be retained once under cap, got %+v (ok=%v)", j, ok)
+	}
+
+	// The remaining entries are the youngest running jobs plus the retained
+	// failure, in submission order.
+	list := s.List()
+	running := 0
+	for _, j := range list {
+		if j.State == JobRunning {
+			running++
+		}
+	}
+	if running != capacity-1 {
+		t.Fatalf("retained %d running jobs, want %d", running, capacity-1)
+	}
+}

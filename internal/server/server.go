@@ -54,6 +54,10 @@ type Config struct {
 	// MaxJobs bounds the retained async jobs (default 1024); the oldest
 	// finished jobs are evicted first.
 	MaxJobs int
+	// WarmPools bounds the per-problem simplex warm-start caches retained
+	// for plan-cache-miss re-solves (default 32; negative disables warm
+	// starts entirely).
+	WarmPools int
 	// MaxBodyBytes caps request bodies (default 32 MiB).
 	MaxBodyBytes int64
 	// SolveParallelism is the per-solve component parallelism applied to
@@ -85,6 +89,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxJobs == 0 {
 		c.MaxJobs = 1024
 	}
+	if c.WarmPools == 0 {
+		c.WarmPools = 32
+	}
 	if c.MaxBodyBytes == 0 {
 		c.MaxBodyBytes = 32 << 20
 	}
@@ -103,6 +110,7 @@ type Server struct {
 	pool    *Pool
 	jobs    *jobStore
 	cache   *planCache
+	warm    *warmPools
 	metrics *Metrics
 	mux     *http.ServeMux
 	started time.Time
@@ -116,6 +124,7 @@ func New(cfg Config) *Server {
 		pool:    NewPool(cfg.Workers, cfg.Queue),
 		jobs:    newJobStore(cfg.MaxJobs),
 		cache:   newPlanCache(cfg.CacheSize),
+		warm:    newWarmPools(cfg.WarmPools),
 		metrics: NewMetrics(),
 		mux:     http.NewServeMux(),
 		started: time.Now(),
@@ -409,6 +418,15 @@ func (s *Server) runSanitize(l *dpslog.Log, opts dpslog.Options) (*sanitizeRespo
 	if err != nil {
 		return nil, err
 	}
+	// Re-solves of a known (corpus, canonical options) pair — i.e. plan
+	// cache evictions — warm-start from that exact problem's previous
+	// optimal basis. The pool is keyed by the full cache key on purpose:
+	// the UMP LPs can have alternate optima, so seeding a solve with a
+	// *different* problem's basis could land on a different optimal vertex
+	// and make identical requests history-dependent. Per-key pools
+	// reproduce the prior basis instead, preserving the determinism
+	// contract.
+	san.SetWarmCache(s.warm.get(key))
 	res, err := san.Sanitize(l)
 	if err != nil {
 		return nil, err

@@ -56,6 +56,13 @@ func workerCount(parallelism, n int) int {
 	return parallelism
 }
 
+// compScope names a component's warm-start scope. The component count is
+// part of the scope so a corpus whose decomposition changes (e.g. after
+// preprocessing differences) never reuses stale per-component bases.
+func compScope(ci, n int) string {
+	return fmt.Sprintf("c%d.%d", ci, n)
+}
+
 // solvePerComponent runs solve for every component on a bounded worker pool
 // and returns the plans in component order (deterministic regardless of
 // scheduling). The first error by component index wins and is annotated
@@ -117,10 +124,10 @@ func stitch(kind Kind, l *searchlog.Log, comps []partition.Component, plans []*P
 func MaxOutputSize(l *searchlog.Log, params dp.Params, opts Options) (*Plan, error) {
 	comps := decomposeFor(l, opts)
 	if comps == nil {
-		return maxOutputSizeMono(l, params, opts)
+		return maxOutputSizeMono(l, params, opts.scoped("mono"))
 	}
-	plans, err := solvePerComponent(comps, opts.Parallelism, func(_ int, c *partition.Component) (*Plan, error) {
-		return maxOutputSizeMono(c.Log, params, opts)
+	plans, err := solvePerComponent(comps, opts.Parallelism, func(ci int, c *partition.Component) (*Plan, error) {
+		return maxOutputSizeMono(c.Log, params, opts.scoped(compScope(ci, len(comps))))
 	})
 	if err != nil {
 		return nil, err
@@ -253,7 +260,7 @@ func FrequentSupport(l *searchlog.Log, params dp.Params, minSupport float64, out
 	}
 	comps := decomposeFor(l, opts)
 	if comps == nil {
-		return frequentSupportMono(l, params, minSupport, outputSize, opts)
+		return frequentSupportMono(l, params, minSupport, outputSize, opts.scoped("mono"))
 	}
 	// Phase 1: per-component λ, for the allocation. Capacities come from the
 	// *fractional* λ_LP (floored): any integer allocation s_c ≤ ⌊λ_c^LP⌋ is
@@ -261,8 +268,8 @@ func FrequentSupport(l *searchlog.Log, params dp.Params, minSupport float64, out
 	// and the fractional bound is never below the integral plan's size, so
 	// the feasibility precheck stays as close to the monolithic one
 	// (outputSize ≤ λ_LP) as an integral allocation permits.
-	lamPlans, err := solvePerComponent(comps, opts.Parallelism, func(_ int, c *partition.Component) (*Plan, error) {
-		return maxOutputSizeMono(c.Log, params, opts)
+	lamPlans, err := solvePerComponent(comps, opts.Parallelism, func(ci int, c *partition.Component) (*Plan, error) {
+		return maxOutputSizeMono(c.Log, params, opts.scoped(compScope(ci, len(comps))))
 	})
 	if err != nil {
 		return nil, err
@@ -294,7 +301,7 @@ func FrequentSupport(l *searchlog.Log, params dp.Params, minSupport float64, out
 			return nil, err
 		}
 		frequent, supIn := frequentPairs(c.Log, minSupport, inSize)
-		return frequentCore(c.Log, ccons, frequent, supIn, invO, alloc[ci], opts)
+		return frequentCore(c.Log, ccons, frequent, supIn, invO, alloc[ci], opts.scoped(compScope(ci, len(comps))))
 	})
 	if err != nil {
 		return nil, err
@@ -332,11 +339,11 @@ func Combined(l *searchlog.Log, params dp.Params, minSupport float64, w Combined
 	}
 	comps := decomposeFor(l, opts)
 	if comps == nil {
-		return combinedMono(l, params, minSupport, w, opts)
+		return combinedMono(l, params, minSupport, w, opts.scoped("mono"))
 	}
 	// Phase 1: the λ anchor, from the per-component O-UMP relaxations.
-	lamPlans, err := solvePerComponent(comps, opts.Parallelism, func(_ int, c *partition.Component) (*Plan, error) {
-		return maxOutputSizeMono(c.Log, params, opts)
+	lamPlans, err := solvePerComponent(comps, opts.Parallelism, func(ci int, c *partition.Component) (*Plan, error) {
+		return maxOutputSizeMono(c.Log, params, opts.scoped(compScope(ci, len(comps))))
 	})
 	if err != nil {
 		return nil, err
@@ -354,13 +361,13 @@ func Combined(l *searchlog.Log, params dp.Params, minSupport float64, w Combined
 	inSize := float64(l.Size())
 	sizeCoef := w.SizeWeight / inSize
 	invScale := 1 / lam
-	plans, err := solvePerComponent(comps, opts.Parallelism, func(_ int, c *partition.Component) (*Plan, error) {
+	plans, err := solvePerComponent(comps, opts.Parallelism, func(ci int, c *partition.Component) (*Plan, error) {
 		ccons, err := dp.Build(c.Log, params)
 		if err != nil {
 			return nil, err
 		}
 		frequent, supIn := frequentPairs(c.Log, minSupport, inSize)
-		return combinedCore(c.Log, ccons, frequent, supIn, sizeCoef, w.DistanceWeight, invScale, opts)
+		return combinedCore(c.Log, ccons, frequent, supIn, sizeCoef, w.DistanceWeight, invScale, opts.scoped(compScope(ci, len(comps))))
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,67 @@
+package ump
+
+import (
+	"reflect"
+	"testing"
+
+	"dpslog/internal/lp"
+)
+
+// TestEnginePlanEquality pins the PR 3 acceptance bar: the sparse-LU
+// engine must produce plans byte-identical to the dense engine for every
+// LP-backed objective, profile and parallelism level. (D-UMP and Q-UMP are
+// greedy/BIP solves that share no basis representation; they are covered
+// by the decomposition property grid.)
+func TestEnginePlanEquality(t *testing.T) {
+	dense := lp.Options{Engine: lp.EngineDense}
+	for _, profile := range []string{"tiny", "tiny-sharded", "small-sharded"} {
+		if profile == "small-sharded" && testing.Short() {
+			continue
+		}
+		for seed := uint64(1); seed <= 3; seed++ {
+			pre := decompCorpus(t, profile, seed)
+			for _, par := range []int{1, 8} {
+				sp, err := MaxOutputSize(pre, decompParams, Options{Parallelism: par})
+				if err != nil {
+					t.Fatal(err)
+				}
+				de, err := MaxOutputSize(pre, decompParams, Options{Parallelism: par, LP: dense})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(sp.Counts, de.Counts) {
+					t.Errorf("%s seed %d par %d: O-UMP plans differ dense vs sparse", profile, seed, par)
+				}
+
+				size := sp.OutputSize / 2
+				if size == 0 {
+					continue
+				}
+				fsp, err := FrequentSupport(pre, decompParams, 0.002, size, Options{Parallelism: par})
+				if err != nil {
+					t.Fatal(err)
+				}
+				fde, err := FrequentSupport(pre, decompParams, 0.002, size, Options{Parallelism: par, LP: dense})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(fsp.Counts, fde.Counts) {
+					t.Errorf("%s seed %d par %d: F-UMP plans differ dense vs sparse", profile, seed, par)
+				}
+
+				w := CombinedWeights{SizeWeight: 1, DistanceWeight: 1}
+				csp, err := Combined(pre, decompParams, 0.002, w, Options{Parallelism: par})
+				if err != nil {
+					t.Fatal(err)
+				}
+				cde, err := Combined(pre, decompParams, 0.002, w, Options{Parallelism: par, LP: dense})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(csp.Counts, cde.Counts) {
+					t.Errorf("%s seed %d par %d: C-UMP plans differ dense vs sparse", profile, seed, par)
+				}
+			}
+		}
+	}
+}

@@ -94,13 +94,14 @@ func combinedCore(l *searchlog.Log, cons *dp.Constraints, frequent []int, supIn 
 		prob.SetCoef(r2, i, -invScale)
 		prob.SetCoef(r2, y, -1)
 	}
-	sol, err := lp.Solve(prob, opts.LP)
+	sol, err := lp.Solve(prob, opts.lpOptions("cump", prob))
 	if err != nil {
 		return nil, fmt.Errorf("ump: combined solve: %w", err)
 	}
 	if sol.Status != lp.Optimal {
-		return nil, fmt.Errorf("ump: combined status %v", sol.Status)
+		return nil, statusErr("C-UMP", sol)
 	}
+	opts.storeWarm("cump", prob, sol)
 	counts := floorCounts(sol.X, l.NumPairs())
 	repair(cons, counts)
 	frac := fracParts(sol.X, counts)
@@ -174,7 +175,7 @@ func MinPrivacy(l *searchlog.Log, target int, opts Options) (*MinPrivacyResult, 
 	for i := 0; i < l.NumPairs(); i++ {
 		prob.SetCoef(eq, i, 1)
 	}
-	sol, err := lp.Solve(prob, opts.LP)
+	sol, err := lp.Solve(prob, opts.lpOptions("minpriv", prob))
 	if err != nil {
 		return nil, fmt.Errorf("ump: min-privacy solve: %w", err)
 	}
@@ -182,8 +183,9 @@ func MinPrivacy(l *searchlog.Log, target int, opts Options) (*MinPrivacyResult, 
 		return nil, fmt.Errorf("ump: target output size %d is infeasible", target)
 	}
 	if sol.Status != lp.Optimal {
-		return nil, fmt.Errorf("ump: min-privacy status %v", sol.Status)
+		return nil, statusErr("min-privacy", sol)
 	}
+	opts.storeWarm("minpriv", prob, sol)
 	zLP := sol.Objective // fractional lower bound on the exposure
 
 	// Integral completion. The fractional optimum spreads mass thinly, so

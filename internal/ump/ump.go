@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"dpslog/internal/bip"
 	"dpslog/internal/dp"
@@ -50,10 +51,79 @@ const (
 	KindQueryDiversity Kind = "Q-UMP"
 )
 
+// WarmStarts is a concurrency-safe pool of simplex basis snapshots shared
+// across related solves of one corpus: the ε/δ grid sweeps re-solve the
+// same constraint matrix under different budgets, and the serving layer
+// re-solves the same corpus on plan-cache misses. Bases are keyed by
+// (problem kind, decomposition scope, LP shape), so a snapshot can only
+// ever seed a structurally compatible solve — and the LP layer re-validates
+// shape, nonsingularity and primal feasibility before using one, falling
+// back to a cold start otherwise. Warm starts therefore never change which
+// plans are optimal, only how fast the solver re-proves it.
+//
+// A sticky pool keeps the first basis stored per key ("anchor" semantics):
+// every later solve warm-starts from the same snapshot regardless of the
+// order concurrent solves complete in, which keeps grid experiments
+// deterministic under parallel prewarming. A rolling (non-sticky) pool
+// keeps the latest basis — the right choice for sequential sweeps such as
+// the frontier bisection, where each step continues from its predecessor.
+type WarmStarts struct {
+	mu     sync.Mutex
+	sticky bool
+	bases  map[string]*lp.Basis
+}
+
+// NewWarmStarts creates an empty pool. sticky selects first-write-wins
+// (anchor) semantics; see the type comment.
+func NewWarmStarts(sticky bool) *WarmStarts {
+	return &WarmStarts{sticky: sticky, bases: make(map[string]*lp.Basis)}
+}
+
+// Len reports the number of cached bases (for tests and metrics).
+func (w *WarmStarts) Len() int {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.bases)
+}
+
+func (w *WarmStarts) lookup(key string) *lp.Basis {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.bases[key]
+}
+
+func (w *WarmStarts) store(key string, b *lp.Basis) {
+	if w == nil || b == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.sticky {
+		if _, ok := w.bases[key]; ok {
+			return
+		}
+	}
+	w.bases[key] = b.Clone()
+}
+
 // Options tune the solves.
 type Options struct {
 	// LP is passed through to the simplex solver.
 	LP lp.Options
+	// Warm, when non-nil, shares simplex bases across solves (grid sweeps,
+	// plan-cache-miss re-solves). Pools are corpus-scoped: callers must not
+	// share one pool across different corpora — a mismatched basis is
+	// harmless (it fails warm-start validation) but wastes the lookup.
+	Warm *WarmStarts
+	// warmScope namespaces pool keys by decomposition context (monolithic
+	// vs per-component); set internally by the decompose entry points.
+	warmScope string
 	// NoBoxConstraint drops the x_ij ≤ c_ij cap (ablation only; O-UMP then
 	// scales linearly in the budget instead of reproducing Table 4's
 	// plateaus).
@@ -92,6 +162,52 @@ type Plan struct {
 	// Components is the number of connected components the solve decomposed
 	// into (1 for a monolithic solve or a connected log).
 	Components int
+}
+
+// warmKey builds the pool key for one LP solve: kind, decomposition scope
+// and LP shape, so snapshots only ever seed structurally compatible solves.
+func (o Options) warmKey(kind string, prob *lp.Problem) string {
+	scope := o.warmScope
+	if scope == "" {
+		scope = "mono"
+	}
+	return fmt.Sprintf("%s|%s|%dx%d", kind, scope, prob.NumVariables(), prob.NumConstraints())
+}
+
+// lpOptions returns o.LP with a warm-start basis attached when the pool
+// holds one for this solve's key.
+func (o Options) lpOptions(kind string, prob *lp.Problem) lp.Options {
+	lo := o.LP
+	if o.Warm != nil {
+		lo.WarmStart = o.Warm.lookup(o.warmKey(kind, prob))
+	}
+	return lo
+}
+
+// storeWarm offers the final basis back to the pool.
+func (o Options) storeWarm(kind string, prob *lp.Problem, sol *lp.Solution) {
+	if o.Warm == nil || sol == nil {
+		return
+	}
+	o.Warm.store(o.warmKey(kind, prob), sol.Basis)
+}
+
+// scoped returns a copy of o with the warm-start scope set (decompose.go
+// tags monolithic and per-component solves so their bases never mix).
+func (o Options) scoped(scope string) Options {
+	o.warmScope = scope
+	return o
+}
+
+// statusErr formats a non-optimal LP outcome. Iteration counts matter
+// diagnostically: IterLimit on a degenerate component is the one failure
+// mode anti-cycling cannot always price away cheaply, and callers
+// (solvePerComponent) prepend the component index and shape.
+func statusErr(kind string, sol *lp.Solution) error {
+	if sol.Status == lp.IterLimit {
+		return fmt.Errorf("ump: %s hit the simplex iteration limit after %d iterations (raise Options.LP.MaxIterations)", kind, sol.Iterations)
+	}
+	return fmt.Errorf("ump: %s status %v after %d iterations", kind, sol.Status, sol.Iterations)
 }
 
 // buildBase creates the LP skeleton shared by O-UMP and F-UMP: one variable
@@ -252,16 +368,17 @@ func maxOutputSizeMono(l *searchlog.Log, params dp.Params, opts Options) (*Plan,
 		return &Plan{Kind: KindOutputSize, Counts: nil, OutputSize: 0, Components: 1}, nil
 	}
 	prob := buildBase(l, cons, lp.Maximize, 1, opts.NoBoxConstraint)
-	sol, err := lp.Solve(prob, opts.LP)
+	sol, err := lp.Solve(prob, opts.lpOptions("oump", prob))
 	if err != nil {
 		return nil, fmt.Errorf("ump: O-UMP solve: %w", err)
 	}
 	switch sol.Status {
 	case lp.Optimal:
+		opts.storeWarm("oump", prob, sol)
 	case lp.Unbounded:
 		return nil, fmt.Errorf("ump: O-UMP unbounded (NoBoxConstraint with a degenerate log?)")
 	default:
-		return nil, fmt.Errorf("ump: O-UMP status %v", sol.Status)
+		return nil, statusErr("O-UMP", sol)
 	}
 	counts := floorCounts(sol.X, l.NumPairs())
 	repair(cons, counts)
@@ -346,7 +463,7 @@ func frequentCore(l *searchlog.Log, cons *dp.Constraints, frequent []int, supIn 
 		prob.SetCoef(r2, y, -1)
 	}
 
-	sol, err := lp.Solve(prob, opts.LP)
+	sol, err := lp.Solve(prob, opts.lpOptions("fump", prob))
 	if err != nil {
 		return nil, fmt.Errorf("ump: F-UMP solve: %w", err)
 	}
@@ -354,8 +471,9 @@ func frequentCore(l *searchlog.Log, cons *dp.Constraints, frequent []int, supIn 
 		return nil, fmt.Errorf("ump: F-UMP infeasible: output size %d exceeds λ for these parameters", alloc)
 	}
 	if sol.Status != lp.Optimal {
-		return nil, fmt.Errorf("ump: F-UMP status %v", sol.Status)
+		return nil, statusErr("F-UMP", sol)
 	}
+	opts.storeWarm("fump", prob, sol)
 	counts := floorCounts(sol.X, l.NumPairs())
 	repair(cons, counts)
 	// Round-up priority: frequent pairs first (a unit of mass on a frequent

@@ -274,7 +274,34 @@ type Result struct {
 // Sanitizer runs the paper's Algorithm 1 with a fixed configuration.
 type Sanitizer struct {
 	opts Options
+	warm *WarmCache
 }
+
+// WarmCache shares simplex basis snapshots across repeated solves of the
+// same corpus (PR 3): a server re-solving after a plan-cache eviction, or
+// a sweep over privacy budgets, warm-starts each LP from the previous
+// optimal basis instead of re-deriving it from scratch. Snapshots are
+// validated before use — a stale or mismatched basis falls back to a cold
+// start — so warm starts never compromise feasibility or optimality.
+// Callers that need bit-reproducible releases must scope a cache to one
+// (corpus, configuration) pair, as internal/server does: re-solving the
+// *same* problem from its own optimal basis reproduces that basis, while
+// seeding from a different budget's basis may legitimately select a
+// different optimal vertex when the LP has alternate optima.
+type WarmCache struct {
+	pool *ump.WarmStarts
+}
+
+// NewWarmCache creates an empty warm-start cache with rolling (latest
+// basis wins) semantics, the right default for sequential re-solves.
+func NewWarmCache() *WarmCache {
+	return &WarmCache{pool: ump.NewWarmStarts(false)}
+}
+
+// SetWarmCache attaches a warm-start cache to the sanitizer. Pass nil to
+// detach. The cache is corpus-scoped: callers multiplexing corpora must
+// keep one cache per corpus (keyed by Digest, as internal/server does).
+func (s *Sanitizer) SetWarmCache(w *WarmCache) { s.warm = w }
 
 // Validate checks the options without constructing a Sanitizer — the same
 // checks New performs, exposed for callers (like the HTTP handlers) that
@@ -313,6 +340,9 @@ func (s *Sanitizer) Sanitize(in *Log) (*Result, error) {
 	pre, preStats := Preprocess(in)
 	params := dp.Params{Eps: opts.Epsilon, Delta: opts.Delta}
 	uopts := ump.Options{NoBoxConstraint: opts.NoBoxConstraint, Solver: opts.Solver, Parallelism: opts.Parallelism}
+	if s.warm != nil {
+		uopts.Warm = s.warm.pool
+	}
 
 	// §4.2 sensitivity-bounding preprocessing: drop user logs whose removal
 	// shifts any optimal count by more than D, so the Lap(D/ε′) scale below
@@ -553,6 +583,31 @@ func MinBudgetForSize(in *Log, target int) (*MinBudget, error) {
 		OutputSize:   res.Plan.OutputSize,
 		Preprocessed: pre,
 	}, nil
+}
+
+// MinBudgetForSizes runs the breach-minimizing solve for a ladder of
+// target sizes over one corpus — the §7 frontier sweep. The input is
+// preprocessed once and each step's LP warm-starts from the previous
+// optimal basis, which is what makes dense ladders (bisection on the
+// target, frontier tables) cheap. Results are positionally aligned with
+// targets.
+func MinBudgetForSizes(in *Log, targets []int) ([]*MinBudget, error) {
+	pre, _ := Preprocess(in)
+	warm := ump.NewWarmStarts(false)
+	out := make([]*MinBudget, 0, len(targets))
+	for _, target := range targets {
+		res, err := ump.MinPrivacy(pre, target, ump.Options{Warm: warm})
+		if err != nil {
+			return nil, fmt.Errorf("dpslog: target %d: %w", target, err)
+		}
+		out = append(out, &MinBudget{
+			Epsilon:      res.Epsilon,
+			Counts:       res.Plan.Counts,
+			OutputSize:   res.Plan.OutputSize,
+			Preprocessed: pre,
+		})
+	}
+	return out, nil
 }
 
 // VerifyCounts audits a plan of per-pair output counts against the
