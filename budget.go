@@ -1,0 +1,19 @@
+package dpslog
+
+import "dpslog/internal/ledger"
+
+// Budget is an (ε, δ) differential privacy allowance. The sanitization
+// service accounts every release of a corpus against one Budget under
+// sequential composition — the guarantee is a property of all releases of
+// a dataset, not of a single mechanism invocation.
+type Budget = ledger.Budget
+
+// Release is one journaled sanitization release of a corpus: its privacy
+// cost, the digest of the dataset it was computed from, and its position
+// in the append-only release journal.
+type Release = ledger.Release
+
+// OverBudgetError reports a refused release together with the corpus's
+// configured budget, cumulative spend, and remaining allowance. The server
+// surfaces it as a structured 429 response.
+type OverBudgetError = ledger.OverBudgetError

@@ -10,15 +10,27 @@
 //	       [-eexp 2] [-delta 0.5] [-objective size] [-solver spe]
 //	       [-distinct 4] [-batch 5s] [-timeout 30s]
 //	       [-endpoint sanitize|lambda|stats]
+//	       [-corpus NAME] [-expect-429]
 //
 // -distinct rotates the sanitization seed across N values so the run mixes
 // plan-cache hits with real solves; -distinct 1 measures the pure cache
 // path after the first request. The process exits non-zero if any request
 // fails, making it usable as a CI smoke gate.
+//
+// -corpus switches to the corpus-referencing mode against a stateful
+// slserve (-data-dir): the TSV corpus is uploaded ONCE to
+// /v1/corpora/NAME, then every request POSTs an options-only JSON body to
+// /v1/corpora/NAME/sanitize — throughput is no longer bottlenecked on
+// re-sending and re-parsing the full corpus per request. Releases are
+// charged against the server's per-corpus privacy budget; 429
+// budget-exhausted responses are failures unless -expect-429 is given, in
+// which case they are counted separately and the run fails only if NO 429
+// is observed (the CI budget-exhaustion smoke gate).
 package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -51,6 +63,8 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
 	endpoint := flag.String("endpoint", "sanitize", "target endpoint: sanitize, lambda or stats")
 	loadSeed := flag.Uint64("load-seed", 7, "arrival schedule seed (poisson)")
+	corpusName := flag.String("corpus", "", "corpus-referencing mode: upload the corpus once under this name, then sanitize by reference (requires slserve -data-dir)")
+	expect429 := flag.Bool("expect-429", false, "budget-exhausted 429s are expected: count them separately and fail only if none is seen")
 	flag.Parse()
 
 	if *rps <= 0 || *duration <= 0 || *distinct < 1 {
@@ -72,6 +86,10 @@ func main() {
 
 	var target string
 	q := url.Values{}
+	var baseOpts dpslog.Options
+	if *corpusName != "" {
+		*endpoint = "corpus"
+	}
 	switch *endpoint {
 	case "sanitize":
 		q.Set("eexp", fmt.Sprint(*eexp))
@@ -88,17 +106,42 @@ func main() {
 		target = *base + "/v1/lambda"
 	case "stats":
 		target = *base + "/v1/stats"
+	case "corpus":
+		obj, err := dpslog.ParseObjective(*objective)
+		if err != nil {
+			fatal(err)
+		}
+		baseOpts = dpslog.Options{
+			Epsilon:   math.Log(*eexp),
+			Delta:     *delta,
+			Objective: obj,
+			Solver:    *solver,
+		}
+		if *objective == "frequent" || *objective == "combined" {
+			baseOpts.MinSupport = *support
+		}
+		target = *base + "/v1/corpora/" + *corpusName + "/sanitize"
 	default:
 		fatal(fmt.Errorf("unknown endpoint %q", *endpoint))
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	if *endpoint == "corpus" {
+		// Upload once; every subsequent request references the corpus by
+		// name with an options-only body.
+		if err := uploadCorpus(client, *base, *corpusName, payload); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("slload: uploaded corpus %q (%d bytes) once; requests carry options only\n",
+			*corpusName, len(payload))
 	}
 
 	fmt.Printf("slload: %s profile (%d tuples, %d users) → %s at %.1f rps (%s arrivals) for %s\n",
 		*profile, corpus.Size(), corpus.NumUsers(), target, *rps, *arrivals, *duration)
 
-	client := &http.Client{Timeout: *timeout}
 	results := make(chan result, 1024)
 	collectDone := make(chan summary, 1)
-	go collect(results, *batch, collectDone)
+	go collect(results, *batch, *expect429, collectDone)
 
 	g := rng.New(*loadSeed)
 	var wg sync.WaitGroup
@@ -119,7 +162,7 @@ func main() {
 		wg.Add(1)
 		go func(seq int) {
 			defer wg.Done()
-			results <- fire(client, *endpoint, target, q, payload, *eexp, *delta, seq%*distinct+1)
+			results <- fire(client, *endpoint, target, q, payload, baseOpts, *eexp, *delta, seq%*distinct+1)
 		}(i)
 	}
 	wg.Wait()
@@ -127,27 +170,54 @@ func main() {
 	sum := <-collectDone
 
 	elapsed := time.Since(start).Seconds()
-	fmt.Printf("slload: total sent=%d ok=%d fail=%d achieved=%.1f rps  %s\n",
-		sum.sent, sum.ok, sum.sent-sum.ok, float64(sum.sent)/elapsed, percentiles(sum.latencies))
-	if sum.sent-sum.ok > 0 {
+	fail := sum.sent - sum.ok - sum.exhausted
+	fmt.Printf("slload: total sent=%d ok=%d fail=%d budget_exhausted=%d achieved=%.1f rps  %s\n",
+		sum.sent, sum.ok, fail, sum.exhausted, float64(sum.sent)/elapsed, percentiles(sum.latencies))
+	if fail > 0 {
+		os.Exit(1)
+	}
+	if *expect429 && sum.exhausted == 0 {
+		fmt.Fprintln(os.Stderr, "slload: -expect-429 set but the budget never exhausted")
 		os.Exit(1)
 	}
 }
 
+// uploadCorpus PUTs the TSV corpus under name, the once-per-run step of
+// the corpus-referencing mode.
+func uploadCorpus(client *http.Client, base, name string, tsv []byte) error {
+	req, err := http.NewRequest(http.MethodPut, base+"/v1/corpora/"+name, bytes.NewReader(tsv))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "text/tab-separated-values")
+	resp, err := client.Do(req)
+	if err != nil {
+		return fmt.Errorf("upload corpus: %w", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
+		return fmt.Errorf("upload corpus: status %d: %s", resp.StatusCode, body)
+	}
+	return nil
+}
+
 type result struct {
 	latency time.Duration
+	status  int
 	err     error
 }
 
 type summary struct {
-	sent, ok  int
-	latencies []time.Duration
+	sent, ok, exhausted int
+	latencies           []time.Duration
 }
 
 // fire issues one request and classifies the outcome. Sanitize and stats
 // send the TSV corpus; lambda sends a small JSON envelope with the corpus
-// inlined as TSV.
-func fire(client *http.Client, endpoint, target string, q url.Values, payload []byte, eexp, delta float64, seed int) result {
+// inlined as TSV; corpus mode sends an options-only envelope referencing
+// the uploaded corpus.
+func fire(client *http.Client, endpoint, target string, q url.Values, payload []byte, baseOpts dpslog.Options, eexp, delta float64, seed int) result {
 	var (
 		req *http.Request
 		err error
@@ -156,6 +226,17 @@ func fire(client *http.Client, endpoint, target string, q url.Values, payload []
 	case "lambda":
 		env := fmt.Sprintf(`{"eexp":%g,"delta":%g,"tsv":%q}`, eexp, delta, payload)
 		req, err = http.NewRequest("POST", target, bytes.NewReader([]byte(env)))
+		if req != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+	case "corpus":
+		opts := baseOpts
+		opts.Seed = uint64(seed)
+		env, merr := json.Marshal(map[string]dpslog.Options{"options": opts})
+		if merr != nil {
+			return result{err: merr}
+		}
+		req, err = http.NewRequest("POST", target, bytes.NewReader(env))
 		if req != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
@@ -190,27 +271,29 @@ func fire(client *http.Client, endpoint, target string, q url.Values, payload []
 	}
 	lat := time.Since(start)
 	if resp.StatusCode != http.StatusOK {
-		return result{latency: lat, err: fmt.Errorf("status %d", resp.StatusCode)}
+		return result{latency: lat, status: resp.StatusCode, err: fmt.Errorf("status %d", resp.StatusCode)}
 	}
-	return result{latency: lat}
+	return result{latency: lat, status: resp.StatusCode}
 }
 
 // collect aggregates results, printing one line per batch window and
-// returning the whole-run summary when the results channel closes.
-func collect(results <-chan result, window time.Duration, done chan<- summary) {
+// returning the whole-run summary when the results channel closes. With
+// expect429, budget-exhausted 429 responses are an expected outcome class
+// rather than failures.
+func collect(results <-chan result, window time.Duration, expect429 bool, done chan<- summary) {
 	var sum summary
 	var batch []time.Duration
 	batchStart := time.Now()
-	batchFail := 0
+	batchFail, batch429 := 0, 0
 	tick := time.NewTicker(window)
 	defer tick.Stop()
 	flush := func() {
-		if len(batch) == 0 && batchFail == 0 {
+		if len(batch) == 0 && batchFail == 0 && batch429 == 0 {
 			return
 		}
-		fmt.Printf("slload: batch %5.1fs sent=%d ok=%d fail=%d  %s\n",
-			time.Since(batchStart).Seconds(), len(batch)+batchFail, len(batch), batchFail, percentiles(batch))
-		batch, batchFail = nil, 0
+		fmt.Printf("slload: batch %5.1fs sent=%d ok=%d fail=%d budget_exhausted=%d  %s\n",
+			time.Since(batchStart).Seconds(), len(batch)+batchFail+batch429, len(batch), batchFail, batch429, percentiles(batch))
+		batch, batchFail, batch429 = nil, 0, 0
 		batchStart = time.Now()
 	}
 	for {
@@ -222,6 +305,11 @@ func collect(results <-chan result, window time.Duration, done chan<- summary) {
 				return
 			}
 			sum.sent++
+			if expect429 && r.status == http.StatusTooManyRequests {
+				sum.exhausted++
+				batch429++
+				continue
+			}
 			if r.err != nil {
 				fmt.Fprintf(os.Stderr, "slload: request failed: %v\n", r.err)
 				batchFail++

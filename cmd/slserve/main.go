@@ -7,6 +7,14 @@
 //
 //	slserve [-addr :8080] [-workers N] [-queue N] [-cache N]
 //	        [-max-jobs N] [-max-body BYTES] [-solve-parallelism N]
+//	        [-data-dir DIR] [-budget-eexp X | -budget-epsilon X]
+//	        [-budget-delta X]
+//
+// With -data-dir, the stateful corpus subsystem is enabled: corpora are
+// uploaded once to /v1/corpora/{name} and sanitized by reference, every
+// release charged against the per-corpus (ε, δ) budget; the release
+// journal under the data directory is replayed on restart, so accounting
+// survives crashes.
 //
 // The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests for up to 10 seconds.
@@ -18,12 +26,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"dpslog"
 	"dpslog/internal/server"
 )
 
@@ -35,16 +45,29 @@ func main() {
 	maxJobs := flag.Int("max-jobs", 0, "retained async jobs (0 = 1024)")
 	maxBody := flag.Int64("max-body", 0, "request body cap in bytes (0 = 32 MiB)")
 	solvePar := flag.Int("solve-parallelism", 0, "component parallelism per solve when the request omits it (0 = 1, sequential; negative = GOMAXPROCS)")
+	dataDir := flag.String("data-dir", "", "enable the stateful corpus store + privacy ledger under this directory (empty = stateless mode)")
+	budgetEExp := flag.Float64("budget-eexp", 0, "per-corpus privacy budget as e^ε (overrides -budget-epsilon; 0 = default ln 16)")
+	budgetEps := flag.Float64("budget-epsilon", 0, "per-corpus privacy budget ε (0 = default ln 16)")
+	budgetDelta := flag.Float64("budget-delta", 0, "per-corpus privacy budget δ (0 = default 1.0)")
 	flag.Parse()
 
-	srv := server.New(server.Config{
+	budget := dpslog.Budget{Epsilon: *budgetEps, Delta: *budgetDelta}
+	if *budgetEExp != 0 {
+		budget.Epsilon = math.Log(*budgetEExp)
+	}
+	srv, err := server.New(server.Config{
 		Workers:          *workers,
 		Queue:            *queue,
 		CacheSize:        *cache,
 		MaxJobs:          *maxJobs,
 		MaxBodyBytes:     *maxBody,
 		SolveParallelism: *solvePar,
+		DataDir:          *dataDir,
+		Budget:           budget,
 	})
+	if err != nil {
+		fatal(err)
+	}
 	defer srv.Close()
 
 	hs := &http.Server{Addr: *addr, Handler: srv}

@@ -1,0 +1,230 @@
+// Package corpus is the disk-backed, multi-tenant corpus store behind
+// slserve's /v1/corpora endpoints: a search log is uploaded once under a
+// name and referenced forever, so sanitization requests carry options only
+// instead of re-uploading (and the server re-parsing) megabyte TSV bodies.
+//
+// Each corpus is one canonical TSV file under the store directory, written
+// atomically (temp file + fsync + rename) so a crash can never leave a
+// half-written corpus behind. An in-memory index holds every corpus's
+// digest and shape, and the parsed Log itself is cached — uploads are rare
+// and reads are hot, which is exactly the profile an in-memory cache wants.
+package corpus
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"dpslog/internal/searchlog"
+)
+
+// ErrNotFound reports a name with no stored corpus.
+var ErrNotFound = errors.New("corpus: not found")
+
+// nameRE constrains corpus names to one safe path segment: it must never
+// be possible to traverse out of the store directory via a crafted name.
+var nameRE = regexp.MustCompile(`^[a-zA-Z0-9][a-zA-Z0-9._-]{0,63}$`)
+
+// ValidName reports whether name is an acceptable corpus name: 1–64 chars,
+// alphanumeric plus ._-, starting alphanumeric.
+func ValidName(name string) bool {
+	return nameRE.MatchString(name) && !strings.Contains(name, "..")
+}
+
+// Meta describes one stored corpus.
+type Meta struct {
+	Name string `json:"name"`
+	// Digest is the hex SHA-256 of the canonical TSV form — the identity
+	// the plan cache and the privacy ledger key on.
+	Digest   string    `json:"digest"`
+	Size     int       `json:"size"` // total click-count mass
+	NumUsers int       `json:"num_users"`
+	NumPairs int       `json:"num_pairs"`
+	Bytes    int64     `json:"bytes"` // on-disk TSV size
+	Uploaded time.Time `json:"uploaded"`
+}
+
+// Store is the corpus registry. All methods are safe for concurrent use.
+type Store struct {
+	mu    sync.Mutex
+	dir   string
+	metas map[string]Meta
+	logs  map[string]*searchlog.Log
+}
+
+// Open creates (if needed) and loads the store directory, parsing every
+// stored corpus to rebuild the digest index.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("corpus: create store dir: %w", err)
+	}
+	s := &Store{
+		dir:   dir,
+		metas: make(map[string]Meta),
+		logs:  make(map[string]*searchlog.Log),
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: scan store dir: %w", err)
+	}
+	for _, e := range entries {
+		name, ok := strings.CutSuffix(e.Name(), ".tsv")
+		if e.IsDir() || !ok || !ValidName(name) {
+			continue // leftovers (e.g. temp files) are not corpora
+		}
+		if err := s.load(name, e); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// load parses one stored corpus file into the index.
+func (s *Store) load(name string, e os.DirEntry) error {
+	path := s.path(name)
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("corpus: open %s: %w", path, err)
+	}
+	defer f.Close()
+	l, err := searchlog.ReadTSV(f)
+	if err != nil {
+		return fmt.Errorf("corpus: parse %s: %w", path, err)
+	}
+	info, err := e.Info()
+	if err != nil {
+		return fmt.Errorf("corpus: stat %s: %w", path, err)
+	}
+	s.metas[name] = metaOf(name, l, info.Size(), info.ModTime())
+	s.logs[name] = l
+	return nil
+}
+
+func metaOf(name string, l *searchlog.Log, bytes int64, uploaded time.Time) Meta {
+	return Meta{
+		Name:     name,
+		Digest:   l.Digest(),
+		Size:     l.Size(),
+		NumUsers: l.NumUsers(),
+		NumPairs: l.NumPairs(),
+		Bytes:    bytes,
+		Uploaded: uploaded.UTC(),
+	}
+}
+
+func (s *Store) path(name string) string {
+	return filepath.Join(s.dir, name+".tsv")
+}
+
+// Put stores l under name, replacing any previous corpus of that name. The
+// TSV is written to a temp file, fsynced and renamed into place, so readers
+// (and crashes) only ever observe complete corpora.
+func (s *Store) Put(name string, l *searchlog.Log) (Meta, error) {
+	if !ValidName(name) {
+		return Meta{}, fmt.Errorf("corpus: invalid name %q (want 1-64 chars of [a-zA-Z0-9._-], starting alphanumeric)", name)
+	}
+	if l.Size() == 0 {
+		return Meta{}, errors.New("corpus: refusing to store an empty log")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tmp, err := os.CreateTemp(s.dir, "."+name+".tmp-*")
+	if err != nil {
+		return Meta{}, fmt.Errorf("corpus: create temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := searchlog.WriteTSV(tmp, l); err != nil {
+		tmp.Close()
+		return Meta{}, fmt.Errorf("corpus: write %s: %w", name, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return Meta{}, fmt.Errorf("corpus: sync %s: %w", name, err)
+	}
+	info, err := tmp.Stat()
+	if err != nil {
+		tmp.Close()
+		return Meta{}, fmt.Errorf("corpus: stat %s: %w", name, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return Meta{}, fmt.Errorf("corpus: close %s: %w", name, err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(name)); err != nil {
+		return Meta{}, fmt.Errorf("corpus: publish %s: %w", name, err)
+	}
+	syncDir(s.dir)
+	m := metaOf(name, l, info.Size(), time.Now())
+	s.metas[name] = m
+	s.logs[name] = l
+	return m, nil
+}
+
+// syncDir makes a rename durable; not all platforms support fsync on a
+// directory handle, so failure is ignored.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// Get returns the parsed log and metadata for name.
+func (s *Store) Get(name string) (*searchlog.Log, Meta, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.metas[name]
+	if !ok {
+		return nil, Meta{}, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return s.logs[name], m, nil
+}
+
+// Meta returns the metadata for name without touching the parsed log.
+func (s *Store) Meta(name string) (Meta, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.metas[name]
+	return m, ok
+}
+
+// Delete removes a stored corpus. Privacy accounting lives in the ledger,
+// keyed by digest, and deliberately survives deletion: re-uploading the
+// same data resumes the same budget.
+func (s *Store) Delete(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.metas[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if err := os.Remove(s.path(name)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("corpus: delete %s: %w", name, err)
+	}
+	delete(s.metas, name)
+	delete(s.logs, name)
+	return nil
+}
+
+// List returns the metadata of every stored corpus, sorted by name.
+func (s *Store) List() []Meta {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Meta, 0, len(s.metas))
+	for _, m := range s.metas {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Name < out[b].Name })
+	return out
+}
+
+// Len returns the number of stored corpora.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.metas)
+}

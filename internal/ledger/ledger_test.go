@@ -1,0 +1,312 @@
+package ledger
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func openTest(t *testing.T, budget Budget) (*Ledger, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "ledger.journal")
+	l, err := Open(path, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l, path
+}
+
+func TestSequentialComposition(t *testing.T) {
+	// Budget sized for exactly two (ε=ln 2, δ=0.5) releases.
+	eps := math.Log(2)
+	l, _ := openTest(t, Budget{Epsilon: 2 * eps, Delta: 1.0})
+
+	for i := 1; i <= 2; i++ {
+		rel, spent, err := l.Charge("c", "digest-a", fmt.Sprintf("key-%d", i), eps, 0.5)
+		if err != nil || !spent {
+			t.Fatalf("release %d: spent=%v err=%v", i, spent, err)
+		}
+		if rel.Seq != i {
+			t.Fatalf("release %d: seq %d", i, rel.Seq)
+		}
+	}
+	s := l.Spent("digest-a")
+	if math.Abs(s.Epsilon-2*eps) > 1e-12 || s.Delta != 1.0 {
+		t.Fatalf("spent %+v", s)
+	}
+
+	// A third distinct release must be refused with the full accounting.
+	_, _, err := l.Charge("c", "digest-a", "key-3", eps, 0.5)
+	var over *OverBudgetError
+	if !errors.As(err, &over) {
+		t.Fatalf("want OverBudgetError, got %v", err)
+	}
+	if over.Remaining.Epsilon != 0 || over.Remaining.Delta != 0 {
+		t.Fatalf("remaining %+v, want zero", over.Remaining)
+	}
+	if over.Spent.Delta != 1.0 {
+		t.Fatalf("spent in error %+v", over.Spent)
+	}
+
+	// Budgets are per corpus digest: a different dataset is unaffected.
+	if _, _, err := l.Charge("other", "digest-b", "key-b", eps, 0.5); err != nil {
+		t.Fatalf("independent corpus refused: %v", err)
+	}
+}
+
+func TestIdempotentReplayIsFree(t *testing.T) {
+	l, _ := openTest(t, Budget{Epsilon: 1, Delta: 1})
+	first, spent, err := l.Charge("c", "d", "same-key", 1, 1)
+	if err != nil || !spent {
+		t.Fatalf("first: %v %v", spent, err)
+	}
+	// The budget is now exhausted, but re-serving the identical release
+	// (same key → same output bytes) must stay admissible and free.
+	again, spent, err := l.Charge("c", "d", "same-key", 1, 1)
+	if err != nil || spent {
+		t.Fatalf("replay: spent=%v err=%v", spent, err)
+	}
+	if again.Seq != first.Seq {
+		t.Fatalf("replay returned seq %d, want %d", again.Seq, first.Seq)
+	}
+	if err := l.Check("d", "same-key", 1, 1); err != nil {
+		t.Fatalf("Check of journaled key: %v", err)
+	}
+	if err := l.Check("d", "new-key", 0.1, 0.1); err == nil {
+		t.Fatal("Check admitted a fresh over-budget release")
+	}
+	if got := l.Spent("d"); got.Epsilon != 1 || got.Delta != 1 {
+		t.Fatalf("replay changed spend: %+v", got)
+	}
+}
+
+func TestJournalReplayRestoresAccounting(t *testing.T) {
+	budget := Budget{Epsilon: 3, Delta: 1.5}
+	path := filepath.Join(t.TempDir(), "ledger.journal")
+	l, err := Open(path, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.now = func() time.Time { return time.Unix(1700000000, 0) }
+	if _, _, err := l.Charge("a", "dig-a", "k1", 1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.Charge("a", "dig-a", "k2", 1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.Charge("b", "dig-b", "k3", 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	wantA, wantB := l.Spent("dig-a"), l.Spent("dig-b")
+	wantRels := l.Releases("dig-a")
+	l.Close()
+
+	re, err := Open(path, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := re.Spent("dig-a"); got != wantA {
+		t.Fatalf("replayed spend %+v, want %+v", got, wantA)
+	}
+	if got := re.Spent("dig-b"); got != wantB {
+		t.Fatalf("replayed spend %+v, want %+v", got, wantB)
+	}
+	rels := re.Releases("dig-a")
+	if len(rels) != len(wantRels) {
+		t.Fatalf("replayed %d releases, want %d", len(rels), len(wantRels))
+	}
+	for i := range rels {
+		if rels[i] != wantRels[i] {
+			t.Fatalf("release %d diverged: %+v vs %+v", i, rels[i], wantRels[i])
+		}
+	}
+	// The idempotency index survives the restart...
+	if _, spent, err := re.Charge("a", "dig-a", "k1", 1, 0.5); err != nil || spent {
+		t.Fatalf("journaled key re-charged after replay: spent=%v err=%v", spent, err)
+	}
+	// ...and the sequence keeps counting where it left off.
+	rel, _, err := re.Charge("a", "dig-a", "k4", 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Seq != 4 {
+		t.Fatalf("post-replay seq %d, want 4", rel.Seq)
+	}
+}
+
+func TestTornTailIsTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.journal")
+	l, err := Open(path, Budget{Epsilon: 10, Delta: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.Charge("c", "d", "k1", 1, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	// Simulate a crash mid-append: a partial JSON line at the tail.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"seq":2,"corpus":"c","dig`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	re, err := Open(path, Budget{Epsilon: 10, Delta: 10})
+	if err != nil {
+		t.Fatalf("torn tail should be tolerated: %v", err)
+	}
+	defer re.Close()
+	if got := re.Spent("d"); got.Epsilon != 1 || got.Delta != 0.25 {
+		t.Fatalf("spend after torn-tail replay: %+v", got)
+	}
+	// The torn bytes are gone: the next charge lands on a clean boundary
+	// and a fresh replay still parses.
+	if _, _, err := re.Charge("c", "d", "k2", 1, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	re.Close()
+	re2, err := Open(path, Budget{Epsilon: 10, Delta: 10})
+	if err != nil {
+		t.Fatalf("journal corrupt after post-truncate append: %v", err)
+	}
+	defer re2.Close()
+	if got := re2.Spent("d"); got.Epsilon != 2 || got.Delta != 0.5 {
+		t.Fatalf("spend after second replay: %+v", got)
+	}
+}
+
+// TestUnterminatedTailIsKeptAndRepaired: a crash can persist a complete
+// final entry minus its newline. The entry must be kept (the release may
+// already have been handed out — dropping it would under-count spend) and
+// the missing terminator restored, or the next append would concatenate
+// two entries onto one unparseable line.
+func TestUnterminatedTailIsKeptAndRepaired(t *testing.T) {
+	budget := Budget{Epsilon: 10, Delta: 10}
+	path := filepath.Join(t.TempDir(), "ledger.journal")
+	l, err := Open(path, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.Charge("c", "d", "k1", 1, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	// Chop the trailing newline off the (valid) final entry.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw[len(raw)-1] != '\n' {
+		t.Fatal("journal does not end in newline")
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-1], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(path, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := re.Spent("d"); got.Epsilon != 1 || got.Delta != 0.25 {
+		t.Fatalf("unterminated entry dropped: spent %+v", got)
+	}
+	// Appending after the repair must land on a clean line boundary...
+	if _, _, err := re.Charge("c", "d", "k2", 1, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	re.Close()
+	// ...so a further replay sees both entries.
+	re2, err := Open(path, budget)
+	if err != nil {
+		t.Fatalf("journal corrupt after tail repair: %v", err)
+	}
+	defer re2.Close()
+	if got := len(re2.Releases("d")); got != 2 {
+		t.Fatalf("replayed %d releases after repair, want 2", got)
+	}
+}
+
+func TestInteriorCorruptionIsAnError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.journal")
+	if err := os.WriteFile(path, []byte("not json at all\n{\"seq\":1}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, Budget{}); err == nil {
+		t.Fatal("interior corruption must refuse to open, not under-count")
+	}
+}
+
+// TestConcurrentChargesNeverOverspend is the -race lock-down: many
+// goroutines race distinct releases against a budget sized for exactly
+// admit of them; the ledger must admit exactly that many and the journal
+// must replay to the same state.
+func TestConcurrentChargesNeverOverspend(t *testing.T) {
+	const (
+		workers = 32
+		admit   = 5
+	)
+	eps := math.Log(2)
+	budget := Budget{Epsilon: float64(admit) * eps, Delta: float64(admit) * 0.25}
+	path := filepath.Join(t.TempDir(), "ledger.journal")
+	l, err := Open(path, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		accepted int
+		rejected int
+	)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, spent, err := l.Charge("c", "dig", fmt.Sprintf("key-%d", i), eps, 0.25)
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil && spent:
+				accepted++
+			case errors.As(err, new(*OverBudgetError)):
+				rejected++
+			default:
+				t.Errorf("charge %d: spent=%v err=%v", i, spent, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if accepted != admit || rejected != workers-admit {
+		t.Fatalf("accepted %d rejected %d, want %d/%d", accepted, rejected, admit, workers-admit)
+	}
+	s := l.Spent("dig")
+	if s.Epsilon > budget.Epsilon+budgetTol || s.Delta > budget.Delta+budgetTol {
+		t.Fatalf("overspent: %+v > %+v", s, budget)
+	}
+	l.Close()
+
+	re, err := Open(path, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := re.Spent("dig"); got != s {
+		t.Fatalf("replayed spend %+v != live %+v", got, s)
+	}
+	if got := len(re.Releases("dig")); got != admit {
+		t.Fatalf("replayed %d releases, want %d", got, admit)
+	}
+}

@@ -39,7 +39,10 @@ func TestGoldenTSVRoundTrip(t *testing.T) {
 
 // TestGoldenAOL: the historical 5-column AOL format must normalize to the
 // checked-in canonical TSV — header dropped, clickless rows dropped,
-// repeated (user, query, url) rows aggregated, queries trimmed.
+// repeated (user, query, url) rows aggregated, queries AND AnonIDs trimmed.
+// The fixture carries whitespace-padded AnonID rows ("102 ", " 101") that
+// must fold into their unpadded users: an untrimmed ID would split one user
+// into several and inflate NumUsers, and with it the DP constraint count.
 func TestGoldenAOL(t *testing.T) {
 	raw, err := os.ReadFile(filepath.Join("testdata", "aol_sample.txt"))
 	if err != nil {
@@ -52,6 +55,9 @@ func TestGoldenAOL(t *testing.T) {
 	l, err := ReadAOL(bytes.NewReader(raw))
 	if err != nil {
 		t.Fatal(err)
+	}
+	if l.NumUsers() != 3 {
+		t.Fatalf("padded AnonIDs split users: NumUsers = %d, want 3", l.NumUsers())
 	}
 	var buf bytes.Buffer
 	if _, err := WriteTSV(&buf, l); err != nil {

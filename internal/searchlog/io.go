@@ -83,8 +83,16 @@ func ReadAOL(r io.Reader) (*Log, error) {
 		if url == "" {
 			continue // query without click
 		}
+		// The AnonID must be trimmed like the query and url: real AOL dumps
+		// carry whitespace-padded rows, and an untrimmed ID splits one user
+		// into several — inflating NumUsers and therefore the number of DP
+		// constraints derived from it.
+		user := strings.TrimSpace(fields[0])
+		if user == "" {
+			return nil, fmt.Errorf("searchlog: line %d: empty AnonID", lineNo)
+		}
 		query := strings.TrimSpace(fields[1])
-		b.Add(fields[0], query, url, 1)
+		b.Add(user, query, url, 1)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err

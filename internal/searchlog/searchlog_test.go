@@ -303,6 +303,17 @@ func TestReadAOL(t *testing.T) {
 	if _, err := ReadAOL(strings.NewReader("1\ttwo\tfields")); err == nil {
 		t.Error("accepted short AOL row")
 	}
+	if _, err := ReadAOL(strings.NewReader(" \tq\t2006\t1\tu.com")); err == nil {
+		t.Error("accepted whitespace-only AnonID")
+	}
+	// Whitespace padding must not mint a second user.
+	l2, err := ReadAOL(strings.NewReader("1\tq\t2006\t1\tu.com\n 1 \tq\t2006\t1\tu.com"))
+	if err != nil {
+		t.Fatalf("padded AnonID: %v", err)
+	}
+	if l2.NumUsers() != 1 || l2.Size() != 2 {
+		t.Errorf("padded AnonID split a user: %d users, size %d", l2.NumUsers(), l2.Size())
+	}
 }
 
 func TestRecordsSortedAndComplete(t *testing.T) {

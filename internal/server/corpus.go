@@ -1,0 +1,313 @@
+package server
+
+// The stateful corpus subsystem of slserve: named, disk-backed corpora
+// (internal/corpus) sanitized by reference, with every release charged
+// against a per-corpus (ε, δ) budget under sequential composition
+// (internal/ledger). Upload once, sanitize many — a release request
+// carries options only, so throughput is no longer bottlenecked on
+// re-uploading and re-parsing megabyte TSV bodies, and the privacy spend
+// of a dataset is enforced across its whole release history rather than
+// silently recomposed per request.
+
+import (
+	"errors"
+	"net/http"
+	"time"
+
+	"dpslog"
+	"dpslog/internal/corpus"
+)
+
+// corpusMetaJSON is the wire form of a stored corpus: its identity plus
+// its live budget accounting.
+type corpusMetaJSON struct {
+	corpus.Meta
+	Budget budgetJSON `json:"budget"`
+}
+
+// budgetJSON is the accounting snapshot attached to corpus metadata,
+// budget queries, and over-budget refusals.
+type budgetJSON struct {
+	Budget    dpslog.Budget `json:"budget"`
+	Spent     dpslog.Budget `json:"spent"`
+	Remaining dpslog.Budget `json:"remaining"`
+	Releases  int           `json:"releases"`
+}
+
+// corpusSanitizeRequest is the options-only body of POST
+// /v1/corpora/{name}/sanitize — the corpus itself is referenced by name.
+type corpusSanitizeRequest struct {
+	Options dpslog.Options `json:"options"`
+}
+
+// corpusSanitizeResponse extends a sanitization with its ledger entry and
+// the corpus's post-charge accounting.
+type corpusSanitizeResponse struct {
+	sanitizeResponse
+	Corpus  string         `json:"corpus"`
+	Release dpslog.Release `json:"release"`
+	Budget  budgetJSON     `json:"budget"`
+}
+
+// overBudgetJSON is the structured 429 payload: what was asked, what is
+// left.
+type overBudgetJSON struct {
+	Error     string        `json:"error"`
+	Corpus    string        `json:"corpus"`
+	Digest    string        `json:"digest"`
+	Requested dpslog.Budget `json:"requested"`
+	Budget    dpslog.Budget `json:"budget"`
+	Spent     dpslog.Budget `json:"spent"`
+	Remaining dpslog.Budget `json:"remaining"`
+}
+
+// corpusEnabled gates a corpus handler on the subsystem being configured.
+func (s *Server) corpusEnabled(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.corpora == nil {
+			writeError(w, http.StatusServiceUnavailable, "corpus store not configured: start slserve with -data-dir")
+			return
+		}
+		h(w, r)
+	}
+}
+
+// budgetStatus snapshots the ledger accounting for one corpus digest.
+func (s *Server) budgetStatus(digest string) budgetJSON {
+	return budgetJSON{
+		Budget:    s.budgets.Budget(),
+		Spent:     s.budgets.Spent(digest),
+		Remaining: s.budgets.Remaining(digest),
+		Releases:  s.budgets.ReleaseCount(digest),
+	}
+}
+
+func writeOverBudget(w http.ResponseWriter, name string, over *dpslog.OverBudgetError) {
+	w.Header().Set("Retry-After", "86400") // budget does not replenish; a long hint
+	writeJSON(w, http.StatusTooManyRequests, overBudgetJSON{
+		Error:     over.Error(),
+		Corpus:    name,
+		Digest:    over.Digest,
+		Requested: over.Requested,
+		Budget:    over.Budget,
+		Spent:     over.Spent,
+		Remaining: over.Remaining,
+	})
+}
+
+// handleCorpusPut uploads (or replaces) a corpus: a TSV body, or a JSON
+// envelope {"records": [...]} / {"tsv": "..."} when Content-Type is JSON.
+func (s *Server) handleCorpusPut(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !corpus.ValidName(name) {
+		writeError(w, http.StatusBadRequest, "invalid corpus name %q (want 1-64 chars of [a-zA-Z0-9._-], starting alphanumeric)", name)
+		return
+	}
+	var (
+		l   *dpslog.Log
+		err error
+	)
+	if isJSONRequest(r) {
+		var req statsRequest // same {records, tsv} envelope as /v1/stats
+		if err := decodeJSON(r, &req); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		l, err = buildLog(req.Records, req.TSV)
+	} else {
+		l, err = dpslog.ReadTSV(r.Body)
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if l.Size() == 0 {
+		writeError(w, http.StatusBadRequest, "refusing to store an empty corpus")
+		return
+	}
+	_, existed := s.corpora.Meta(name)
+	m, err := s.corpora.Put(name, l)
+	if err != nil {
+		// Name and emptiness were validated above; what remains is the
+		// server's own disk failing, which is not the client's fault.
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	code := http.StatusCreated
+	if existed {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, corpusMetaJSON{Meta: m, Budget: s.budgetStatus(m.Digest)})
+}
+
+func (s *Server) handleCorpusList(w http.ResponseWriter, r *http.Request) {
+	metas := s.corpora.List()
+	out := make([]corpusMetaJSON, len(metas))
+	for i, m := range metas {
+		out[i] = corpusMetaJSON{Meta: m, Budget: s.budgetStatus(m.Digest)}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"corpora": out})
+}
+
+// lookupCorpus resolves {name} or writes the 404.
+func (s *Server) lookupCorpus(w http.ResponseWriter, r *http.Request) (corpus.Meta, bool) {
+	name := r.PathValue("name")
+	m, ok := s.corpora.Meta(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown corpus %q", name)
+		return corpus.Meta{}, false
+	}
+	return m, true
+}
+
+func (s *Server) handleCorpusGet(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.lookupCorpus(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, corpusMetaJSON{Meta: m, Budget: s.budgetStatus(m.Digest)})
+}
+
+func (s *Server) handleCorpusDelete(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.lookupCorpus(w, r)
+	if !ok {
+		return
+	}
+	if err := s.corpora.Delete(m.Name); err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	// The ledger deliberately survives deletion: accounting is keyed by
+	// digest, so re-uploading the same dataset resumes the same budget.
+	writeJSON(w, http.StatusOK, map[string]any{"deleted": m.Name, "digest": m.Digest})
+}
+
+func (s *Server) handleCorpusBudget(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.lookupCorpus(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"corpus": m.Name,
+		"digest": m.Digest,
+		"budget": s.budgetStatus(m.Digest),
+	})
+}
+
+func (s *Server) handleCorpusReleases(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.lookupCorpus(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"corpus":   m.Name,
+		"digest":   m.Digest,
+		"releases": s.budgets.Releases(m.Digest),
+	})
+}
+
+// releaseCost is the (ε, δ) charged for one sanitization under sequential
+// composition. End-to-end mode additionally spends ε′ on the noisy count
+// computation (§4.2), so it composes in.
+func releaseCost(opts dpslog.Options) (eps, delta float64) {
+	eps = opts.Epsilon
+	if opts.EndToEnd {
+		eps += opts.EpsPrime
+	}
+	return eps, opts.Delta
+}
+
+// handleCorpusSanitize releases a sanitization of a stored corpus. The
+// release is charged against the corpus budget *after* the solve succeeds
+// but *before* any output byte reaches the client; identical releases
+// (same digest, canonical options and seed — byte-identical output) are
+// idempotent and free. Requests the remaining budget cannot cover get a
+// structured 429 carrying the remaining (ε, δ).
+func (s *Server) handleCorpusSanitize(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	// Capture the (log, digest) pair once, atomically: the Log is immutable,
+	// so a concurrent PUT replacing the name cannot desynchronize the data
+	// the solve reads from the digest the ledger charges and the plan cache
+	// keys — the release is always accounted against exactly the dataset it
+	// was computed from.
+	name := r.PathValue("name")
+	l, m, gerr := s.corpora.Get(name)
+	if gerr != nil {
+		writeError(w, http.StatusNotFound, "unknown corpus %q", name)
+		return
+	}
+	var req corpusSanitizeRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	opts := req.Options
+	if err := opts.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Resolve the deterministic seed now so the release identity is fixed
+	// before any work happens.
+	if opts.Seed == 0 {
+		opts.Seed = seedFromDigest(m.Digest)
+	}
+	key := cacheKey(m.Digest, opts)
+	eps, delta := releaseCost(opts)
+
+	// Non-binding pre-check: refuse obviously over-budget requests before
+	// paying for a solve. The binding decision is the post-solve Charge.
+	if err := s.budgets.Check(m.Digest, key, eps, delta); err != nil {
+		var over *dpslog.OverBudgetError
+		if errors.As(err, &over) {
+			writeOverBudget(w, m.Name, over)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+
+	var (
+		resp   *sanitizeResponse
+		runErr error
+	)
+	err := s.pool.Do(r.Context(), func() {
+		resp, runErr = s.runSanitize(l, opts, m.Digest)
+	})
+	switch {
+	case errors.Is(err, ErrSaturated):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "worker pool saturated")
+		return
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	case err != nil: // client went away; the solve finishes in background
+		w.WriteHeader(statusClientClosedRequest)
+		return
+	case runErr != nil:
+		writeError(w, http.StatusUnprocessableEntity, "%v", runErr)
+		return
+	}
+
+	// Charge-then-release: the journal entry is durable before the first
+	// output byte leaves the server. A race with concurrent releases can
+	// still exhaust the budget here; the solve is then discarded — compute
+	// is wasted, privacy is not.
+	rel, _, err := s.budgets.Charge(m.Name, m.Digest, key, eps, delta)
+	if err != nil {
+		var over *dpslog.OverBudgetError
+		if errors.As(err, &over) {
+			writeOverBudget(w, m.Name, over)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	writeJSON(w, http.StatusOK, corpusSanitizeResponse{
+		sanitizeResponse: *resp,
+		Corpus:           m.Name,
+		Release:          rel,
+		Budget:           s.budgetStatus(m.Digest),
+	})
+}

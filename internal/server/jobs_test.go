@@ -37,6 +37,31 @@ func TestJobLifecycle(t *testing.T) {
 	}
 }
 
+// TestJobListDoesNotAliasResult: handleJobList strips Result from its
+// listing snapshots; that write must never reach the stored job. List
+// returns value copies of each *Job, so assigning through the copy leaves
+// the store's pointer intact — this test locks the contract in case List's
+// snapshot semantics ever change.
+func TestJobListDoesNotAliasResult(t *testing.T) {
+	s := newJobStore(8)
+	j := s.Create()
+	s.Start(j.ID)
+	s.Finish(j.ID, resp("digest-1"))
+
+	list := s.List()
+	if len(list) != 1 || list[0].Result == nil {
+		t.Fatalf("listing %+v", list)
+	}
+	list[0].Result = nil // what handleJobList does to every entry
+	got, ok := s.Get(j.ID)
+	if !ok || got.Result == nil {
+		t.Fatal("clearing Result on a listing snapshot reached the stored job")
+	}
+	if got.Result.Digest != "digest-1" {
+		t.Fatalf("stored result corrupted: %+v", got.Result)
+	}
+}
+
 func TestJobStoreRemove(t *testing.T) {
 	s := newJobStore(8)
 	a := s.Create()

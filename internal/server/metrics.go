@@ -90,6 +90,24 @@ type Gauges struct {
 	Jobs                             map[JobState]int
 	CacheEntries                     int
 	CacheHits, CacheMisses           int64
+	// Ledger is non-nil when the corpus subsystem is enabled.
+	Ledger *LedgerGauges
+}
+
+// LedgerGauges expose the privacy budget accounting: the configured
+// per-corpus allowance and, per stored corpus, the cumulative (ε, δ) spend
+// and release count.
+type LedgerGauges struct {
+	Corpora                    int
+	BudgetEpsilon, BudgetDelta float64
+	PerCorpus                  []CorpusSpend
+}
+
+// CorpusSpend is one corpus's ledger line.
+type CorpusSpend struct {
+	Name                     string
+	SpentEpsilon, SpentDelta float64
+	Releases                 int
 }
 
 // WriteTo renders the full exposition: counters, histograms, and the
@@ -166,6 +184,34 @@ func (m *Metrics) WriteTo(w io.Writer, g Gauges) {
 	fmt.Fprintln(w, "# HELP slserve_plan_cache_misses_total Plan cache misses.")
 	fmt.Fprintln(w, "# TYPE slserve_plan_cache_misses_total counter")
 	fmt.Fprintf(w, "slserve_plan_cache_misses_total %d\n", g.CacheMisses)
+
+	if g.Ledger == nil {
+		return
+	}
+	fmt.Fprintln(w, "# HELP slserve_corpora Corpora in the disk-backed store.")
+	fmt.Fprintln(w, "# TYPE slserve_corpora gauge")
+	fmt.Fprintf(w, "slserve_corpora %d\n", g.Ledger.Corpora)
+	fmt.Fprintln(w, "# HELP slserve_ledger_budget_epsilon Configured per-corpus epsilon allowance.")
+	fmt.Fprintln(w, "# TYPE slserve_ledger_budget_epsilon gauge")
+	fmt.Fprintf(w, "slserve_ledger_budget_epsilon %g\n", g.Ledger.BudgetEpsilon)
+	fmt.Fprintln(w, "# HELP slserve_ledger_budget_delta Configured per-corpus delta allowance.")
+	fmt.Fprintln(w, "# TYPE slserve_ledger_budget_delta gauge")
+	fmt.Fprintf(w, "slserve_ledger_budget_delta %g\n", g.Ledger.BudgetDelta)
+	fmt.Fprintln(w, "# HELP slserve_ledger_spent_epsilon Cumulative epsilon charged per corpus under sequential composition.")
+	fmt.Fprintln(w, "# TYPE slserve_ledger_spent_epsilon gauge")
+	for _, c := range g.Ledger.PerCorpus {
+		fmt.Fprintf(w, "slserve_ledger_spent_epsilon{corpus=%q} %g\n", c.Name, c.SpentEpsilon)
+	}
+	fmt.Fprintln(w, "# HELP slserve_ledger_spent_delta Cumulative delta charged per corpus under sequential composition.")
+	fmt.Fprintln(w, "# TYPE slserve_ledger_spent_delta gauge")
+	for _, c := range g.Ledger.PerCorpus {
+		fmt.Fprintf(w, "slserve_ledger_spent_delta{corpus=%q} %g\n", c.Name, c.SpentDelta)
+	}
+	fmt.Fprintln(w, "# HELP slserve_ledger_releases_total Journaled releases per corpus.")
+	fmt.Fprintln(w, "# TYPE slserve_ledger_releases_total counter")
+	for _, c := range g.Ledger.PerCorpus {
+		fmt.Fprintf(w, "slserve_ledger_releases_total{corpus=%q} %d\n", c.Name, c.Releases)
+	}
 }
 
 // formatBound renders a bucket bound the way Prometheus expects ("0.005",

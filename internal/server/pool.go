@@ -12,18 +12,31 @@ import (
 // sheds load instead of stacking unbounded goroutines behind the solver.
 var ErrSaturated = errors.New("server: worker pool saturated")
 
+// ErrClosed is returned by Submit after Close, and delivered to the abort
+// callback of every task that was still queued when Close drained the
+// backlog. Handlers translate it to 503: the server is shutting down.
+var ErrClosed = errors.New("server: worker pool shut down")
+
 // Pool is a bounded worker pool. At most `workers` sanitization solves run
 // concurrently; up to `queue` further tasks wait in a backlog. Both sync
 // requests and async jobs flow through the same pool, so a burst of traffic
 // degrades to queueing (then 503s) rather than stampeding the LP/BIP
 // solvers with unbounded concurrency.
 type Pool struct {
-	tasks   chan func()
+	mu      sync.Mutex // guards closed and enqueues, so Submit/Close serialize
+	closed  bool
+	tasks   chan task
 	workers int
 	busy    atomic.Int64
 	done    chan struct{}
 	wg      sync.WaitGroup
-	closed  sync.Once
+}
+
+// task pairs the work with its failure path: exactly one of run and abort
+// is invoked, run by a worker or abort by Close's backlog drain.
+type task struct {
+	run   func()
+	abort func(error)
 }
 
 // NewPool starts a pool of the given size. workers < 1 is clamped to 1;
@@ -37,7 +50,7 @@ func NewPool(workers, queue int) *Pool {
 		queue = 0
 	}
 	p := &Pool{
-		tasks:   make(chan func(), queue),
+		tasks:   make(chan task, queue),
 		workers: workers,
 		done:    make(chan struct{}),
 	}
@@ -54,24 +67,37 @@ func (p *Pool) run() {
 		select {
 		case <-p.done:
 			return
-		case task := <-p.tasks:
+		case t := <-p.tasks:
 			p.busy.Add(1)
-			task()
+			t.run()
 			p.busy.Add(-1)
 		}
 	}
 }
 
 // Submit enqueues a task without blocking. It returns ErrSaturated when the
-// backlog is full.
-func (p *Pool) Submit(task func()) error {
-	select {
-	case <-p.done:
-		return errors.New("server: pool closed")
-	default:
+// backlog is full and ErrClosed after Close. A task accepted by Submit is
+// guaranteed to run unless the pool is closed first, in which case it is
+// dropped silently — use SubmitTask when the caller must learn about the
+// drop.
+func (p *Pool) Submit(run func()) error {
+	return p.SubmitTask(run, nil)
+}
+
+// SubmitTask enqueues a task with an abort callback. Exactly one of run and
+// abort is eventually invoked: run on a worker, or abort(ErrClosed) from
+// Close's backlog drain if the pool shuts down first. The enqueue happens
+// under the same lock Close takes to mark the pool closed, so a task can
+// never slip into the queue after Close has begun draining — the
+// check-then-act race of checking `done` and then sending is gone.
+func (p *Pool) SubmitTask(run func(), abort func(error)) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrClosed
 	}
 	select {
-	case p.tasks <- task:
+	case p.tasks <- task{run: run, abort: abort}:
 		return nil
 	default:
 		return ErrSaturated
@@ -80,15 +106,22 @@ func (p *Pool) Submit(task func()) error {
 
 // Do submits fn and waits until it completes or ctx is cancelled. On
 // cancellation the task still runs to completion in its worker (solves are
-// not interruptible); only the wait is abandoned.
+// not interruptible); only the wait is abandoned. If the pool is closed
+// while fn is still queued, Do returns ErrClosed — a waiter with a
+// non-cancellable context is never stranded.
 func (p *Pool) Do(ctx context.Context, fn func()) error {
 	finished := make(chan struct{})
-	if err := p.Submit(func() { defer close(finished); fn() }); err != nil {
+	var abortErr error
+	err := p.SubmitTask(
+		func() { defer close(finished); fn() },
+		func(e error) { abortErr = e; close(finished) },
+	)
+	if err != nil {
 		return err
 	}
 	select {
 	case <-finished:
-		return nil
+		return abortErr
 	case <-ctx.Done():
 		return ctx.Err()
 	}
@@ -100,10 +133,32 @@ func (p *Pool) Stats() (workers, busy, queued int) {
 	return p.workers, int(p.busy.Load()), len(p.tasks)
 }
 
-// Close stops the workers. Tasks still in the backlog are dropped; tasks
-// already running finish. Close is idempotent and returns once every worker
-// has exited.
+// Close stops the workers and fails the backlog. Tasks already running
+// finish; tasks still queued once every worker has exited are drained and
+// aborted with ErrClosed, so async jobs transition to "failed" and Do
+// waiters return instead of hanging. Close is idempotent and returns once
+// the workers have exited and the backlog is empty.
 func (p *Pool) Close() {
-	p.closed.Do(func() { close(p.done) })
+	p.mu.Lock()
+	already := p.closed
+	p.closed = true
+	p.mu.Unlock()
+	if !already {
+		close(p.done)
+	}
 	p.wg.Wait()
+	// No workers remain and Submit refuses new tasks, so this drain
+	// terminates and every remaining task is aborted exactly once. (With
+	// concurrent Close calls the channel safely splits the backlog between
+	// the drains.)
+	for {
+		select {
+		case t := <-p.tasks:
+			if t.abort != nil {
+				t.abort(ErrClosed)
+			}
+		default:
+			return
+		}
+	}
 }

@@ -16,6 +16,21 @@
 //	GET  /healthz         liveness
 //	GET  /metrics         Prometheus text exposition
 //
+// With a data directory configured (Config.DataDir), the stateful corpus
+// subsystem adds upload-once/sanitize-many endpoints whose releases are
+// accounted against a per-corpus (ε, δ) budget (internal/corpus,
+// internal/ledger):
+//
+//	PUT    /v1/corpora/{name}           upload (or replace) a named corpus
+//	GET    /v1/corpora                  list stored corpora
+//	GET    /v1/corpora/{name}           corpus metadata + budget status
+//	DELETE /v1/corpora/{name}           delete a corpus (its ledger survives)
+//	POST   /v1/corpora/{name}/sanitize  sanitize by reference: options-only
+//	                                    body, budget-charged, 429 when the
+//	                                    remaining (ε, δ) cannot cover it
+//	GET    /v1/corpora/{name}/budget    budget, spend, remaining
+//	GET    /v1/corpora/{name}/releases  the append-only release journal
+//
 // A JSON body carries {"options": {...}, "records": [...]} or {"options":
 // {...}, "tsv": "..."}; any other content type is read as a raw canonical
 // TSV log with the options taken from query parameters (eexp or epsilon,
@@ -33,12 +48,15 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
 	"time"
 
 	"dpslog"
+	"dpslog/internal/corpus"
+	"dpslog/internal/ledger"
 )
 
 // Config sizes the server. Zero values select the documented defaults.
@@ -71,6 +89,16 @@ type Config struct {
 	// solver clamps to the component count). Negative configures the
 	// library default (GOMAXPROCS per solve).
 	SolveParallelism int
+	// DataDir enables the stateful corpus subsystem: corpora are stored
+	// under DataDir/corpora and the privacy ledger journal at
+	// DataDir/ledger.journal. Empty disables the /v1/corpora endpoints
+	// (they answer 503 with a configuration hint).
+	DataDir string
+	// Budget is the per-corpus (ε, δ) allowance enforced under sequential
+	// composition across releases. Zero fields default to ε = ln 16 and
+	// δ = 1 — four (e^ε = 2, δ = 0.25) releases — a demo-sized allowance;
+	// production deployments should set it deliberately.
+	Budget dpslog.Budget
 }
 
 func (c Config) withDefaults() Config {
@@ -101,6 +129,14 @@ func (c Config) withDefaults() Config {
 	if c.SolveParallelism < 0 {
 		c.SolveParallelism = 0 // library default: GOMAXPROCS
 	}
+	if c.DataDir != "" {
+		if c.Budget.Epsilon == 0 {
+			c.Budget.Epsilon = math.Log(16)
+		}
+		if c.Budget.Delta == 0 {
+			c.Budget.Delta = 1
+		}
+	}
 	return c
 }
 
@@ -114,10 +150,16 @@ type Server struct {
 	metrics *Metrics
 	mux     *http.ServeMux
 	started time.Time
+	// corpora and budgets are non-nil exactly when cfg.DataDir is set.
+	corpora *corpus.Store
+	budgets *ledger.Ledger
 }
 
-// New builds a Server with its worker pool running.
-func New(cfg Config) *Server {
+// New builds a Server with its worker pool running. With Config.DataDir
+// set, it also opens the corpus store and replays the privacy ledger
+// journal, so budget accounting resumes exactly where the last process
+// left off.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:     cfg,
@@ -129,6 +171,19 @@ func New(cfg Config) *Server {
 		mux:     http.NewServeMux(),
 		started: time.Now(),
 	}
+	if cfg.DataDir != "" {
+		var err error
+		s.corpora, err = corpus.Open(filepath.Join(cfg.DataDir, "corpora"))
+		if err != nil {
+			s.pool.Close()
+			return nil, err
+		}
+		s.budgets, err = ledger.Open(filepath.Join(cfg.DataDir, "ledger.journal"), cfg.Budget)
+		if err != nil {
+			s.pool.Close()
+			return nil, err
+		}
+	}
 	s.handle("GET /healthz", s.handleHealthz)
 	s.handle("GET /metrics", s.handleMetrics)
 	s.handle("POST /v1/sanitize", s.handleSanitize)
@@ -137,13 +192,26 @@ func New(cfg Config) *Server {
 	s.handle("GET /v1/jobs/{id}", s.handleJobGet)
 	s.handle("POST /v1/lambda", s.handleLambda)
 	s.handle("POST /v1/stats", s.handleStats)
+	s.handle("PUT /v1/corpora/{name}", s.corpusEnabled(s.handleCorpusPut))
+	s.handle("GET /v1/corpora", s.corpusEnabled(s.handleCorpusList))
+	s.handle("GET /v1/corpora/{name}", s.corpusEnabled(s.handleCorpusGet))
+	s.handle("DELETE /v1/corpora/{name}", s.corpusEnabled(s.handleCorpusDelete))
+	s.handle("POST /v1/corpora/{name}/sanitize", s.corpusEnabled(s.handleCorpusSanitize))
+	s.handle("GET /v1/corpora/{name}/budget", s.corpusEnabled(s.handleCorpusBudget))
+	s.handle("GET /v1/corpora/{name}/releases", s.corpusEnabled(s.handleCorpusReleases))
 	s.handle("/", s.handleNotFound)
-	return s
+	return s, nil
 }
 
-// Close stops the worker pool. In-flight solves finish; queued tasks are
-// dropped (their jobs remain in state "queued").
-func (s *Server) Close() { s.pool.Close() }
+// Close stops the worker pool — in-flight solves finish, queued tasks are
+// drained and failed with ErrClosed (async jobs transition to "failed") —
+// and releases the ledger journal.
+func (s *Server) Close() {
+	s.pool.Close()
+	if s.budgets != nil {
+		s.budgets.Close()
+	}
+}
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -263,6 +331,16 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 func isJSONRequest(r *http.Request) bool {
 	ct := r.Header.Get("Content-Type")
 	return strings.HasPrefix(ct, "application/json")
+}
+
+// decodeJSON strictly decodes a JSON request body into v.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad JSON body: %w", err)
+	}
+	return nil
 }
 
 // buildLog materializes the log named by a (records, tsv) pair; exactly one
@@ -394,9 +472,10 @@ func cacheKey(digest string, opts dpslog.Options) string {
 // --- Sanitization core ---------------------------------------------------
 
 // runSanitize executes (or cache-serves) one sanitization. It is called on
-// a pool worker for both sync requests and async jobs.
-func (s *Server) runSanitize(l *dpslog.Log, opts dpslog.Options) (*sanitizeResponse, error) {
-	digest := dpslog.Digest(l)
+// a pool worker for sync requests, async jobs, and corpus releases. digest
+// is the precomputed corpus identity — corpus requests pass the stored
+// digest so referencing a corpus never re-hashes it.
+func (s *Server) runSanitize(l *dpslog.Log, opts dpslog.Options, digest string) (*sanitizeResponse, error) {
 	if opts.Seed == 0 {
 		opts.Seed = seedFromDigest(digest)
 	}
@@ -475,6 +554,24 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	workers, busy, queued := s.pool.Stats()
 	hits, misses := s.cache.Stats()
+	var lg *LedgerGauges
+	if s.corpora != nil {
+		budget := s.budgets.Budget()
+		lg = &LedgerGauges{
+			BudgetEpsilon: budget.Epsilon,
+			BudgetDelta:   budget.Delta,
+		}
+		for _, m := range s.corpora.List() {
+			lg.Corpora++
+			spent := s.budgets.Spent(m.Digest)
+			lg.PerCorpus = append(lg.PerCorpus, CorpusSpend{
+				Name:         m.Name,
+				SpentEpsilon: spent.Epsilon,
+				SpentDelta:   spent.Delta,
+				Releases:     s.budgets.ReleaseCount(m.Digest),
+			})
+		}
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.WriteTo(w, Gauges{
 		Workers:      workers,
@@ -484,6 +581,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		CacheEntries: s.cache.Len(),
 		CacheHits:    hits,
 		CacheMisses:  misses,
+		Ledger:       lg,
 	})
 }
 
@@ -497,6 +595,25 @@ var allowedMethods = map[string]string{
 	"/v1/jobs":     "GET, POST",
 	"/v1/lambda":   "POST",
 	"/v1/stats":    "POST",
+	"/v1/corpora":  "GET",
+}
+
+// corpusAllow derives the allowed methods for /v1/corpora/{name}[/...]
+// paths, mirroring the registered route patterns.
+func corpusAllow(path string) (allow string, known bool) {
+	rest, ok := strings.CutPrefix(path, "/v1/corpora/")
+	if !ok || rest == "" {
+		return "", false
+	}
+	switch parts := strings.SplitN(rest, "/", 2); {
+	case len(parts) == 1:
+		return "DELETE, GET, PUT", true
+	case parts[1] == "sanitize":
+		return "POST", true
+	case parts[1] == "budget" || parts[1] == "releases":
+		return "GET", true
+	}
+	return "", false
 }
 
 func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
@@ -504,6 +621,9 @@ func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
 	allow, known := allowedMethods[path]
 	if !known && strings.HasPrefix(path, "/v1/jobs/") {
 		allow, known = "GET", true
+	}
+	if !known {
+		allow, known = corpusAllow(path)
 	}
 	if known {
 		w.Header().Set("Allow", allow)
@@ -530,11 +650,14 @@ func (s *Server) handleSanitize(w http.ResponseWriter, r *http.Request) {
 		resp   *sanitizeResponse
 		runErr error
 	)
-	err = s.pool.Do(r.Context(), func() { resp, runErr = s.runSanitize(l, opts) })
+	err = s.pool.Do(r.Context(), func() { resp, runErr = s.runSanitize(l, opts, dpslog.Digest(l)) })
 	switch {
 	case errors.Is(err, ErrSaturated):
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, "worker pool saturated; retry or submit an async job to /v1/jobs")
+		return
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "server shutting down")
 		return
 	case err != nil: // client went away; the solve finishes in background
 		w.WriteHeader(statusClientClosedRequest)
@@ -561,7 +684,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	submit := func() {
 		s.jobs.Start(job.ID)
 		start := time.Now()
-		resp, err := s.runSanitize(l, opts)
+		resp, err := s.runSanitize(l, opts, dpslog.Digest(l))
 		if err != nil {
 			s.jobs.Fail(job.ID, err)
 			return
@@ -569,7 +692,9 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
 		s.jobs.Finish(job.ID, resp)
 	}
-	if err := s.pool.Submit(submit); err != nil {
+	// The abort path fails the job if the server shuts down while it is
+	// still queued, so no job is ever stranded in "queued".
+	if err := s.pool.SubmitTask(submit, func(e error) { s.jobs.Fail(job.ID, e) }); err != nil {
 		// Load-shedding is not a job outcome: drop the never-started job so
 		// the store doesn't accumulate failures no client holds an ID for.
 		s.jobs.Remove(job.ID)
@@ -632,6 +757,9 @@ func (s *Server) handleLambda(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, ErrSaturated):
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, "worker pool saturated")
+		return
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "server shutting down")
 		return
 	case err != nil:
 		w.WriteHeader(statusClientClosedRequest)

@@ -28,7 +28,10 @@ func newTestEnv(t *testing.T, cfg Config) *testEnv {
 	if cfg.Workers == 0 {
 		cfg.Workers = 2
 	}
-	srv := New(cfg)
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv)
 	t.Cleanup(func() { ts.Close(); srv.Close() })
 	corpus, err := dpslog.Generate("tiny", 1)
@@ -292,6 +295,13 @@ func TestJobsLifecycle(t *testing.T) {
 	}
 	if !found {
 		t.Fatalf("job %s missing from list %v", job.ID, list)
+	}
+	// Stripping results from the listing must not reach the stored job: a
+	// re-fetch by ID still carries the full release.
+	_, rawAfter := e.get(t, "/v1/jobs/"+job.ID)
+	after := decode[Job](t, rawAfter)
+	if after.Result == nil || after.Result.Digest != final.Result.Digest {
+		t.Fatalf("listing aliased the stored job result away: %+v", after)
 	}
 
 	resp3, _ := e.get(t, "/v1/jobs/job-999999")
