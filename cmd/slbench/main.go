@@ -1,12 +1,13 @@
 // Command slbench measures the solver hot paths — monolithic vs
 // component-decomposed, sequential vs parallel, dense vs sparse-LU basis
-// engine — plus the multinomial sampling step and the warm-started grid
-// sweeps, and emits a machine-readable benchmark trajectory
-// (BENCH_pr3.json) that future changes are compared against.
+// engine — plus the multinomial sampling step, the warm-started grid
+// sweeps and the streaming sharded ingest fold, and emits a
+// machine-readable benchmark trajectory (BENCH_pr5.json) that future
+// changes are compared against.
 //
 // Usage:
 //
-//	slbench [-o BENCH_pr3.json] [-profiles tiny,small,tiny-sharded,small-sharded]
+//	slbench [-o BENCH_pr5.json] [-profiles tiny,small,tiny-sharded,small-sharded]
 //	        [-objectives output-size,diversity] [-benchtime 1s|1x] [-seed 1]
 //	        [-baseline BENCH_pr2.json] [-no-sweeps]
 //
@@ -27,6 +28,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -39,6 +41,7 @@ import (
 
 	"dpslog/internal/dp"
 	"dpslog/internal/gen"
+	"dpslog/internal/ingest"
 	"dpslog/internal/lp"
 	"dpslog/internal/rng"
 	"dpslog/internal/sampling"
@@ -82,7 +85,7 @@ var (
 )
 
 func main() {
-	out := flag.String("o", "BENCH_pr3.json", "output JSON file (- for stdout)")
+	out := flag.String("o", "BENCH_pr5.json", "output JSON file (- for stdout)")
 	profiles := flag.String("profiles", "tiny,small,tiny-sharded,small-sharded", "comma-separated corpus profiles")
 	objectives := flag.String("objectives", "output-size,diversity", "comma-separated objectives: output-size, diversity")
 	benchtime := flag.String("benchtime", "", "per-benchmark budget, go test style (e.g. 2s or 1x); empty = testing default (1s)")
@@ -99,7 +102,7 @@ func main() {
 
 	params := dp.Params{Eps: math.Log(2), Delta: 0.5}
 	traj := trajectory{
-		PR:         "pr3",
+		PR:         "pr5",
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Seed:       *seed,
 		Benchtime:  *benchtime,
@@ -206,6 +209,13 @@ func main() {
 		if !*noSweeps && strings.HasPrefix(profile, "small") {
 			benchSweeps(&traj, profile, pre)
 		}
+
+		// The streaming sharded ingest fold, sequential vs parallel, over
+		// the raw corpus bytes. The recorded objective is the ingested
+		// log's total size — any drift means the streaming path no longer
+		// reproduces the histogram, which is exactly what the baseline
+		// gate should catch.
+		benchIngest(&traj, profile, raw)
 	}
 
 	enc, err := json.MarshalIndent(traj, "", "  ")
@@ -367,6 +377,55 @@ func benchSweeps(traj *trajectory, profile string, pre *searchlog.Log) {
 			Pairs:          pre.NumPairs(),
 			Users:          pre.NumUsers(),
 			ObjectiveValue: total,
+			N:              r.N,
+			NsPerOp:        float64(r.NsPerOp()),
+			BytesPerOp:     r.AllocedBytesPerOp(),
+			AllocsPerOp:    r.AllocsPerOp(),
+		})
+	}
+}
+
+// benchIngest measures ingest.Ingest over the profile's canonical TSV
+// bytes at fold widths 1 and GOMAXPROCS, asserting along the way that the
+// shard count does not change the digest (the ingest determinism
+// invariant), and records the ingested size as the gated objective.
+func benchIngest(traj *trajectory, profile string, raw *searchlog.Log) {
+	var buf bytes.Buffer
+	if _, err := searchlog.WriteTSV(&buf, raw); err != nil {
+		fatal(err)
+	}
+	data := buf.Bytes()
+	wantDigest := raw.Digest()
+	// Fixed fold widths (not GOMAXPROCS) so benchmark names — and with
+	// them the baseline comparison — are machine-independent.
+	for _, shards := range []int{1, 8} {
+		mode := fmt.Sprintf("shards-%d", shards)
+		l, _, err := ingest.Ingest(bytes.NewReader(data), ingest.Config{Shards: shards})
+		if err != nil {
+			fatal(fmt.Errorf("%s/ingest/%s: %w", profile, mode, err))
+		}
+		if l.Digest() != wantDigest {
+			fatal(fmt.Errorf("%s/ingest/%s: digest diverged from the in-memory path", profile, mode))
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(data)))
+			for i := 0; i < b.N; i++ {
+				if _, _, err := ingest.Ingest(bytes.NewReader(data), ingest.Config{Shards: shards}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		addRow(traj, benchResult{
+			Name:           fmt.Sprintf("%s/ingest/%s", profile, mode),
+			Profile:        profile,
+			Objective:      "ingest",
+			Mode:           mode,
+			Parallelism:    shards,
+			Components:     1,
+			Pairs:          raw.NumPairs(),
+			Users:          raw.NumUsers(),
+			ObjectiveValue: float64(l.Size()),
 			N:              r.N,
 			NsPerOp:        float64(r.NsPerOp()),
 			BytesPerOp:     r.AllocedBytesPerOp(),

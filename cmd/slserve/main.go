@@ -8,13 +8,23 @@
 //	slserve [-addr :8080] [-workers N] [-queue N] [-cache N]
 //	        [-max-jobs N] [-max-body BYTES] [-solve-parallelism N]
 //	        [-data-dir DIR] [-budget-eexp X | -budget-epsilon X]
-//	        [-budget-delta X]
+//	        [-budget-delta X] [-ingest-shards N] [-ingest-chunk BYTES]
+//	        [-max-ingest-bytes BYTES] [-max-corpus-bytes BYTES]
 //
 // With -data-dir, the stateful corpus subsystem is enabled: corpora are
 // uploaded once to /v1/corpora/{name} and sanitized by reference, every
 // release charged against the per-corpus (ε, δ) budget; the release
 // journal under the data directory is replayed on restart, so accounting
 // survives crashes.
+//
+// Corpus uploads stream through the sharded ingest fold (see
+// internal/ingest): the body is never slurped, memory is bounded by the
+// aggregated histogram, and -max-ingest-bytes admission-controls the
+// declared bytes of concurrent uploads (excess uploads get 503).
+// -ingest-shards sets the fold parallelism, -ingest-chunk the streaming
+// reader's chunk size, -max-corpus-bytes the per-upload body cap; the
+// /metrics exposition reports rows/sec, shard skew and the peak-heap
+// estimate of the latest ingest.
 //
 // The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests for up to 10 seconds.
@@ -49,6 +59,10 @@ func main() {
 	budgetEExp := flag.Float64("budget-eexp", 0, "per-corpus privacy budget as e^ε (overrides -budget-epsilon; 0 = default ln 16)")
 	budgetEps := flag.Float64("budget-epsilon", 0, "per-corpus privacy budget ε (0 = default ln 16)")
 	budgetDelta := flag.Float64("budget-delta", 0, "per-corpus privacy budget δ (0 = default 1.0)")
+	ingestShards := flag.Int("ingest-shards", 0, "fold workers per streaming corpus upload (0 = GOMAXPROCS)")
+	ingestChunk := flag.Int("ingest-chunk", 0, "streaming reader chunk size in bytes (0 = 256 KiB)")
+	maxIngest := flag.Int64("max-ingest-bytes", 0, "declared bytes of concurrent corpus uploads admitted at once (0 = 256 MiB, negative = unguarded)")
+	maxCorpus := flag.Int64("max-corpus-bytes", 0, "per-upload corpus body cap in bytes (0 = 8 GiB, negative = uncapped)")
 	flag.Parse()
 
 	budget := dpslog.Budget{Epsilon: *budgetEps, Delta: *budgetDelta}
@@ -64,6 +78,10 @@ func main() {
 		SolveParallelism: *solvePar,
 		DataDir:          *dataDir,
 		Budget:           budget,
+		IngestShards:     *ingestShards,
+		IngestChunkBytes: *ingestChunk,
+		MaxIngestBytes:   *maxIngest,
+		MaxCorpusBytes:   *maxCorpus,
 	})
 	if err != nil {
 		fatal(err)

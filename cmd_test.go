@@ -6,6 +6,8 @@ package dpslog_test
 
 import (
 	"bytes"
+	"encoding/json"
+	"fmt"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -113,6 +115,48 @@ func TestCLIPipeline(t *testing.T) {
 	expOut, _ := run(t, filepath.Join(bin, "slexp"), "-profile", "tiny", "-seed", "3", "-exp", "table3")
 	if !strings.Contains(expOut, "TABLE3") {
 		t.Errorf("slexp table3 output malformed:\n%s", expOut)
+	}
+}
+
+// TestCLIIngestRoundTrip: slingest generates the same corpus twice — once
+// to a file in each format — and its local sharded -stats fold must report
+// the identical digest for both, at different shard counts: the TSV and
+// AOL renderings of one generation stream normalize to one histogram.
+func TestCLIIngestRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke tests skipped in -short mode")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "slingest")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/slingest")
+	cmd.Dir = repoRoot(t)
+	if msg, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build slingest: %v\n%s", err, msg)
+	}
+	work := t.TempDir()
+	tsv := filepath.Join(work, "c.tsv")
+	aol := filepath.Join(work, "c.aol")
+	run(t, bin, "-profile", "tiny", "-seed", "9", "-format", "tsv", "-o", tsv, "-quiet")
+	run(t, bin, "-profile", "tiny", "-seed", "9", "-format", "aol", "-o", aol, "-quiet")
+
+	digestOf := func(file, format string, shards int) string {
+		out, _ := run(t, bin, "-file", file, "-format", format, "-stats", "-shards", fmt.Sprint(shards), "-quiet")
+		var res struct {
+			Digest string `json:"digest"`
+		}
+		if err := json.Unmarshal([]byte(out), &res); err != nil || res.Digest == "" {
+			t.Fatalf("bad -stats output %q: %v", out, err)
+		}
+		return res.Digest
+	}
+	want := digestOf(tsv, "tsv", 1)
+	for _, shards := range []int{2, 8} {
+		if got := digestOf(tsv, "tsv", shards); got != want {
+			t.Fatalf("tsv digest at %d shards: %s != %s", shards, got, want)
+		}
+	}
+	if got := digestOf(aol, "aol", 4); got != want {
+		t.Fatalf("aol digest %s != tsv digest %s", got, want)
 	}
 }
 

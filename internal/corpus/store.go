@@ -11,8 +11,11 @@
 package corpus
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -85,7 +88,10 @@ func Open(dir string) (*Store, error) {
 	return s, nil
 }
 
-// load parses one stored corpus file into the index.
+// load parses one stored corpus file into the index. The stored file is
+// canonical TSV, so the corpus digest is by definition the SHA-256 of the
+// file's bytes: load hashes the stream while parsing it (one pass) instead
+// of re-serializing the parsed log afterwards.
 func (s *Store) load(name string, e os.DirEntry) error {
 	path := s.path(name)
 	f, err := os.Open(path)
@@ -93,7 +99,8 @@ func (s *Store) load(name string, e os.DirEntry) error {
 		return fmt.Errorf("corpus: open %s: %w", path, err)
 	}
 	defer f.Close()
-	l, err := searchlog.ReadTSV(f)
+	h := sha256.New()
+	l, err := searchlog.ReadTSV(io.TeeReader(f, h))
 	if err != nil {
 		return fmt.Errorf("corpus: parse %s: %w", path, err)
 	}
@@ -101,15 +108,15 @@ func (s *Store) load(name string, e os.DirEntry) error {
 	if err != nil {
 		return fmt.Errorf("corpus: stat %s: %w", path, err)
 	}
-	s.metas[name] = metaOf(name, l, info.Size(), info.ModTime())
+	s.metas[name] = metaOf(name, l, hex.EncodeToString(h.Sum(nil)), info.Size(), info.ModTime())
 	s.logs[name] = l
 	return nil
 }
 
-func metaOf(name string, l *searchlog.Log, bytes int64, uploaded time.Time) Meta {
+func metaOf(name string, l *searchlog.Log, digest string, bytes int64, uploaded time.Time) Meta {
 	return Meta{
 		Name:     name,
-		Digest:   l.Digest(),
+		Digest:   digest,
 		Size:     l.Size(),
 		NumUsers: l.NumUsers(),
 		NumPairs: l.NumPairs(),
@@ -139,7 +146,11 @@ func (s *Store) Put(name string, l *searchlog.Log) (Meta, error) {
 		return Meta{}, fmt.Errorf("corpus: create temp file: %w", err)
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if _, err := searchlog.WriteTSV(tmp, l); err != nil {
+	// Streaming digest: the canonical rows are hashed as they are written,
+	// so storing a corpus costs exactly one serialization pass — no
+	// post-hoc l.Digest() re-walk of a multi-hundred-MB log.
+	h := sha256.New()
+	if _, err := searchlog.WriteTSV(io.MultiWriter(tmp, h), l); err != nil {
 		tmp.Close()
 		return Meta{}, fmt.Errorf("corpus: write %s: %w", name, err)
 	}
@@ -159,7 +170,7 @@ func (s *Store) Put(name string, l *searchlog.Log) (Meta, error) {
 		return Meta{}, fmt.Errorf("corpus: publish %s: %w", name, err)
 	}
 	syncDir(s.dir)
-	m := metaOf(name, l, info.Size(), time.Now())
+	m := metaOf(name, l, hex.EncodeToString(h.Sum(nil)), info.Size(), time.Now())
 	s.metas[name] = m
 	s.logs[name] = l
 	return m, nil

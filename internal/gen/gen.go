@@ -113,6 +113,20 @@ func Paper() Profile {
 	}
 }
 
+// Dense is the ingest-stress profile: a small vocabulary hammered by very
+// heavy per-user click volumes, so the raw click stream is enormous
+// relative to its aggregated (user, query, url) histogram — one generated
+// block is ~3M AOL rows (~180 MB) folding into under ~100k distinct
+// triplets. This is the regime the streaming sharded ingest is judged in:
+// corpus size is unbounded, resident memory is histogram-bounded.
+func Dense() Profile {
+	return Profile{
+		Name: "dense", Users: 800, QueryVocab: 60, URLVocab: 50, URLsPerQuery: 2,
+		QueryZipf: 1.1, URLZipf: 1.3, MinClicks: 3000, MaxClicks: 5000, ActivityZipf: 1.2,
+		RepeatProb: 0.7,
+	}
+}
+
 // TinySharded is Tiny split into 4 markets — the smallest corpus whose
 // user–pair graph decomposes into multiple connected components.
 func TinySharded() Profile {
@@ -139,12 +153,14 @@ func Profiles(name string) (Profile, error) {
 		return Small(), nil
 	case "paper":
 		return Paper(), nil
+	case "dense":
+		return Dense(), nil
 	case "tiny-sharded":
 		return TinySharded(), nil
 	case "small-sharded":
 		return SmallSharded(), nil
 	}
-	return Profile{}, fmt.Errorf("gen: unknown profile %q (have tiny, small, paper, tiny-sharded, small-sharded)", name)
+	return Profile{}, fmt.Errorf("gen: unknown profile %q (have tiny, small, paper, dense, tiny-sharded, small-sharded)", name)
 }
 
 // Generate synthesizes a corpus for the profile, deterministically in the
@@ -153,13 +169,30 @@ func Profiles(name string) (Profile, error) {
 // market-prefixed user, query and url namespaces; a single-market profile
 // is byte-identical to what this function produced before Shards existed.
 func Generate(p Profile, seed uint64) (*searchlog.Log, error) {
-	if err := p.Validate(); err != nil {
+	b := searchlog.NewBuilder()
+	if err := Stream(p, seed, func(user, query, url string, count int) error {
+		b.Add(user, query, url, count)
+		return b.Err()
+	}); err != nil {
 		return nil, err
 	}
-	b := searchlog.NewBuilder()
+	return b.BuildLog()
+}
+
+// Stream synthesizes the corpus click by click, calling emit for every raw
+// (user, query, url, count) event in generation order, without holding the
+// accumulated log in memory — the generator's working set is one user's
+// click history. Generate is Stream plus a Builder, so the two are
+// click-for-click identical; Stream exists for the bulk-load path
+// (cmd/slingest) where a multi-hundred-MB corpus is written or uploaded
+// while it is being generated. An emit error aborts the stream and is
+// returned as-is.
+func Stream(p Profile, seed uint64, emit func(user, query, url string, count int) error) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
 	if p.Shards <= 1 {
-		generateMarket(b, p, rng.New(seed), p.QueryVocab, p.URLVocab, 0, p.Users, "")
-		return b.BuildLog()
+		return generateMarket(emit, p, rng.New(seed), p.QueryVocab, p.URLVocab, 0, p.Users, "")
 	}
 	queryVocab := max(p.QueryVocab/p.Shards, 1)
 	urlVocab := max(p.URLVocab/p.Shards, 1)
@@ -169,15 +202,17 @@ func Generate(p Profile, seed uint64) (*searchlog.Log, error) {
 		// Independent per-market stream: markets are insensitive to each
 		// other's sizes, and the golden-ratio step decorrelates the seeds.
 		g := rng.New(seed ^ (uint64(s+1) * 0x9e3779b97f4a7c15))
-		generateMarket(b, p, g, queryVocab, urlVocab, lo, hi, fmt.Sprintf("m%02d-", s))
+		if err := generateMarket(emit, p, g, queryVocab, urlVocab, lo, hi, fmt.Sprintf("m%02d-", s)); err != nil {
+			return err
+		}
 	}
-	return b.BuildLog()
+	return nil
 }
 
-// generateMarket emits users [userLo, userHi) of one market into the
-// builder. prefix namespaces the market's user-IDs, queries and urls (empty
-// for a single-market corpus, preserving the historical naming).
-func generateMarket(b *searchlog.Builder, p Profile, g *rng.RNG, queryVocab, urlVocab, userLo, userHi int, prefix string) {
+// generateMarket emits users [userLo, userHi) of one market. prefix
+// namespaces the market's user-IDs, queries and urls (empty for a
+// single-market corpus, preserving the historical naming).
+func generateMarket(emit func(user, query, url string, count int) error, p Profile, g *rng.RNG, queryVocab, urlVocab, userLo, userHi int, prefix string) error {
 	queryDist := rng.NewZipf(g, p.QueryZipf, queryVocab)
 	urlDist := rng.NewZipf(g, p.URLZipf, p.URLsPerQuery)
 	activity := rng.NewZipf(g, p.ActivityZipf, p.MaxClicks-p.MinClicks+1)
@@ -206,9 +241,12 @@ func generateMarket(b *searchlog.Builder, p Profile, g *rng.RNG, queryVocab, url
 			}
 			// Every click (fresh or repeat) feeds the urn.
 			history = append(history, pr)
-			b.Add(user, prefix+fmt.Sprintf("q%05d", pr.q), prefix+fmt.Sprintf("url%05d.example.com", pr.u), 1)
+			if err := emit(user, prefix+fmt.Sprintf("q%05d", pr.q), prefix+fmt.Sprintf("url%05d.example.com", pr.u), 1); err != nil {
+				return err
+			}
 		}
 	}
+	return nil
 }
 
 // GeneratePreprocessed generates a corpus and applies the unique-pair

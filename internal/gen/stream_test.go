@@ -1,0 +1,70 @@
+package gen
+
+import (
+	"errors"
+	"testing"
+
+	"dpslog/internal/searchlog"
+)
+
+// TestStreamMatchesGenerate: Stream is the row source Generate folds, so
+// for every profile the streamed events must rebuild exactly Generate's
+// log — same digest — and every event must be a unit click.
+func TestStreamMatchesGenerate(t *testing.T) {
+	for _, name := range []string{"tiny", "tiny-sharded"} {
+		p, err := Profiles(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Generate(p, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := searchlog.NewBuilder()
+		events := 0
+		if err := Stream(p, 11, func(user, query, url string, count int) error {
+			if count != 1 {
+				t.Fatalf("stream emitted count %d", count)
+			}
+			events++
+			b.Add(user, query, url, count)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		got := b.Log()
+		if got.Digest() != want.Digest() {
+			t.Fatalf("%s: streamed digest diverged from Generate", name)
+		}
+		if events != want.Size() {
+			t.Fatalf("%s: %d events streamed, log size %d", name, events, want.Size())
+		}
+	}
+}
+
+// TestStreamEmitErrorAborts: an emit error stops generation and surfaces
+// unchanged.
+func TestStreamEmitErrorAborts(t *testing.T) {
+	boom := errors.New("boom")
+	calls := 0
+	err := Stream(Tiny(), 1, func(string, string, string, int) error {
+		if calls++; calls == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) || calls != 3 {
+		t.Fatalf("calls=%d err=%v", calls, err)
+	}
+}
+
+// TestStreamValidates: an invalid profile is rejected before any event.
+func TestStreamValidates(t *testing.T) {
+	err := Stream(Profile{}, 1, func(string, string, string, int) error {
+		t.Fatal("emit called for invalid profile")
+		return nil
+	})
+	if err == nil {
+		t.Fatal("invalid profile accepted")
+	}
+}

@@ -1,0 +1,191 @@
+package ingest
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dpslog/internal/gen"
+	"dpslog/internal/searchlog"
+)
+
+// corpusTSV renders a generated corpus to its canonical TSV bytes.
+func corpusTSV(t *testing.T, profile gen.Profile, seed uint64) ([]byte, *searchlog.Log) {
+	t.Helper()
+	l, err := gen.Generate(profile, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := searchlog.WriteTSV(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), l
+}
+
+// TestIngestShardCountNeverChangesDigest is the central determinism
+// property: for a realistic generated corpus, every (shards, chunk, batch)
+// combination must produce a Log byte-identical (same digest) to the
+// in-memory ReadTSV path.
+func TestIngestShardCountNeverChangesDigest(t *testing.T) {
+	raw, want := corpusTSV(t, gen.Tiny(), 7)
+	wantDigest := want.Digest()
+	for _, shards := range []int{1, 2, 3, 5, 8, 16} {
+		for _, chunk := range []int{17, 4096, 256 << 10} {
+			for _, batchRows := range []int{1, 7, 1024} {
+				l, st, err := Ingest(bytes.NewReader(raw), Config{
+					Shards:    shards,
+					Scan:      searchlog.ScanConfig{ChunkBytes: chunk},
+					BatchRows: batchRows,
+				})
+				if err != nil {
+					t.Fatalf("shards=%d chunk=%d batch=%d: %v", shards, chunk, batchRows, err)
+				}
+				if got := l.Digest(); got != wantDigest {
+					t.Fatalf("shards=%d chunk=%d batch=%d: digest %s != %s", shards, chunk, batchRows, got, wantDigest)
+				}
+				if st.Shards != shards || st.Rows != int64(want.NumTriplets()) {
+					t.Fatalf("shards=%d: stats %+v, want %d rows", shards, st, want.NumTriplets())
+				}
+			}
+		}
+	}
+}
+
+// TestIngestAOLEquivalence: the AOL format through the sharded fold matches
+// ReadAOL exactly, including header/clickless skips and AnonID trimming.
+func TestIngestAOLEquivalence(t *testing.T) {
+	input := "AnonID\tQuery\tQueryTime\tItemRank\tClickURL\n" +
+		"142\tcars \t2006-03-01\t1\tkbb.com\n" +
+		"142\tcars\t2006-03-02\t1\tkbb.com\n" + // repeat aggregates
+		"142\tweather\t2006-03-02\t\t\n" + // clickless: dropped
+		" 99 \tnews\t2006-03-03\t2\tcnn.com\n" + // padded AnonID folds to 99
+		"99\tnews\t2006-03-04\t2\tcnn.com\n"
+	want, err := searchlog.ReadAOL(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 2, 4} {
+		l, st, err := Ingest(strings.NewReader(input), Config{
+			Format: FormatAOL,
+			Shards: shards,
+			Scan:   searchlog.ScanConfig{ChunkBytes: 13},
+		})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if l.Digest() != want.Digest() {
+			t.Fatalf("shards=%d: AOL ingest diverged from ReadAOL", shards)
+		}
+		if st.Rows != 4 {
+			t.Fatalf("shards=%d: %d rows folded, want 4 (clicked rows only)", shards, st.Rows)
+		}
+	}
+	if want.NumUsers() != 2 {
+		t.Fatalf("fixture users = %d, want 2", want.NumUsers())
+	}
+}
+
+// TestIngestParseErrorKeepsPosition: a malformed row mid-stream aborts the
+// ingest with the same line-numbered error the in-memory reader gives, at
+// every shard and chunk size.
+func TestIngestParseErrorKeepsPosition(t *testing.T) {
+	input := "u1\tq\tl\t1\nu2\tq\tl\t2\nbroken row\nu3\tq\tl\t1\n"
+	_, wantErr := searchlog.ReadTSV(strings.NewReader(input))
+	if wantErr == nil {
+		t.Fatal("fixture unexpectedly parses")
+	}
+	for _, shards := range []int{1, 4} {
+		for _, chunk := range []int{3, 4096} {
+			_, _, err := Ingest(strings.NewReader(input), Config{Shards: shards, Scan: searchlog.ScanConfig{ChunkBytes: chunk}})
+			if err == nil {
+				t.Fatalf("shards=%d chunk=%d: malformed row accepted", shards, chunk)
+			}
+			if err.Error() != wantErr.Error() {
+				t.Fatalf("shards=%d chunk=%d: error %q != in-memory %q", shards, chunk, err, wantErr)
+			}
+			if !strings.Contains(err.Error(), "line 3") {
+				t.Fatalf("error lost its position: %v", err)
+			}
+		}
+	}
+}
+
+// TestIngestEmptyInput: zero accepted rows yields an empty log and sane
+// stats, not a crash or a skewed division.
+func TestIngestEmptyInput(t *testing.T) {
+	l, st, err := Ingest(strings.NewReader("# only a comment\n\n"), Config{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Size() != 0 || l.NumUsers() != 0 {
+		t.Fatalf("empty input produced size %d, users %d", l.Size(), l.NumUsers())
+	}
+	if st.Rows != 0 || st.SkewRatio != 0 {
+		t.Fatalf("empty stats: %+v", st)
+	}
+}
+
+// TestIngestStats: shard row counts must sum to the total, skew must be
+// ≥ 1 when rows exist, and the heap estimate must be non-zero.
+func TestIngestStats(t *testing.T) {
+	raw, want := corpusTSV(t, gen.Tiny(), 3)
+	_, st, err := Ingest(bytes.NewReader(raw), Config{Shards: 4, BatchRows: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	for _, n := range st.ShardRows {
+		sum += n
+	}
+	if sum != st.Rows || st.Rows != int64(want.NumTriplets()) {
+		t.Fatalf("shard rows sum %d, total %d, want %d", sum, st.Rows, want.NumTriplets())
+	}
+	if st.SkewRatio < 1 {
+		t.Fatalf("skew ratio %g < 1 with %d rows", st.SkewRatio, st.Rows)
+	}
+	if st.PeakHeapBytes == 0 {
+		t.Fatal("peak heap estimate never sampled")
+	}
+	if st.Users != want.NumUsers() || st.Pairs != want.NumPairs() {
+		t.Fatalf("shape %d users/%d pairs, want %d/%d", st.Users, st.Pairs, want.NumUsers(), want.NumPairs())
+	}
+}
+
+// TestParseFormat covers the flag surface.
+func TestParseFormat(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Format
+		ok   bool
+	}{{"", FormatTSV, true}, {"tsv", FormatTSV, true}, {"aol", FormatAOL, true}, {"csv", 0, false}} {
+		got, err := ParseFormat(tc.in)
+		if (err == nil) != tc.ok || (tc.ok && got != tc.want) {
+			t.Fatalf("ParseFormat(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if FormatAOL.String() != "aol" || FormatTSV.String() != "tsv" {
+		t.Fatal("Format.String names drifted from the flag surface")
+	}
+}
+
+// TestIngestZeroCountRows: explicit zero-count TSV rows are accepted and
+// ignored, exactly like Builder.Add does on the in-memory path — including
+// a user whose every row is zero, who must vanish from the log.
+func TestIngestZeroCountRows(t *testing.T) {
+	input := "u1\tq\tl\t0\nu2\tq\tl\t3\nu1\tq2\tl2\t0\n"
+	want, err := searchlog.ReadTSV(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, st, err := Ingest(strings.NewReader(input), Config{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Digest() != want.Digest() || l.NumUsers() != 1 {
+		t.Fatalf("zero-count handling diverged: %d users", l.NumUsers())
+	}
+	if st.Rows != 3 {
+		t.Fatalf("accepted rows %d, want 3", st.Rows)
+	}
+}

@@ -11,10 +11,13 @@ import (
 // logs digest equally exactly when they hold the same query-url-user
 // histogram, regardless of the record order they were built from, so the
 // digest is a stable corpus identity for caching sanitization plans.
+// It streams through WriteTSV, so hashing a log never materializes the
+// record slice: the digest of a log IS the hash of its canonical TSV file.
 func (l *Log) Digest() string {
 	h := sha256.New()
-	for _, r := range l.Records() {
-		fmt.Fprintf(h, "%s\t%s\t%s\t%d\n", r.User, r.Query, r.URL, r.Count)
+	if _, err := WriteTSV(h, l); err != nil {
+		// A hash.Hash never fails to write; keep the signature honest anyway.
+		panic(fmt.Sprintf("searchlog: digest write: %v", err))
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }

@@ -4,8 +4,6 @@ import (
 	"bufio"
 	"fmt"
 	"io"
-	"strconv"
-	"strings"
 )
 
 // WriteTSV writes the log in the canonical 4-column tab-separated format
@@ -14,43 +12,39 @@ import (
 //
 // sorted by user, query, url — the identical schema the paper's sanitization
 // preserves. It returns the number of rows written.
+//
+// The rows stream straight out of the log's user-major orientation: users
+// are stored sorted by ID and each user's pairs sorted by pair index (i.e.
+// by query then url), which is exactly canonical order, so no intermediate
+// []Record is materialized — writing a log costs O(1) extra memory however
+// large it is.
 func WriteTSV(w io.Writer, l *Log) (int, error) {
 	bw := bufio.NewWriter(w)
 	n := 0
-	for _, r := range l.Records() {
-		if _, err := fmt.Fprintf(bw, "%s\t%s\t%s\t%d\n", r.User, r.Query, r.URL, r.Count); err != nil {
-			return n, err
+	for k := 0; k < l.NumUsers(); k++ {
+		u := l.User(k)
+		for _, up := range u.Pairs {
+			p := l.Pair(up.Pair)
+			if _, err := fmt.Fprintf(bw, "%s\t%s\t%s\t%d\n", u.ID, p.Query, p.URL, up.Count); err != nil {
+				return n, err
+			}
+			n++
 		}
-		n++
 	}
 	return n, bw.Flush()
 }
 
 // ReadTSV parses the canonical 4-column format produced by WriteTSV.
 // Blank lines and lines starting with '#' are skipped. Duplicate
-// (user, query, url) rows accumulate.
+// (user, query, url) rows accumulate. It is the in-memory form of ScanTSV —
+// the streaming scanner is the only parser — so errors carry the same
+// 1-based line numbers.
 func ReadTSV(r io.Reader) (*Log, error) {
 	b := NewBuilder()
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := sc.Text()
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		fields := strings.Split(line, "\t")
-		if len(fields) != 4 {
-			return nil, fmt.Errorf("searchlog: line %d: want 4 tab-separated fields, got %d", lineNo, len(fields))
-		}
-		count, err := strconv.Atoi(fields[3])
-		if err != nil {
-			return nil, fmt.Errorf("searchlog: line %d: bad count %q: %v", lineNo, fields[3], err)
-		}
-		b.Add(fields[0], fields[1], fields[2], count)
-	}
-	if err := sc.Err(); err != nil {
+	if _, err := ScanTSV(r, ScanConfig{}, func(row Row) error {
+		b.Add(row.User, row.Query, row.URL, row.Count)
+		return b.Err()
+	}); err != nil {
 		return nil, err
 	}
 	return b.BuildLog()
@@ -63,38 +57,14 @@ func ReadTSV(r io.Reader) (*Log, error) {
 // keeping only rows with a non-empty ClickURL (the paper "only collect[s] the
 // tuples with clicks") and aggregating repeated (user, query, url) rows into
 // counts. Query time and item rank are ignored, as in the paper. A header
-// line starting with "AnonID" is skipped.
+// line starting with "AnonID" is skipped. Like ReadTSV, it is the in-memory
+// form of the streaming ScanAOL.
 func ReadAOL(r io.Reader) (*Log, error) {
 	b := NewBuilder()
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := sc.Text()
-		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "AnonID") {
-			continue
-		}
-		fields := strings.Split(line, "\t")
-		if len(fields) < 5 {
-			return nil, fmt.Errorf("searchlog: line %d: want 5 tab-separated AOL fields, got %d", lineNo, len(fields))
-		}
-		url := strings.TrimSpace(fields[4])
-		if url == "" {
-			continue // query without click
-		}
-		// The AnonID must be trimmed like the query and url: real AOL dumps
-		// carry whitespace-padded rows, and an untrimmed ID splits one user
-		// into several — inflating NumUsers and therefore the number of DP
-		// constraints derived from it.
-		user := strings.TrimSpace(fields[0])
-		if user == "" {
-			return nil, fmt.Errorf("searchlog: line %d: empty AnonID", lineNo)
-		}
-		query := strings.TrimSpace(fields[1])
-		b.Add(user, query, url, 1)
-	}
-	if err := sc.Err(); err != nil {
+	if _, err := ScanAOL(r, ScanConfig{}, func(row Row) error {
+		b.Add(row.User, row.Query, row.URL, row.Count)
+		return b.Err()
+	}); err != nil {
 		return nil, err
 	}
 	return b.BuildLog()

@@ -265,9 +265,31 @@ func (b *Builder) BuildLog() (*Log, error) {
 	if b.err != nil {
 		return nil, b.err
 	}
-	userIDs := make([]string, 0, len(b.counts))
-	for id, m := range b.counts {
-		if len(m) > 0 {
+	return BuildFromUserCounts(b.counts)
+}
+
+// BuildFromUserCounts freezes a user → pair → count histogram directly into
+// an immutable Log. It is the merge point of the sharded streaming ingest
+// (internal/ingest): shard workers fold disjoint user subsets into maps of
+// exactly this shape, and because the construction below sorts users and
+// pairs globally, the resulting Log — and therefore its digest — is a pure
+// function of the histogram, independent of how many shards (or chunks, or
+// input orderings) produced it. Zero counts are skipped, users with no
+// positive pairs are dropped, and a negative count is an error. The maps
+// are read, not retained.
+func BuildFromUserCounts(counts map[string]map[PairKey]int) (*Log, error) {
+	userIDs := make([]string, 0, len(counts))
+	for id, m := range counts {
+		kept := 0
+		for key, c := range m {
+			if c < 0 {
+				return nil, fmt.Errorf("searchlog: negative count %d for user %q pair (%q, %q)", c, id, key.Query, key.URL)
+			}
+			if c > 0 {
+				kept++
+			}
+		}
+		if kept > 0 {
 			userIDs = append(userIDs, id)
 		}
 	}
@@ -275,8 +297,10 @@ func (b *Builder) BuildLog() (*Log, error) {
 
 	pairSet := make(map[PairKey]struct{})
 	for _, id := range userIDs {
-		for key := range b.counts[id] {
-			pairSet[key] = struct{}{}
+		for key, c := range counts[id] {
+			if c > 0 {
+				pairSet[key] = struct{}{}
+			}
 		}
 	}
 	keys := make([]PairKey, 0, len(pairSet))
@@ -302,10 +326,13 @@ func (b *Builder) BuildLog() (*Log, error) {
 	}
 	for k, id := range userIDs {
 		l.userIndex[id] = k
-		m := b.counts[id]
+		m := counts[id]
 		ups := make([]UserPair, 0, len(m))
 		total := 0
 		for key, c := range m {
+			if c == 0 {
+				continue
+			}
 			ups = append(ups, UserPair{Pair: l.pairIndex[key], Count: c})
 			total += c
 		}

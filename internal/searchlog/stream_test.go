@@ -1,0 +1,253 @@
+package searchlog
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// chunkSizes covers the regression surface of the chunked splitter: 1 and 2
+// bytes are far smaller than any row (every row crosses many chunk
+// boundaries), 3 and 7 misalign with tab and newline positions, the larger
+// sizes are realistic.
+var chunkSizes = []int{1, 2, 3, 7, 16, 61, 4096, 256 << 10}
+
+// TestScanTSVGoldenEquivalence: streaming the golden fixture at any chunk
+// size must produce exactly the log ReadTSV builds — same digest, same
+// shape — even when a chunk is smaller than one row.
+func TestScanTSVGoldenEquivalence(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "golden_small.tsv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ReadTSV(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, chunk := range chunkSizes {
+		b := NewBuilder()
+		rows, err := ScanTSV(bytes.NewReader(raw), ScanConfig{ChunkBytes: chunk}, func(r Row) error {
+			b.Add(r.User, r.Query, r.URL, r.Count)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("chunk %d: %v", chunk, err)
+		}
+		if rows != 7 {
+			t.Fatalf("chunk %d: scanned %d rows, want 7", chunk, rows)
+		}
+		got, err := b.BuildLog()
+		if err != nil {
+			t.Fatalf("chunk %d: %v", chunk, err)
+		}
+		if got.Digest() != want.Digest() {
+			t.Fatalf("chunk %d: digest %s != %s", chunk, got.Digest(), want.Digest())
+		}
+	}
+}
+
+// TestScanAOLGoldenEquivalence: same for the AOL format, whose fixture
+// carries a header, clickless rows and whitespace-padded AnonIDs.
+func TestScanAOLGoldenEquivalence(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "aol_sample.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ReadAOL(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, chunk := range chunkSizes {
+		b := NewBuilder()
+		if _, err := ScanAOL(bytes.NewReader(raw), ScanConfig{ChunkBytes: chunk}, func(r Row) error {
+			if r.Count != 1 {
+				t.Fatalf("AOL row with count %d", r.Count)
+			}
+			b.Add(r.User, r.Query, r.URL, r.Count)
+			return nil
+		}); err != nil {
+			t.Fatalf("chunk %d: %v", chunk, err)
+		}
+		got, err := b.BuildLog()
+		if err != nil {
+			t.Fatalf("chunk %d: %v", chunk, err)
+		}
+		if got.Digest() != want.Digest() {
+			t.Fatalf("chunk %d: digest diverged from ReadAOL", chunk)
+		}
+	}
+}
+
+// TestScanLineNumbersSurviveChunking: a parse error deep in the input must
+// report the same 1-based line number at every chunk size — chunking once
+// lost the position entirely.
+func TestScanLineNumbersSurviveChunking(t *testing.T) {
+	input := "u1\tq\tl\t2\n" + // line 1
+		"# comment\n" + // line 2
+		"\n" + // line 3
+		"u2\tq\tl\t1\n" + // line 4
+		"u3\tq\tl\tnot-a-number\n" // line 5: bad count
+	for _, chunk := range chunkSizes {
+		_, err := ScanTSV(strings.NewReader(input), ScanConfig{ChunkBytes: chunk}, func(Row) error { return nil })
+		if err == nil {
+			t.Fatalf("chunk %d: bad count accepted", chunk)
+		}
+		if !strings.Contains(err.Error(), "line 5") {
+			t.Fatalf("chunk %d: error lost its line number: %v", chunk, err)
+		}
+	}
+	aol := "AnonID\tQuery\tQueryTime\tItemRank\tClickURL\n" + // line 1: header
+		"7\tcars\t2006\t1\tkbb.com\n" + // line 2
+		"short\trow\n" // line 3: too few fields
+	for _, chunk := range chunkSizes {
+		_, err := ScanAOL(strings.NewReader(aol), ScanConfig{ChunkBytes: chunk}, func(Row) error { return nil })
+		if err == nil || !strings.Contains(err.Error(), "line 3") {
+			t.Fatalf("chunk %d: AOL error lost its line number: %v", chunk, err)
+		}
+	}
+}
+
+// TestScanChunkSmallerThanRow is the boundary-reassembly regression test:
+// with a 1-byte chunk every row splits across chunk boundaries at every
+// byte, and the scanner must reassemble each exactly once — neither
+// dropping, duplicating, nor mis-splitting rows.
+func TestScanChunkSmallerThanRow(t *testing.T) {
+	var rows []Row
+	input := "alice\tweather boston\twx.example.com\t3\nbob\tnews\tnews.example.com\t1\n"
+	n, err := ScanTSV(strings.NewReader(input), ScanConfig{ChunkBytes: 1}, func(r Row) error {
+		rows = append(rows, r)
+		return nil
+	})
+	if err != nil || n != 2 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	want := []Row{
+		{Line: 1, User: "alice", Query: "weather boston", URL: "wx.example.com", Count: 3},
+		{Line: 2, User: "bob", Query: "news", URL: "news.example.com", Count: 1},
+	}
+	for i, w := range want {
+		if rows[i] != w {
+			t.Fatalf("row %d: %+v, want %+v", i, rows[i], w)
+		}
+	}
+}
+
+// TestScanFinalLineWithoutNewline: a truncated final row (no trailing
+// newline) is still delivered, at any chunk size.
+func TestScanFinalLineWithoutNewline(t *testing.T) {
+	input := "u\tq\tl\t1\nv\tq\tl\t2" // no trailing \n
+	for _, chunk := range chunkSizes {
+		var last Row
+		n, err := ScanTSV(strings.NewReader(input), ScanConfig{ChunkBytes: chunk}, func(r Row) error {
+			last = r
+			return nil
+		})
+		if err != nil || n != 2 {
+			t.Fatalf("chunk %d: n=%d err=%v", chunk, n, err)
+		}
+		if last.User != "v" || last.Count != 2 || last.Line != 2 {
+			t.Fatalf("chunk %d: final row %+v", chunk, last)
+		}
+	}
+}
+
+// TestScanCRLF: a trailing \r is stripped exactly like bufio.ScanLines did
+// in the pre-streaming readers, so Windows-edited fixtures parse the same.
+func TestScanCRLF(t *testing.T) {
+	input := "u\tq\tl\t1\r\nv\tq\tl\t2\r\n"
+	for _, chunk := range []int{1, 3, 64} {
+		b := NewBuilder()
+		if _, err := ScanTSV(strings.NewReader(input), ScanConfig{ChunkBytes: chunk}, func(r Row) error {
+			b.Add(r.User, r.Query, r.URL, r.Count)
+			return nil
+		}); err != nil {
+			t.Fatalf("chunk %d: %v", chunk, err)
+		}
+		l := b.Log()
+		if l.Size() != 3 || l.NumUsers() != 2 {
+			t.Fatalf("chunk %d: CRLF mangled the rows: size %d users %d", chunk, l.Size(), l.NumUsers())
+		}
+	}
+}
+
+// TestScanMaxLineBytes: a line longer than the cap errors out with its line
+// number instead of buffering without bound — and the error fires while the
+// line is still streaming in, not after swallowing it.
+func TestScanMaxLineBytes(t *testing.T) {
+	long := "u\t" + strings.Repeat("q", 100) + "\tl\t1\n"
+	input := "a\tb\tc\t1\n" + long
+	_, err := ScanTSV(strings.NewReader(input), ScanConfig{ChunkBytes: 8, MaxLineBytes: 32}, func(Row) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "line 2") || !strings.Contains(err.Error(), "longer than 32 bytes") {
+		t.Fatalf("long line not rejected with position: %v", err)
+	}
+	// The first line fits the cap exactly and must still parse.
+	_, err = ScanTSV(strings.NewReader("a\tb\tc\t1\n"), ScanConfig{ChunkBytes: 3, MaxLineBytes: 8}, func(Row) error { return nil })
+	if err != nil {
+		t.Fatalf("line at exactly the cap rejected: %v", err)
+	}
+}
+
+// TestScanEarlyStop: a callback returning ErrStop ends the scan and
+// propagates ErrStop to the caller (callers treat it as "done early").
+func TestScanEarlyStop(t *testing.T) {
+	input := strings.Repeat("u\tq\tl\t1\n", 100)
+	seen := 0
+	n, err := ScanTSV(strings.NewReader(input), ScanConfig{}, func(Row) error {
+		seen++
+		if seen == 3 {
+			return ErrStop
+		}
+		return nil
+	})
+	if !errors.Is(err, ErrStop) || seen != 3 || n != 3 {
+		t.Fatalf("early stop: n=%d seen=%d err=%v", n, seen, err)
+	}
+}
+
+// TestScanReadError: a mid-stream transport error surfaces as-is.
+func TestScanReadError(t *testing.T) {
+	boom := errors.New("boom")
+	r := io.MultiReader(strings.NewReader("u\tq\tl\t1\n"), &failingReader{err: boom})
+	rows := 0
+	_, err := ScanTSV(r, ScanConfig{ChunkBytes: 4}, func(Row) error { rows++; return nil })
+	if !errors.Is(err, boom) {
+		t.Fatalf("transport error swallowed: %v", err)
+	}
+	if rows != 1 {
+		t.Fatalf("rows before failure: %d, want 1", rows)
+	}
+}
+
+type failingReader struct{ err error }
+
+func (f *failingReader) Read([]byte) (int, error) { return 0, f.err }
+
+// TestWriteTSVStreamsCanonically: the streaming user-major WriteTSV must
+// emit exactly the (user, query, url)-sorted order the Records()-based
+// writer produced, so digests and golden fixtures are unchanged.
+func TestWriteTSVStreamsCanonically(t *testing.T) {
+	b := NewBuilder()
+	// Deliberately inserted out of order.
+	b.Add("zoe", "b", "u2", 1)
+	b.Add("amy", "z", "u9", 2)
+	b.Add("zoe", "a", "u3", 4)
+	b.Add("amy", "a", "u1", 1)
+	b.Add("amy", "a", "u0", 7)
+	l := b.Log()
+	var buf bytes.Buffer
+	if _, err := WriteTSV(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	for _, r := range l.Records() {
+		fmt.Fprintf(&want, "%s\t%s\t%s\t%d\n", r.User, r.Query, r.URL, r.Count)
+	}
+	if buf.String() != want.String() {
+		t.Fatalf("streaming WriteTSV order diverged:\ngot:\n%s\nwant:\n%s", buf.String(), want.String())
+	}
+}

@@ -16,6 +16,8 @@ import (
 
 	"dpslog"
 	"dpslog/internal/corpus"
+	"dpslog/internal/ingest"
+	"dpslog/internal/searchlog"
 )
 
 // corpusMetaJSON is the wire form of a stored corpus: its identity plus
@@ -95,14 +97,31 @@ func writeOverBudget(w http.ResponseWriter, name string, over *dpslog.OverBudget
 	})
 }
 
-// handleCorpusPut uploads (or replaces) a corpus: a TSV body, or a JSON
-// envelope {"records": [...]} / {"tsv": "..."} when Content-Type is JSON.
+// handleCorpusPut uploads (or replaces) a corpus. A raw body (TSV by
+// default, the historical AOL 5-column form with ?format=aol) streams
+// through the sharded ingest fold — bounded memory however large the
+// upload, with the admission gate shedding concurrent uploads that would
+// overcommit it. A JSON envelope {"records": [...]} / {"tsv": "..."} is
+// still accepted for small programmatic uploads.
 func (s *Server) handleCorpusPut(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	if !corpus.ValidName(name) {
 		writeError(w, http.StatusBadRequest, "invalid corpus name %q (want 1-64 chars of [a-zA-Z0-9._-], starting alphanumeric)", name)
 		return
 	}
+	// Reserve ingest capacity before reading a byte. Chunked uploads carry
+	// no Content-Length; they reserve a quarter of the gate.
+	reserve := r.ContentLength
+	if reserve <= 0 {
+		reserve = s.cfg.MaxIngestBytes / 4
+	}
+	if !s.gate.tryAcquire(reserve) {
+		inFlight, _ := s.gate.Stats()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "corpus ingest capacity exhausted (%d bytes in flight); retry shortly", inFlight)
+		return
+	}
+	defer s.gate.release(reserve)
 	var (
 		l   *dpslog.Log
 		err error
@@ -115,9 +134,29 @@ func (s *Server) handleCorpusPut(w http.ResponseWriter, r *http.Request) {
 		}
 		l, err = buildLog(req.Records, req.TSV)
 	} else {
-		l, err = dpslog.ReadTSV(r.Body)
+		format, ferr := ingest.ParseFormat(r.URL.Query().Get("format"))
+		if ferr != nil {
+			writeError(w, http.StatusBadRequest, "%v", ferr)
+			return
+		}
+		var st ingest.Stats
+		l, st, err = ingest.Ingest(r.Body, ingest.Config{
+			Format: format,
+			Shards: s.cfg.IngestShards,
+			Scan:   searchlog.ScanConfig{ChunkBytes: s.cfg.IngestChunkBytes},
+		})
+		if err == nil {
+			s.metrics.ObserveIngest(st.Rows, st.RowsPerSec, st.SkewRatio, st.PeakHeapBytes)
+		} else {
+			s.metrics.ObserveIngestFailure()
+		}
 	}
 	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "corpus body exceeds the %d-byte cap", tooBig.Limit)
+			return
+		}
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}

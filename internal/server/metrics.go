@@ -18,6 +18,20 @@ type Metrics struct {
 	requests   map[reqKey]int64
 	latency    map[string]*histogram
 	components *histogram
+	ingest     ingestMetrics
+}
+
+// ingestMetrics accumulates the streaming corpus-upload counters plus a
+// snapshot of the most recent completed ingest (rate, skew, peak heap) —
+// the operational signals of the sharded fold.
+type ingestMetrics struct {
+	uploads  int64
+	failures int64
+	rows     int64
+	// last completed ingest:
+	lastRowsPerSec float64
+	lastSkew       float64
+	lastPeakHeap   uint64
 }
 
 type reqKey struct {
@@ -64,6 +78,28 @@ func (m *Metrics) ObserveSolveComponents(n int) {
 	m.components.count++
 }
 
+// ObserveIngest records one completed streaming corpus upload: the rows
+// folded, the fold throughput, the shard skew ratio and the peak live-heap
+// estimate sampled during the run.
+func (m *Metrics) ObserveIngest(rows int64, rowsPerSec, skew float64, peakHeap uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ingest.uploads++
+	m.ingest.rows += rows
+	m.ingest.lastRowsPerSec = rowsPerSec
+	m.ingest.lastSkew = skew
+	m.ingest.lastPeakHeap = peakHeap
+}
+
+// ObserveIngestFailure records a corpus upload that was admitted but failed
+// (parse error, disk error) — shed uploads (the 503 path) are visible in
+// the request counters instead.
+func (m *Metrics) ObserveIngestFailure() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ingest.failures++
+}
+
 // Observe records one completed request for the given handler label (the
 // route pattern) with its HTTP status code and duration.
 func (m *Metrics) Observe(handler string, code int, seconds float64) {
@@ -90,6 +126,11 @@ type Gauges struct {
 	Jobs                             map[JobState]int
 	CacheEntries                     int
 	CacheHits, CacheMisses           int64
+	// IngestInFlightBytes/IngestInFlightUploads/IngestCapacityBytes mirror
+	// the upload admission gate at scrape time.
+	IngestInFlightBytes   int64
+	IngestInFlightUploads int
+	IngestCapacityBytes   int64
 	// Ledger is non-nil when the corpus subsystem is enabled.
 	Ledger *LedgerGauges
 }
@@ -184,6 +225,34 @@ func (m *Metrics) WriteTo(w io.Writer, g Gauges) {
 	fmt.Fprintln(w, "# HELP slserve_plan_cache_misses_total Plan cache misses.")
 	fmt.Fprintln(w, "# TYPE slserve_plan_cache_misses_total counter")
 	fmt.Fprintf(w, "slserve_plan_cache_misses_total %d\n", g.CacheMisses)
+
+	fmt.Fprintln(w, "# HELP slserve_ingest_uploads_total Completed streaming corpus uploads.")
+	fmt.Fprintln(w, "# TYPE slserve_ingest_uploads_total counter")
+	fmt.Fprintf(w, "slserve_ingest_uploads_total %d\n", m.ingest.uploads)
+	fmt.Fprintln(w, "# HELP slserve_ingest_failures_total Admitted corpus uploads that failed to ingest.")
+	fmt.Fprintln(w, "# TYPE slserve_ingest_failures_total counter")
+	fmt.Fprintf(w, "slserve_ingest_failures_total %d\n", m.ingest.failures)
+	fmt.Fprintln(w, "# HELP slserve_ingest_rows_total Rows folded by the streaming sharded ingest.")
+	fmt.Fprintln(w, "# TYPE slserve_ingest_rows_total counter")
+	fmt.Fprintf(w, "slserve_ingest_rows_total %d\n", m.ingest.rows)
+	fmt.Fprintln(w, "# HELP slserve_ingest_last_rows_per_sec Fold throughput of the most recent completed ingest.")
+	fmt.Fprintln(w, "# TYPE slserve_ingest_last_rows_per_sec gauge")
+	fmt.Fprintf(w, "slserve_ingest_last_rows_per_sec %g\n", m.ingest.lastRowsPerSec)
+	fmt.Fprintln(w, "# HELP slserve_ingest_last_shard_skew Max-shard/mean-shard row ratio of the most recent completed ingest (1 = balanced).")
+	fmt.Fprintln(w, "# TYPE slserve_ingest_last_shard_skew gauge")
+	fmt.Fprintf(w, "slserve_ingest_last_shard_skew %g\n", m.ingest.lastSkew)
+	fmt.Fprintln(w, "# HELP slserve_ingest_last_peak_heap_bytes Peak live-heap estimate sampled during the most recent completed ingest.")
+	fmt.Fprintln(w, "# TYPE slserve_ingest_last_peak_heap_bytes gauge")
+	fmt.Fprintf(w, "slserve_ingest_last_peak_heap_bytes %d\n", m.ingest.lastPeakHeap)
+	fmt.Fprintln(w, "# HELP slserve_ingest_inflight_bytes Declared bytes of corpus uploads currently ingesting.")
+	fmt.Fprintln(w, "# TYPE slserve_ingest_inflight_bytes gauge")
+	fmt.Fprintf(w, "slserve_ingest_inflight_bytes %d\n", g.IngestInFlightBytes)
+	fmt.Fprintln(w, "# HELP slserve_ingest_inflight_uploads Corpus uploads currently ingesting.")
+	fmt.Fprintln(w, "# TYPE slserve_ingest_inflight_uploads gauge")
+	fmt.Fprintf(w, "slserve_ingest_inflight_uploads %d\n", g.IngestInFlightUploads)
+	fmt.Fprintln(w, "# HELP slserve_ingest_capacity_bytes Admission-gate capacity for concurrent corpus uploads (0 = unguarded).")
+	fmt.Fprintln(w, "# TYPE slserve_ingest_capacity_bytes gauge")
+	fmt.Fprintf(w, "slserve_ingest_capacity_bytes %d\n", g.IngestCapacityBytes)
 
 	if g.Ledger == nil {
 		return

@@ -76,8 +76,26 @@ type Config struct {
 	// for plan-cache-miss re-solves (default 32; negative disables warm
 	// starts entirely).
 	WarmPools int
-	// MaxBodyBytes caps request bodies (default 32 MiB).
+	// MaxBodyBytes caps request bodies (default 32 MiB). Corpus uploads
+	// (PUT /v1/corpora/{name}) are exempt — they stream through the
+	// sharded ingest under MaxCorpusBytes and the MaxIngestBytes gate
+	// instead of being slurped.
 	MaxBodyBytes int64
+	// MaxCorpusBytes caps one corpus upload body (default 8 GiB; negative
+	// disables the cap). It bounds disk, not memory — the body streams.
+	MaxCorpusBytes int64
+	// MaxIngestBytes is the admission gate for concurrent corpus uploads:
+	// the sum of declared (Content-Length) body sizes ingesting at once
+	// (default 256 MiB; negative disables the gate). Uploads over the gate
+	// are shed with 503, never queued. A chunked upload without a declared
+	// length reserves MaxIngestBytes/4.
+	MaxIngestBytes int64
+	// IngestShards is the fold parallelism of one streaming upload
+	// (default GOMAXPROCS). The ingested log is invariant in it.
+	IngestShards int
+	// IngestChunkBytes is the streaming reader's chunk size (default
+	// 256 KiB).
+	IngestChunkBytes int
 	// SolveParallelism is the per-solve component parallelism applied to
 	// requests that leave options.parallelism at zero (default 1: with
 	// Workers concurrent solves already saturating the cores, sequential
@@ -123,6 +141,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes == 0 {
 		c.MaxBodyBytes = 32 << 20
 	}
+	if c.MaxCorpusBytes == 0 {
+		c.MaxCorpusBytes = 8 << 30
+	}
+	if c.MaxIngestBytes == 0 {
+		c.MaxIngestBytes = 256 << 20
+	}
 	if c.SolveParallelism == 0 {
 		c.SolveParallelism = 1
 	}
@@ -153,6 +177,8 @@ type Server struct {
 	// corpora and budgets are non-nil exactly when cfg.DataDir is set.
 	corpora *corpus.Store
 	budgets *ledger.Ledger
+	// gate admission-controls streaming corpus uploads by declared bytes.
+	gate *ingestGate
 }
 
 // New builds a Server with its worker pool running. With Config.DataDir
@@ -170,6 +196,7 @@ func New(cfg Config) (*Server, error) {
 		metrics: NewMetrics(),
 		mux:     http.NewServeMux(),
 		started: time.Now(),
+		gate:    newIngestGate(cfg.MaxIngestBytes),
 	}
 	if cfg.DataDir != "" {
 		var err error
@@ -215,10 +242,27 @@ func (s *Server) Close() {
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if s.cfg.MaxBodyBytes > 0 && r.Body != nil {
-		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if r.Body != nil {
+		// Corpus uploads stream through the sharded ingest and get the
+		// (much larger) corpus cap; everything else is slurped and keeps
+		// the tight general cap.
+		if limit := s.bodyCap(r); limit > 0 {
+			r.Body = http.MaxBytesReader(w, r.Body, limit)
+		}
 	}
 	s.mux.ServeHTTP(w, r)
+}
+
+// bodyCap picks the request-body limit for one request; ≤ 0 means no cap.
+// Only the *streaming* corpus upload (raw TSV/AOL body) earns the large
+// corpus cap: a JSON-envelope upload is slurped by decodeJSON, so it keeps
+// the tight general cap — otherwise one multi-GB JSON body could
+// materialize in memory.
+func (s *Server) bodyCap(r *http.Request) int64 {
+	if r.Method == http.MethodPut && strings.HasPrefix(r.URL.Path, "/v1/corpora/") && !isJSONRequest(r) {
+		return s.cfg.MaxCorpusBytes
+	}
+	return s.cfg.MaxBodyBytes
 }
 
 // handle registers a pattern with per-request metrics instrumentation. The
@@ -572,16 +616,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			})
 		}
 	}
+	inFlightBytes, inFlightUploads := s.gate.Stats()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.WriteTo(w, Gauges{
-		Workers:      workers,
-		WorkersBusy:  busy,
-		QueueDepth:   queued,
-		Jobs:         s.jobs.CountByState(),
-		CacheEntries: s.cache.Len(),
-		CacheHits:    hits,
-		CacheMisses:  misses,
-		Ledger:       lg,
+		Workers:               workers,
+		WorkersBusy:           busy,
+		QueueDepth:            queued,
+		Jobs:                  s.jobs.CountByState(),
+		CacheEntries:          s.cache.Len(),
+		CacheHits:             hits,
+		CacheMisses:           misses,
+		IngestInFlightBytes:   inFlightBytes,
+		IngestInFlightUploads: inFlightUploads,
+		IngestCapacityBytes:   max(s.cfg.MaxIngestBytes, 0),
+		Ledger:                lg,
 	})
 }
 
