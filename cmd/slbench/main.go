@@ -10,6 +10,7 @@
 //	slbench [-o BENCH_pr5.json] [-profiles tiny,small,tiny-sharded,small-sharded]
 //	        [-objectives output-size,diversity] [-benchtime 1s|1x] [-seed 1]
 //	        [-baseline BENCH_pr2.json] [-no-sweeps]
+//	        [-cpuprofile FILE] [-memprofile FILE]
 //
 // Each benchmark runs through testing.Benchmark, so -benchtime follows the
 // go test convention (a duration, or N iterations as "Nx"). Corpus
@@ -35,6 +36,7 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"testing"
@@ -92,10 +94,21 @@ func main() {
 	seed := flag.Uint64("seed", 1, "corpus generation seed")
 	baseline := flag.String("baseline", "", "comma-separated earlier trajectory JSONs; objective values must match by name (λ drift fails the run)")
 	noSweeps := flag.Bool("no-sweeps", false, "skip the warm-started table4/frontier sweep benchmarks")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile covering the whole run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file once the benchmarks finish")
 	testing.Init()
 	flag.Parse()
 	if *benchtime != "" {
 		if err := flag.Set("test.benchtime", *benchtime); err != nil {
+			fatal(err)
+		}
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
 			fatal(err)
 		}
 	}
@@ -216,6 +229,23 @@ func main() {
 		// reproduces the histogram, which is exactly what the baseline
 		// gate should catch.
 		benchIngest(&traj, profile, raw)
+	}
+
+	// Profiles are flushed before the baseline gate: a gate failure is
+	// exactly when the CPU picture of the run is most wanted.
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC() // settle the heap so the profile shows live objects
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
 	}
 
 	enc, err := json.MarshalIndent(traj, "", "  ")

@@ -10,7 +10,7 @@
 //	       [-eexp 2] [-delta 0.5] [-objective size] [-solver spe]
 //	       [-distinct 4] [-batch 5s] [-timeout 30s]
 //	       [-endpoint sanitize|lambda|stats]
-//	       [-corpus NAME] [-expect-429]
+//	       [-corpus NAME] [-expect-429] [-trace-out FILE]
 //
 // -distinct rotates the sanitization seed across N values so the run mixes
 // plan-cache hits with real solves; -distinct 1 measures the pure cache
@@ -26,6 +26,11 @@
 // budget-exhausted responses are failures unless -expect-429 is given, in
 // which case they are counted separately and the run fails only if NO 429
 // is observed (the CI budget-exhaustion smoke gate).
+//
+// -trace-out FILE writes one JSON line per request — timestamp, request
+// class, latency, status and the server-assigned X-Trace-Id — so a slow
+// request found in the load run can be joined against the server's
+// /v1/debug/traces ring buffer (or its access log) by trace ID.
 package main
 
 import (
@@ -65,6 +70,7 @@ func main() {
 	loadSeed := flag.Uint64("load-seed", 7, "arrival schedule seed (poisson)")
 	corpusName := flag.String("corpus", "", "corpus-referencing mode: upload the corpus once under this name, then sanitize by reference (requires slserve -data-dir)")
 	expect429 := flag.Bool("expect-429", false, "budget-exhausted 429s are expected: count them separately and fail only if none is seen")
+	traceOut := flag.String("trace-out", "", "write one JSON line per request (time, class, latency, status, trace ID) to this file")
 	flag.Parse()
 
 	if *rps <= 0 || *duration <= 0 || *distinct < 1 {
@@ -139,9 +145,19 @@ func main() {
 	fmt.Printf("slload: %s profile (%d tuples, %d users) → %s at %.1f rps (%s arrivals) for %s\n",
 		*profile, corpus.Size(), corpus.NumUsers(), target, *rps, *arrivals, *duration)
 
+	var traceW io.Writer
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		traceW = f
+	}
+
 	results := make(chan result, 1024)
 	collectDone := make(chan summary, 1)
-	go collect(results, *batch, *expect429, collectDone)
+	go collect(results, *batch, *expect429, traceW, collectDone)
 
 	g := rng.New(*loadSeed)
 	var wg sync.WaitGroup
@@ -203,8 +219,11 @@ func uploadCorpus(client *http.Client, base, name string, tsv []byte) error {
 }
 
 type result struct {
+	start   time.Time
+	class   string
 	latency time.Duration
 	status  int
+	traceID string
 	err     error
 }
 
@@ -258,29 +277,43 @@ func fire(client *http.Client, endpoint, target string, q url.Values, payload []
 		}
 	}
 	if err != nil {
-		return result{err: err}
+		return result{class: endpoint, err: err}
 	}
 	start := time.Now()
 	resp, err := client.Do(req)
 	if err != nil {
-		return result{err: err}
+		return result{start: start, class: endpoint, err: err}
 	}
 	defer resp.Body.Close()
+	r := result{start: start, class: endpoint, traceID: resp.Header.Get("X-Trace-Id")}
 	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
-		return result{err: err}
+		r.err = err
+		return r
 	}
-	lat := time.Since(start)
+	r.latency = time.Since(start)
+	r.status = resp.StatusCode
 	if resp.StatusCode != http.StatusOK {
-		return result{latency: lat, status: resp.StatusCode, err: fmt.Errorf("status %d", resp.StatusCode)}
+		r.err = fmt.Errorf("status %d", resp.StatusCode)
 	}
-	return result{latency: lat, status: resp.StatusCode}
+	return r
+}
+
+// traceRecord is one -trace-out JSON line.
+type traceRecord struct {
+	Time      string  `json:"time"`
+	Class     string  `json:"class"`
+	LatencyMS float64 `json:"latency_ms"`
+	Status    int     `json:"status,omitempty"`
+	TraceID   string  `json:"trace_id,omitempty"`
+	Error     string  `json:"error,omitempty"`
 }
 
 // collect aggregates results, printing one line per batch window and
 // returning the whole-run summary when the results channel closes. With
 // expect429, budget-exhausted 429 responses are an expected outcome class
-// rather than failures.
-func collect(results <-chan result, window time.Duration, expect429 bool, done chan<- summary) {
+// rather than failures. collect is the sole writer of the -trace-out
+// stream, so concurrent request goroutines never interleave lines.
+func collect(results <-chan result, window time.Duration, expect429 bool, traceW io.Writer, done chan<- summary) {
 	var sum summary
 	var batch []time.Duration
 	batchStart := time.Now()
@@ -303,6 +336,21 @@ func collect(results <-chan result, window time.Duration, expect429 bool, done c
 				flush()
 				done <- sum
 				return
+			}
+			if traceW != nil {
+				rec := traceRecord{
+					Time:      r.start.UTC().Format(time.RFC3339Nano),
+					Class:     r.class,
+					LatencyMS: float64(r.latency.Microseconds()) / 1000,
+					Status:    r.status,
+					TraceID:   r.traceID,
+				}
+				if r.err != nil {
+					rec.Error = r.err.Error()
+				}
+				if line, err := json.Marshal(rec); err == nil {
+					fmt.Fprintf(traceW, "%s\n", line)
+				}
 			}
 			sum.sent++
 			if expect429 && r.status == http.StatusTooManyRequests {

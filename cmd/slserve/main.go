@@ -5,11 +5,21 @@
 //
 // Usage:
 //
-//	slserve [-addr :8080] [-workers N] [-queue N] [-cache N]
+//	slserve [-addr :8080] [-ops-addr ADDR] [-workers N] [-queue N] [-cache N]
 //	        [-max-jobs N] [-max-body BYTES] [-solve-parallelism N]
 //	        [-data-dir DIR] [-budget-eexp X | -budget-epsilon X]
 //	        [-budget-delta X] [-ingest-shards N] [-ingest-chunk BYTES]
 //	        [-max-ingest-bytes BYTES] [-max-corpus-bytes BYTES]
+//	        [-trace-buffer N] [-quiet]
+//
+// Observability: every API request runs under a trace whose ID is echoed in
+// the X-Trace-Id response header and logged as one structured JSON line on
+// stderr; ?debug=trace on the sanitize endpoints returns the span tree
+// inline, and GET /v1/debug/traces serves the ring buffer of recent traces
+// (-trace-buffer sizes it). With -ops-addr, a second listener serves the
+// operational surface: net/http/pprof under /debug/pprof/, /healthz,
+// /readyz (readiness gates on the corpus store being open and the ledger
+// journal fully replayed) and /metrics.
 //
 // With -data-dir, the stateful corpus subsystem is enabled: corpora are
 // uploaded once to /v1/corpora/{name} and sanitized by reference, every
@@ -36,6 +46,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"math"
 	"net/http"
 	"os"
@@ -49,6 +60,9 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	opsAddr := flag.String("ops-addr", "", "operational listener address (pprof, healthz, readyz, metrics); empty disables")
+	traceBuffer := flag.Int("trace-buffer", 0, "retained request traces for /v1/debug/traces (0 = 128)")
+	quiet := flag.Bool("quiet", false, "suppress per-request JSON access logging")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 0, "worker pool backlog (0 = 4×workers)")
 	cache := flag.Int("cache", 0, "plan cache entries (0 = 128, negative disables)")
@@ -69,6 +83,10 @@ func main() {
 	if *budgetEExp != 0 {
 		budget.Epsilon = math.Log(*budgetEExp)
 	}
+	var logger *slog.Logger
+	if !*quiet {
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
 	srv, err := server.New(server.Config{
 		Workers:          *workers,
 		Queue:            *queue,
@@ -82,6 +100,8 @@ func main() {
 		IngestChunkBytes: *ingestChunk,
 		MaxIngestBytes:   *maxIngest,
 		MaxCorpusBytes:   *maxCorpus,
+		TraceBuffer:      *traceBuffer,
+		Logger:           logger,
 	})
 	if err != nil {
 		fatal(err)
@@ -89,9 +109,16 @@ func main() {
 	defer srv.Close()
 
 	hs := &http.Server{Addr: *addr, Handler: srv}
-	errc := make(chan error, 1)
+	errc := make(chan error, 2)
 	go func() { errc <- hs.ListenAndServe() }()
 	log.Printf("slserve: listening on %s", *addr)
+
+	var ops *http.Server
+	if *opsAddr != "" {
+		ops = &http.Server{Addr: *opsAddr, Handler: srv.OpsHandler()}
+		go func() { errc <- ops.ListenAndServe() }()
+		log.Printf("slserve: ops listener (pprof, readyz, metrics) on %s", *opsAddr)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -102,6 +129,9 @@ func main() {
 		log.Printf("slserve: %v, shutting down", s)
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
+		if ops != nil {
+			_ = ops.Shutdown(ctx)
+		}
 		if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 			fatal(err)
 		}

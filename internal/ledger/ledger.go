@@ -22,6 +22,7 @@ package ledger
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -29,6 +30,8 @@ import (
 	"os"
 	"sync"
 	"time"
+
+	"dpslog/internal/obs"
 )
 
 // Budget is an (ε, δ) differential privacy allowance. The zero value means
@@ -255,12 +258,23 @@ func (l *Ledger) ReleaseCount(digest string) int {
 // use it to refuse obviously over-budget requests before paying for a
 // solve; the binding decision is Charge's, after the solve succeeds.
 func (l *Ledger) Check(digest, key string, eps, delta float64) error {
+	return l.CheckCtx(context.Background(), digest, key, eps, delta)
+}
+
+// CheckCtx is Check with a "ledger.check" span when ctx carries an active
+// obs trace.
+func (l *Ledger) CheckCtx(ctx context.Context, digest, key string, eps, delta float64) error {
+	_, sp := obs.Start(ctx, "ledger.check")
+	defer sp.End()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if _, ok := l.byKey[key]; ok {
+		sp.SetAttr("idempotent", true)
 		return nil // replay of a journaled release: free
 	}
-	return l.overLocked(digest, eps, delta)
+	err := l.overLocked(digest, eps, delta)
+	sp.SetAttr("admitted", err == nil)
+	return err
 }
 
 func (l *Ledger) overLocked(digest string, eps, delta float64) error {
@@ -284,12 +298,22 @@ func (l *Ledger) overLocked(digest string, eps, delta float64) error {
 // entry is appended and fsynced, and only then committed in memory. On an
 // *OverBudgetError nothing is spent and the release must be withheld.
 func (l *Ledger) Charge(corpus, digest, key string, eps, delta float64) (Release, bool, error) {
+	return l.ChargeCtx(context.Background(), corpus, digest, key, eps, delta)
+}
+
+// ChargeCtx is Charge with a "ledger.charge" span (and child spans around
+// the journal append and fsync) when ctx carries an active obs trace.
+func (l *Ledger) ChargeCtx(ctx context.Context, corpus, digest, key string, eps, delta float64) (Release, bool, error) {
+	ctx, sp := obs.Start(ctx, "ledger.charge")
+	defer sp.End()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if prior, ok := l.byKey[key]; ok {
+		sp.SetAttr("idempotent", true)
 		return *prior, false, nil
 	}
 	if err := l.overLocked(digest, eps, delta); err != nil {
+		sp.SetAttr("admitted", false)
 		return Release{}, false, err
 	}
 	rel := Release{
@@ -306,18 +330,28 @@ func (l *Ledger) Charge(corpus, digest, key string, eps, delta float64) (Release
 		return Release{}, false, fmt.Errorf("ledger: marshal release: %w", err)
 	}
 	line = append(line, '\n')
-	if _, err := l.f.Write(line); err != nil {
+	_, asp := obs.Start(ctx, "ledger.append")
+	asp.SetAttr("bytes", len(line))
+	_, werr := l.f.Write(line)
+	asp.End()
+	if werr != nil {
 		// A partial append would corrupt the journal interior for later
 		// appends; roll the file back to its durable length.
 		l.f.Truncate(l.off)
 		l.f.Seek(l.off, io.SeekStart)
-		return Release{}, false, fmt.Errorf("ledger: append journal: %w", err)
+		return Release{}, false, fmt.Errorf("ledger: append journal: %w", werr)
 	}
-	if err := l.f.Sync(); err != nil {
+	_, fsp := obs.Start(ctx, "ledger.fsync")
+	serr := l.f.Sync()
+	fsp.End()
+	if serr != nil {
 		l.f.Truncate(l.off)
 		l.f.Seek(l.off, io.SeekStart)
-		return Release{}, false, fmt.Errorf("ledger: sync journal: %w", err)
+		return Release{}, false, fmt.Errorf("ledger: sync journal: %w", serr)
 	}
+	sp.SetAttr("admitted", true)
+	sp.SetAttr("eps", eps)
+	sp.SetAttr("delta", delta)
 	l.off += int64(len(line))
 	l.commit(rel)
 	return rel, true, nil

@@ -255,6 +255,31 @@ type Solution struct {
 	// Basis is the final basis snapshot (Optimal and IterLimit solves),
 	// usable as Options.WarmStart for a subsequent solve.
 	Basis *Basis
+	// Stats counts the mechanical work the solve performed, for
+	// instrumentation and perf attribution.
+	Stats SolveStats
+}
+
+// SolveStats describes where a solve spent its effort. All counters cover
+// the single Solve call that produced them.
+type SolveStats struct {
+	// PresolveRows is the number of constraint rows presolve dropped
+	// (singleton, redundant and empty rows).
+	PresolveRows int
+	// PresolveCols is the number of variables presolve fixed to a single
+	// value (empty columns and bound-collapsed variables).
+	PresolveCols int
+	// Refactorizations counts basis factorizations, including the initial
+	// (cold or warm) one, so it is at least 1 for any solve that ran.
+	Refactorizations int
+	// EtaLength is the peak product-form eta-file length observed between
+	// refactorizations (update count for the dense engine).
+	EtaLength int
+	// WarmAttempted reports that a warm-start basis was supplied.
+	WarmAttempted bool
+	// WarmAccepted reports that the warm basis was installed; false with
+	// WarmAttempted set means the solver fell back to a cold start.
+	WarmAccepted bool
 }
 
 // Options tune the solver.
@@ -299,14 +324,34 @@ func Solve(p *Problem, opts Options) (*Solution, error) {
 	if err != nil {
 		return nil, err
 	}
-	return ps.postsolve(p, sol), nil
+	out := ps.postsolve(p, sol)
+	out.Stats = sol.Stats
+	// mapWarm can reject a snapshot before solveCore sees it; attempted
+	// reflects the caller's request, not what survived the mapping.
+	out.Stats.WarmAttempted = opts.WarmStart != nil
+	out.Stats.PresolveRows = p.NumConstraints() - ps.reduced.NumConstraints()
+	for j := 0; j < p.NumVariables(); j++ {
+		if ps.reduced.lower[j] == ps.reduced.upper[j] && p.lower[j] != p.upper[j] {
+			out.Stats.PresolveCols++
+		}
+	}
+	return out, nil
 }
 
 // solveCore runs the simplex proper on an already-reduced problem.
 func solveCore(p *Problem, opts Options, warm *Basis) (*Solution, error) {
 	s := newSolver(p, opts)
-	if warm == nil || !s.warmStart(opts.Engine, warm) {
+	warmAccepted := warm != nil && s.warmStart(opts.Engine, warm)
+	if !warmAccepted {
 		s.coldStart(opts.Engine)
 	}
-	return s.solve()
+	sol, err := s.solve()
+	if sol != nil {
+		s.sampleEta()
+		sol.Stats.WarmAttempted = warm != nil
+		sol.Stats.WarmAccepted = warmAccepted
+		sol.Stats.Refactorizations = s.refactors
+		sol.Stats.EtaLength = s.etaPeak
+	}
+	return sol, err
 }

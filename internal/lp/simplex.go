@@ -63,6 +63,8 @@ type solver struct {
 	nArtificial int
 	iterations  int
 	refactEvery int
+	refactors   int // factorizations performed, including the initial one
+	etaPeak     int // peak eta-file length observed between refactorizations
 	maximize    bool
 	warmOK      bool // a warm basis was installed; phase 1 is skipped
 }
@@ -231,6 +233,7 @@ func (s *solver) coldStart(engine Engine) {
 	}
 	s.factor = newFactor(engine, m)
 	s.factor.initDiag(binvDiag)
+	s.refactors++
 	s.finishInit()
 }
 
@@ -324,6 +327,7 @@ func (s *solver) warmStart(engine Engine, bs *Basis) bool {
 	if m > 0 && !s.factor.refactor(s.basis, s.cols) {
 		return rollback()
 	}
+	s.refactors++
 	s.finishInit()
 	s.recomputeXB()
 
@@ -684,8 +688,22 @@ func (s *solver) refactorize() {
 	if s.m == 0 {
 		return
 	}
+	s.sampleEta()
 	if s.factor.refactor(s.basis, s.cols) {
+		s.refactors++
 		s.recomputeXB()
+	}
+}
+
+// sampleEta records the current eta-file length into the running peak.
+// Called just before each refactorization (which resets the file) and once
+// at the end of the solve.
+func (s *solver) sampleEta() {
+	if s.factor == nil {
+		return
+	}
+	if u := s.factor.updates(); u > s.etaPeak {
+		s.etaPeak = u
 	}
 }
 

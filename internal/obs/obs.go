@@ -1,0 +1,317 @@
+// Package obs is a zero-dependency, context-propagated span tracer for the
+// sanitization request path. A Tracer owns a bounded ring buffer of recently
+// completed root traces; spans form a parent/child tree with monotonic
+// durations and free-form attribute key/values.
+//
+// The design goal is zero overhead when tracing is off: the package-level
+// Start returns a nil *Span when the context carries no active span, and
+// every Span method is nil-safe, so library code can be instrumented
+// unconditionally:
+//
+//	ctx, sp := obs.Start(ctx, "lp.solve")
+//	defer sp.End()
+//	sp.SetAttr("iterations", sol.Iterations)
+//
+// costs two pointer checks and nothing else when no tracer is attached.
+package obs
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"time"
+)
+
+// ctxKey is the private context key carrying the active *Span.
+type ctxKey struct{}
+
+// Tracer collects completed root traces into a bounded ring buffer and
+// optionally notifies a callback at every span end (the server uses this to
+// bridge span durations into Prometheus stage histograms).
+type Tracer struct {
+	mu    sync.Mutex
+	ring  []*Span // newest at (next-1+len)%cap once full
+	next  int
+	total int
+	onEnd func(*Span)
+}
+
+// DefaultTraceBuffer is the ring capacity used when NewTracer is given a
+// non-positive capacity.
+const DefaultTraceBuffer = 128
+
+// NewTracer returns a tracer whose ring buffer holds up to capacity
+// completed root traces. onEnd, when non-nil, is invoked synchronously for
+// every span (root or child) as it ends; it must be safe for concurrent use.
+func NewTracer(capacity int, onEnd func(*Span)) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceBuffer
+	}
+	return &Tracer{ring: make([]*Span, 0, capacity), onEnd: onEnd}
+}
+
+// Span is one timed operation. Spans are created by Tracer.Start (roots) or
+// obs.Start (children) and closed exactly once with End. All methods are
+// nil-safe no-ops so instrumented code never branches on "is tracing on".
+type Span struct {
+	tracer *Tracer
+	parent *Span
+
+	// TraceID is the 128-bit hex request identifier, shared by every span
+	// in the tree. Name labels the operation ("solve", "lp.solve", ...).
+	TraceID string
+	Name    string
+
+	start time.Time // carries the monotonic clock reading
+
+	mu       sync.Mutex
+	attrs    []Attr
+	children []*Span
+	dur      time.Duration
+	ended    bool
+}
+
+// Attr is one key/value attribute attached to a span.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// newTraceID draws a 128-bit random identifier. math/rand/v2's global state
+// is fine here: trace IDs need uniqueness, not unpredictability.
+func newTraceID() string {
+	return fmt.Sprintf("%016x%016x", rand.Uint64(), rand.Uint64())
+}
+
+// Start begins a root span for a new trace and returns a context carrying
+// it. Calling Start on a nil tracer returns (ctx, nil), so a server with
+// tracing disabled pays nothing.
+func (t *Tracer) Start(ctx context.Context, name string) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	s := &Span{tracer: t, TraceID: newTraceID(), Name: name, start: time.Now()}
+	return withSpan(ctx, s), s
+}
+
+// Start begins a child of the span carried by ctx. When ctx has no active
+// span (tracing off, or a library called without instrumentation upstream)
+// it returns (ctx, nil) and the returned span's methods are all no-ops.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	parent := FromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	s := &Span{
+		tracer:  parent.tracer,
+		parent:  parent,
+		TraceID: parent.TraceID,
+		Name:    name,
+		start:   time.Now(),
+	}
+	parent.mu.Lock()
+	parent.children = append(parent.children, s)
+	parent.mu.Unlock()
+	return withSpan(ctx, s), s
+}
+
+// withSpan returns a context carrying s as the active span.
+func withSpan(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// Root reports whether s is a root span (the top of a trace). Nil spans
+// are not roots.
+func (s *Span) Root() bool {
+	return s != nil && s.parent == nil
+}
+
+// FromContext returns the active span, or nil.
+func FromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// SetAttr records a key/value attribute. Later writes with the same key
+// append rather than overwrite; Snapshot keeps the last value.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// End closes the span, fixing its duration (clamped to at least 1ns so
+// stage durations are always strictly positive, even on coarse clocks).
+// The first End wins; later calls are no-ops. Root spans are pushed into
+// the tracer's ring buffer.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	d := time.Since(s.start)
+	if d <= 0 {
+		d = time.Nanosecond
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.dur = d
+	s.mu.Unlock()
+	if t := s.tracer; t != nil {
+		if s.parent == nil {
+			t.push(s)
+		}
+		if t.onEnd != nil {
+			t.onEnd(s)
+		}
+	}
+}
+
+// Duration returns the span's fixed duration after End, or the live
+// elapsed time while it is still open. Nil spans report zero.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return s.dur
+	}
+	d := time.Since(s.start)
+	if d <= 0 {
+		d = time.Nanosecond
+	}
+	return d
+}
+
+// push appends a completed root span to the ring, evicting the oldest
+// trace once the ring is full.
+func (t *Tracer) push(s *Span) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if cap(t.ring) == 0 {
+		return
+	}
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, s)
+	} else {
+		t.ring[t.next] = s
+	}
+	t.next = (t.next + 1) % cap(t.ring)
+	t.total++
+}
+
+// Len reports how many completed traces the ring currently holds.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.ring)
+}
+
+// Total reports how many root traces have completed over the tracer's
+// lifetime, including those already evicted from the ring.
+func (t *Tracer) Total() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Traces snapshots the ring buffer, newest trace first.
+func (t *Tracer) Traces() []*SpanJSON {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	roots := make([]*Span, 0, len(t.ring))
+	for i := 0; i < len(t.ring); i++ {
+		// Walk backwards from the newest slot.
+		idx := (t.next - 1 - i + 2*cap(t.ring)) % cap(t.ring)
+		if idx < len(t.ring) {
+			roots = append(roots, t.ring[idx])
+		}
+	}
+	t.mu.Unlock()
+	out := make([]*SpanJSON, len(roots))
+	for i, r := range roots {
+		out[i] = r.Snapshot()
+	}
+	return out
+}
+
+// SpanJSON is the wire form of a span tree, served by ?debug=trace and
+// GET /v1/debug/traces.
+type SpanJSON struct {
+	TraceID    string         `json:"trace_id,omitempty"` // root spans only
+	Name       string         `json:"name"`
+	Start      time.Time      `json:"start"`
+	DurationNS int64          `json:"duration_ns"`
+	DurationMS float64        `json:"duration_ms"`
+	InFlight   bool           `json:"in_flight,omitempty"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+	Children   []*SpanJSON    `json:"children,omitempty"`
+}
+
+// Snapshot renders the span tree rooted at s. Spans still open snapshot
+// with their live elapsed duration and InFlight set, so a trace can be
+// serialized from inside its own root span (?debug=trace does exactly
+// that: the root has not ended when the response is encoded).
+func (s *Span) Snapshot() *SpanJSON {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	dur := s.dur
+	inFlight := !s.ended
+	if inFlight {
+		dur = time.Since(s.start)
+		if dur <= 0 {
+			dur = time.Nanosecond
+		}
+	}
+	var attrs map[string]any
+	if len(s.attrs) > 0 {
+		attrs = make(map[string]any, len(s.attrs))
+		for _, a := range s.attrs {
+			attrs[a.Key] = a.Value
+		}
+	}
+	children := make([]*Span, len(s.children))
+	copy(children, s.children)
+	s.mu.Unlock()
+
+	js := &SpanJSON{
+		Name:       s.Name,
+		Start:      s.start,
+		DurationNS: dur.Nanoseconds(),
+		DurationMS: float64(dur.Nanoseconds()) / 1e6,
+		InFlight:   inFlight,
+		Attrs:      attrs,
+	}
+	if s.parent == nil {
+		js.TraceID = s.TraceID
+	}
+	if len(children) > 0 {
+		js.Children = make([]*SpanJSON, len(children))
+		for i, c := range children {
+			js.Children[i] = c.Snapshot()
+		}
+	}
+	return js
+}

@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSpanNoOps(t *testing.T) {
+	var s *Span
+	s.SetAttr("k", 1)
+	s.End()
+	if s.Duration() != 0 {
+		t.Fatal("nil span must report zero duration")
+	}
+	if s.Snapshot() != nil {
+		t.Fatal("nil span must snapshot to nil")
+	}
+	ctx, sp := Start(context.Background(), "child")
+	if sp != nil {
+		t.Fatal("Start without a parent span must return nil")
+	}
+	if FromContext(ctx) != nil {
+		t.Fatal("no span should be attached")
+	}
+	var tr *Tracer
+	if _, sp := tr.Start(context.Background(), "root"); sp != nil {
+		t.Fatal("nil tracer must return nil span")
+	}
+	if tr.Len() != 0 || tr.Total() != 0 || tr.Traces() != nil {
+		t.Fatal("nil tracer accessors must be no-ops")
+	}
+}
+
+func TestSpanTreeAndDurations(t *testing.T) {
+	tr := NewTracer(4, nil)
+	ctx, root := tr.Start(context.Background(), "request")
+	if root.TraceID == "" || len(root.TraceID) != 32 {
+		t.Fatalf("bad trace id %q", root.TraceID)
+	}
+	cctx, child := Start(ctx, "solve")
+	_, grand := Start(cctx, "lp.solve")
+	grand.SetAttr("iterations", 42)
+	grand.End()
+	child.End()
+	root.SetAttr("status", 200)
+	root.End()
+
+	if got := grand.Duration(); got <= 0 {
+		t.Fatalf("duration must be > 0, got %v", got)
+	}
+	if tr.Len() != 1 || tr.Total() != 1 {
+		t.Fatalf("ring: len=%d total=%d", tr.Len(), tr.Total())
+	}
+	traces := tr.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("want 1 trace, got %d", len(traces))
+	}
+	js := traces[0]
+	if js.TraceID != root.TraceID || js.Name != "request" {
+		t.Fatalf("bad root snapshot %+v", js)
+	}
+	if js.DurationNS <= 0 || js.InFlight {
+		t.Fatalf("root must be ended with positive duration: %+v", js)
+	}
+	if len(js.Children) != 1 || js.Children[0].Name != "solve" {
+		t.Fatalf("bad children %+v", js.Children)
+	}
+	lp := js.Children[0].Children[0]
+	if lp.Name != "lp.solve" || lp.Attrs["iterations"] != 42 {
+		t.Fatalf("bad grandchild %+v", lp)
+	}
+	if lp.TraceID != "" {
+		t.Fatal("non-root snapshots must omit trace_id")
+	}
+	if js.Attrs["status"] != 200 {
+		t.Fatalf("bad root attrs %+v", js.Attrs)
+	}
+}
+
+func TestEndIsIdempotentAndClamped(t *testing.T) {
+	tr := NewTracer(2, nil)
+	_, root := tr.Start(context.Background(), "r")
+	root.End()
+	d := root.Duration()
+	if d < time.Nanosecond {
+		t.Fatalf("duration must clamp to >= 1ns, got %v", d)
+	}
+	time.Sleep(time.Millisecond)
+	root.End() // second End must not change anything
+	if root.Duration() != d {
+		t.Fatal("second End changed the duration")
+	}
+	if tr.Total() != 1 {
+		t.Fatalf("double End pushed twice: total=%d", tr.Total())
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	tr := NewTracer(3, nil)
+	var last *Span
+	for i := 0; i < 10; i++ {
+		_, s := tr.Start(context.Background(), "r")
+		s.SetAttr("i", i)
+		s.End()
+		last = s
+	}
+	if tr.Len() != 3 || tr.Total() != 10 {
+		t.Fatalf("len=%d total=%d", tr.Len(), tr.Total())
+	}
+	traces := tr.Traces()
+	if len(traces) != 3 {
+		t.Fatalf("want 3 traces, got %d", len(traces))
+	}
+	if traces[0].TraceID != last.TraceID {
+		t.Fatal("Traces must return newest first")
+	}
+	if traces[0].Attrs["i"] != 9 || traces[1].Attrs["i"] != 8 || traces[2].Attrs["i"] != 7 {
+		t.Fatalf("wrong eviction order: %v %v %v",
+			traces[0].Attrs["i"], traces[1].Attrs["i"], traces[2].Attrs["i"])
+	}
+}
+
+func TestSnapshotOfLiveSpan(t *testing.T) {
+	tr := NewTracer(2, nil)
+	ctx, root := tr.Start(context.Background(), "r")
+	_, child := Start(ctx, "c")
+	child.End()
+	js := root.Snapshot() // root still open, as in ?debug=trace
+	if !js.InFlight {
+		t.Fatal("open root must snapshot as in-flight")
+	}
+	if js.DurationNS <= 0 {
+		t.Fatal("live duration must be positive")
+	}
+	if len(js.Children) != 1 || js.Children[0].InFlight {
+		t.Fatalf("ended child must not be in-flight: %+v", js.Children)
+	}
+	root.End()
+}
+
+// TestConcurrentSpans exercises parallel child creation, attribute writes,
+// and ring pushes under the race detector — the shape of parallel
+// per-component solves sharing one request span.
+func TestConcurrentSpans(t *testing.T) {
+	var ends sync.Map
+	tr := NewTracer(8, func(s *Span) { ends.Store(s, true) })
+	ctx, root := tr.Start(context.Background(), "request")
+	const workers = 16
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cctx, sp := Start(ctx, "component")
+			sp.SetAttr("worker", w)
+			for i := 0; i < 50; i++ {
+				_, inner := Start(cctx, "lp.solve")
+				inner.SetAttr("iter", i)
+				inner.End()
+			}
+			sp.End()
+		}(w)
+	}
+	// Concurrent snapshots while children are being added.
+	for i := 0; i < 20; i++ {
+		_ = root.Snapshot()
+		_ = tr.Traces()
+	}
+	wg.Wait()
+	root.End()
+	js := root.Snapshot()
+	if len(js.Children) != workers {
+		t.Fatalf("want %d children, got %d", workers, len(js.Children))
+	}
+	n := 0
+	ends.Range(func(_, _ any) bool { n++; return true })
+	if want := 1 + workers + workers*50; n != want {
+		t.Fatalf("onEnd fired %d times, want %d", n, want)
+	}
+}

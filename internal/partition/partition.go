@@ -15,6 +15,9 @@
 package partition
 
 import (
+	"context"
+
+	"dpslog/internal/obs"
 	"dpslog/internal/searchlog"
 )
 
@@ -83,6 +86,22 @@ func (uf *unionFind) union(a, b int) {
 // back as a single component sharing the parent *Log (no copy); an empty
 // log yields nil.
 func Decompose(l *searchlog.Log) []Component {
+	return DecomposeCtx(context.Background(), l)
+}
+
+// DecomposeCtx is Decompose with a "partition.decompose" span recording the
+// component count and graph size when ctx carries an active obs trace.
+func DecomposeCtx(ctx context.Context, l *searchlog.Log) []Component {
+	_, sp := obs.Start(ctx, "partition.decompose")
+	comps := decompose(l)
+	sp.SetAttr("components", len(comps))
+	sp.SetAttr("pairs", l.NumPairs())
+	sp.SetAttr("users", l.NumUsers())
+	sp.End()
+	return comps
+}
+
+func decompose(l *searchlog.Log) []Component {
 	if l.NumPairs() == 0 {
 		return nil
 	}

@@ -17,6 +17,7 @@ import (
 	"dpslog"
 	"dpslog/internal/corpus"
 	"dpslog/internal/ingest"
+	"dpslog/internal/obs"
 	"dpslog/internal/searchlog"
 )
 
@@ -63,9 +64,22 @@ type overBudgetJSON struct {
 	Remaining dpslog.Budget `json:"remaining"`
 }
 
-// corpusEnabled gates a corpus handler on the subsystem being configured.
+// corpusEnabled gates a corpus handler on the subsystem being configured
+// and opened. During the async open (store scan + ledger journal replay)
+// requests wait rather than fail, bounded by the client's own context; a
+// failed open answers 503 with the cause.
 func (s *Server) corpusEnabled(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-s.ready:
+		case <-r.Context().Done():
+			w.WriteHeader(statusClientClosedRequest)
+			return
+		}
+		if s.openErr != nil {
+			writeError(w, http.StatusServiceUnavailable, "corpus subsystem failed to open: %v", s.openErr)
+			return
+		}
 		if s.corpora == nil {
 			writeError(w, http.StatusServiceUnavailable, "corpus store not configured: start slserve with -data-dir")
 			return
@@ -140,11 +154,17 @@ func (s *Server) handleCorpusPut(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		var st ingest.Stats
+		_, isp := obs.Start(r.Context(), "ingest")
 		l, st, err = ingest.Ingest(r.Body, ingest.Config{
 			Format: format,
 			Shards: s.cfg.IngestShards,
 			Scan:   searchlog.ScanConfig{ChunkBytes: s.cfg.IngestChunkBytes},
 		})
+		if err == nil {
+			isp.SetAttr("rows", st.Rows)
+			isp.SetAttr("rows_per_sec", st.RowsPerSec)
+		}
+		isp.End()
 		if err == nil {
 			s.metrics.ObserveIngest(st.Rows, st.RowsPerSec, st.SkewRatio, st.PeakHeapBytes)
 		} else {
@@ -295,7 +315,7 @@ func (s *Server) handleCorpusSanitize(w http.ResponseWriter, r *http.Request) {
 
 	// Non-binding pre-check: refuse obviously over-budget requests before
 	// paying for a solve. The binding decision is the post-solve Charge.
-	if err := s.budgets.Check(m.Digest, key, eps, delta); err != nil {
+	if err := s.budgets.CheckCtx(r.Context(), m.Digest, key, eps, delta); err != nil {
 		var over *dpslog.OverBudgetError
 		if errors.As(err, &over) {
 			writeOverBudget(w, m.Name, over)
@@ -309,9 +329,13 @@ func (s *Server) handleCorpusSanitize(w http.ResponseWriter, r *http.Request) {
 		resp   *sanitizeResponse
 		runErr error
 	)
-	err := s.pool.Do(r.Context(), func() {
-		resp, runErr = s.runSanitize(l, opts, m.Digest)
+	ctx := r.Context()
+	_, qsp := obs.Start(ctx, "queue.wait")
+	err := s.pool.Do(ctx, func() {
+		qsp.End()
+		resp, runErr = s.runSanitize(ctx, l, opts, m.Digest)
 	})
+	qsp.End()
 	switch {
 	case errors.Is(err, ErrSaturated):
 		w.Header().Set("Retry-After", "1")
@@ -332,7 +356,7 @@ func (s *Server) handleCorpusSanitize(w http.ResponseWriter, r *http.Request) {
 	// output byte leaves the server. A race with concurrent releases can
 	// still exhaust the budget here; the solve is then discarded — compute
 	// is wasted, privacy is not.
-	rel, _, err := s.budgets.Charge(m.Name, m.Digest, key, eps, delta)
+	rel, _, err := s.budgets.ChargeCtx(ctx, m.Name, m.Digest, key, eps, delta)
 	if err != nil {
 		var over *dpslog.OverBudgetError
 		if errors.As(err, &over) {
@@ -343,6 +367,9 @@ func (s *Server) handleCorpusSanitize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	if wantTrace(r) {
+		resp.Trace = obs.FromContext(ctx).Snapshot()
+	}
 	writeJSON(w, http.StatusOK, corpusSanitizeResponse{
 		sanitizeResponse: *resp,
 		Corpus:           m.Name,

@@ -3,9 +3,13 @@ package server
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"sync"
+
+	"dpslog"
 )
 
 // Metrics accumulates the server's request counters and latency histograms
@@ -18,7 +22,22 @@ type Metrics struct {
 	requests   map[reqKey]int64
 	latency    map[string]*histogram
 	components *histogram
+	stages     map[string]*histogram
+	solver     solverMetrics
 	ingest     ingestMetrics
+}
+
+// solverMetrics accumulates the LP-engine depth counters surfaced by
+// dpslog.SolveStats: how hard the simplex worked, not just how long the
+// request took.
+type solverMetrics struct {
+	lpSolves         int64
+	iterations       int64
+	refactorizations int64
+	presolveRows     int64
+	presolveCols     int64
+	warmHits         int64
+	warmMisses       int64
 }
 
 // ingestMetrics accumulates the streaming corpus-upload counters plus a
@@ -48,6 +67,11 @@ var latencyBuckets = []float64{0.0005, 0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.2
 // two cover sharded multi-market corpora.
 var componentBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
 
+// stageBuckets extend the latency bounds two decades downward: interior
+// stages (cache lookups, ledger fsyncs, noise sampling) live in the
+// microseconds while solves reach seconds.
+var stageBuckets = []float64{0.00001, 0.00005, 0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 2.5, 5, 10}
+
 type histogram struct {
 	counts []int64 // one per bucket; +Inf is implicit via count
 	sum    float64
@@ -60,7 +84,44 @@ func NewMetrics() *Metrics {
 		requests:   make(map[reqKey]int64),
 		latency:    make(map[string]*histogram),
 		components: &histogram{counts: make([]int64, len(componentBuckets))},
+		stages:     make(map[string]*histogram),
 	}
+}
+
+// ObserveStage records the duration of one completed trace span under its
+// stage label (the span name). The tracer's onEnd hook calls this for every
+// interior span, so the stage histograms populate whether or not anyone
+// ever asks for a trace.
+func (m *Metrics) ObserveStage(stage string, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := m.stages[stage]
+	if h == nil {
+		h = &histogram{counts: make([]int64, len(stageBuckets))}
+		m.stages[stage] = h
+	}
+	for i, ub := range stageBuckets {
+		if seconds <= ub {
+			h.counts[i]++
+		}
+	}
+	h.sum += seconds
+	h.count++
+}
+
+// ObserveSolver folds the solver-depth counters of one completed
+// (non-cached) sanitization into the registry. iterations is the plan's
+// simplex-iteration/BIP-node total; st carries the LP engine internals.
+func (m *Metrics) ObserveSolver(iterations int, st dpslog.SolveStats) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.solver.lpSolves += int64(st.LPSolves)
+	m.solver.iterations += int64(iterations)
+	m.solver.refactorizations += int64(st.Refactorizations)
+	m.solver.presolveRows += int64(st.PresolveRows)
+	m.solver.presolveCols += int64(st.PresolveCols)
+	m.solver.warmHits += int64(st.WarmHits)
+	m.solver.warmMisses += int64(st.WarmMisses)
 }
 
 // ObserveSolveComponents records the connected-component count of one
@@ -200,6 +261,63 @@ func (m *Metrics) WriteTo(w io.Writer, g Gauges) {
 	fmt.Fprintf(w, "slserve_solve_components_sum %g\n", m.components.sum)
 	fmt.Fprintf(w, "slserve_solve_components_count %d\n", m.components.count)
 
+	fmt.Fprintln(w, "# HELP slserve_stage_duration_seconds Duration of one pipeline stage (trace span), labeled by span name.")
+	fmt.Fprintln(w, "# TYPE slserve_stage_duration_seconds histogram")
+	stages := make([]string, 0, len(m.stages))
+	for st := range m.stages {
+		stages = append(stages, st)
+	}
+	sort.Strings(stages)
+	for _, name := range stages {
+		h := m.stages[name]
+		for i, ub := range stageBuckets {
+			fmt.Fprintf(w, "slserve_stage_duration_seconds_bucket{stage=%q,le=%q} %d\n",
+				name, formatBound(ub), h.counts[i])
+		}
+		fmt.Fprintf(w, "slserve_stage_duration_seconds_bucket{stage=%q,le=\"+Inf\"} %d\n", name, h.count)
+		fmt.Fprintf(w, "slserve_stage_duration_seconds_sum{stage=%q} %g\n", name, h.sum)
+		fmt.Fprintf(w, "slserve_stage_duration_seconds_count{stage=%q} %d\n", name, h.count)
+	}
+
+	fmt.Fprintln(w, "# HELP slserve_solver_lp_solves_total LP solves executed (one per component per phase).")
+	fmt.Fprintln(w, "# TYPE slserve_solver_lp_solves_total counter")
+	fmt.Fprintf(w, "slserve_solver_lp_solves_total %d\n", m.solver.lpSolves)
+	fmt.Fprintln(w, "# HELP slserve_solver_iterations_total Simplex iterations plus BIP nodes, summed over solves.")
+	fmt.Fprintln(w, "# TYPE slserve_solver_iterations_total counter")
+	fmt.Fprintf(w, "slserve_solver_iterations_total %d\n", m.solver.iterations)
+	fmt.Fprintln(w, "# HELP slserve_solver_refactorizations_total Basis (re)factorizations across LP solves.")
+	fmt.Fprintln(w, "# TYPE slserve_solver_refactorizations_total counter")
+	fmt.Fprintf(w, "slserve_solver_refactorizations_total %d\n", m.solver.refactorizations)
+	fmt.Fprintln(w, "# HELP slserve_solver_presolve_rows_total Constraint rows eliminated by LP presolve.")
+	fmt.Fprintln(w, "# TYPE slserve_solver_presolve_rows_total counter")
+	fmt.Fprintf(w, "slserve_solver_presolve_rows_total %d\n", m.solver.presolveRows)
+	fmt.Fprintln(w, "# HELP slserve_solver_presolve_cols_total Variables fixed by LP presolve.")
+	fmt.Fprintln(w, "# TYPE slserve_solver_presolve_cols_total counter")
+	fmt.Fprintf(w, "slserve_solver_presolve_cols_total %d\n", m.solver.presolveCols)
+	fmt.Fprintln(w, "# HELP slserve_solver_warm_starts_total LP solves by warm-start outcome: hit = prior basis installed, miss = cold start.")
+	fmt.Fprintln(w, "# TYPE slserve_solver_warm_starts_total counter")
+	fmt.Fprintf(w, "slserve_solver_warm_starts_total{result=\"hit\"} %d\n", m.solver.warmHits)
+	fmt.Fprintf(w, "slserve_solver_warm_starts_total{result=\"miss\"} %d\n", m.solver.warmMisses)
+
+	fmt.Fprintln(w, "# HELP slserve_build_info Build metadata; the value is always 1.")
+	fmt.Fprintln(w, "# TYPE slserve_build_info gauge")
+	fmt.Fprintf(w, "slserve_build_info{version=%q,goversion=%q} 1\n", buildVersion, runtime.Version())
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Fprintln(w, "# HELP slserve_goroutines Live goroutines at scrape time.")
+	fmt.Fprintln(w, "# TYPE slserve_goroutines gauge")
+	fmt.Fprintf(w, "slserve_goroutines %d\n", runtime.NumGoroutine())
+	fmt.Fprintln(w, "# HELP slserve_heap_alloc_bytes Live heap bytes at scrape time.")
+	fmt.Fprintln(w, "# TYPE slserve_heap_alloc_bytes gauge")
+	fmt.Fprintf(w, "slserve_heap_alloc_bytes %d\n", ms.HeapAlloc)
+	fmt.Fprintln(w, "# HELP slserve_gc_runs_total Completed garbage-collection cycles.")
+	fmt.Fprintln(w, "# TYPE slserve_gc_runs_total counter")
+	fmt.Fprintf(w, "slserve_gc_runs_total %d\n", ms.NumGC)
+	fmt.Fprintln(w, "# HELP slserve_gc_pause_seconds_total Cumulative stop-the-world GC pause.")
+	fmt.Fprintln(w, "# TYPE slserve_gc_pause_seconds_total counter")
+	fmt.Fprintf(w, "slserve_gc_pause_seconds_total %g\n", float64(ms.PauseTotalNs)/1e9)
+
 	fmt.Fprintln(w, "# HELP slserve_workers Configured worker pool size.")
 	fmt.Fprintln(w, "# TYPE slserve_workers gauge")
 	fmt.Fprintf(w, "slserve_workers %d\n", g.Workers)
@@ -288,3 +406,13 @@ func (m *Metrics) WriteTo(w io.Writer, g Gauges) {
 func formatBound(ub float64) string {
 	return strconv.FormatFloat(ub, 'f', -1, 64)
 }
+
+// buildVersion is the module version stamped into the binary, resolved once
+// at startup ("(devel)" for a plain `go build`, "unknown" without build
+// info — e.g. some test binaries).
+var buildVersion = func() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		return bi.Main.Version
+	}
+	return "unknown"
+}()

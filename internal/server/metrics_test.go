@@ -5,6 +5,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"dpslog"
 )
 
 func scrape(t *testing.T, m *Metrics, g Gauges) string {
@@ -364,6 +366,14 @@ func TestMetricsExpositionParses(t *testing.T) {
 	for _, n := range []int{1, 3, 9, 500} {
 		m.ObserveSolveComponents(n)
 	}
+	m.ObserveStage("solve", 0.021)
+	m.ObserveStage("lp.solve", 0.00007)
+	m.ObserveStage("queue.wait", 0.000002)
+	m.ObserveSolver(17, dpslog.SolveStats{
+		LPSolves: 2, Refactorizations: 3,
+		PresolveRows: 5, PresolveCols: 4,
+		WarmHits: 1, WarmMisses: 1,
+	})
 
 	out := scrape(t, m, Gauges{
 		Workers: 8, WorkersBusy: 2, QueueDepth: 1,
@@ -389,11 +399,19 @@ func TestMetricsExpositionParses(t *testing.T) {
 
 	// Counters and gauges carry the right TYPE.
 	for name, want := range map[string]string{
-		"slserve_requests_total":           "counter",
-		"slserve_request_duration_seconds": "histogram",
-		"slserve_solve_components":         "histogram",
-		"slserve_workers":                  "gauge",
-		"slserve_jobs":                     "gauge",
+		"slserve_requests_total":                "counter",
+		"slserve_request_duration_seconds":      "histogram",
+		"slserve_solve_components":              "histogram",
+		"slserve_stage_duration_seconds":        "histogram",
+		"slserve_solver_lp_solves_total":        "counter",
+		"slserve_solver_iterations_total":       "counter",
+		"slserve_solver_refactorizations_total": "counter",
+		"slserve_solver_warm_starts_total":      "counter",
+		"slserve_build_info":                    "gauge",
+		"slserve_goroutines":                    "gauge",
+		"slserve_heap_alloc_bytes":              "gauge",
+		"slserve_workers":                       "gauge",
+		"slserve_jobs":                          "gauge",
 	} {
 		if types[name] != want {
 			t.Errorf("TYPE of %s = %q, want %q", name, types[name], want)

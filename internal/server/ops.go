@@ -1,0 +1,25 @@
+package server
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// OpsHandler returns the operational mux served on a separate listener
+// (slserve -ops-addr): net/http/pprof profiling, liveness, readiness and
+// the full metrics exposition. Splitting it from the API port keeps
+// profiling endpoints off the client-facing surface — the ops port can be
+// firewalled to operators while the API port is public.
+func (s *Server) OpsHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/debug/traces", s.handleDebugTraces)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -41,11 +41,13 @@
 package server
 
 import (
+	"context"
 	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
 	"path/filepath"
@@ -57,6 +59,7 @@ import (
 	"dpslog"
 	"dpslog/internal/corpus"
 	"dpslog/internal/ledger"
+	"dpslog/internal/obs"
 )
 
 // Config sizes the server. Zero values select the documented defaults.
@@ -117,6 +120,14 @@ type Config struct {
 	// δ = 1 — four (e^ε = 2, δ = 0.25) releases — a demo-sized allowance;
 	// production deployments should set it deliberately.
 	Budget dpslog.Budget
+	// TraceBuffer is the ring capacity of retained request traces served by
+	// GET /v1/debug/traces (default 128).
+	TraceBuffer int
+	// Logger, when non-nil, receives one structured record per traced
+	// request (method, path, status, duration, trace ID). Scrape-path
+	// requests (/healthz, /readyz, /metrics, /v1/debug/traces) are neither
+	// traced nor logged.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -172,9 +183,16 @@ type Server struct {
 	cache   *planCache
 	warm    *warmPools
 	metrics *Metrics
+	tracer  *obs.Tracer
+	logger  *slog.Logger
 	mux     *http.ServeMux
 	started time.Time
-	// corpora and budgets are non-nil exactly when cfg.DataDir is set.
+	// ready closes once the stateful subsystems have opened (immediately in
+	// stateless mode). corpora, budgets and openErr must only be read after
+	// <-ready; corpora and budgets are non-nil exactly when cfg.DataDir is
+	// set and the open succeeded.
+	ready   chan struct{}
+	openErr error
 	corpora *corpus.Store
 	budgets *ledger.Ledger
 	// gate admission-controls streaming corpus uploads by declared bytes.
@@ -182,9 +200,11 @@ type Server struct {
 }
 
 // New builds a Server with its worker pool running. With Config.DataDir
-// set, it also opens the corpus store and replays the privacy ledger
-// journal, so budget accounting resumes exactly where the last process
-// left off.
+// set, the corpus store open and ledger journal replay run asynchronously:
+// the server accepts traffic immediately, corpus handlers block until the
+// state is ready, and GET /readyz reports the gate — so load balancers see
+// liveness at once and readiness only after budget accounting has resumed
+// exactly where the last process left off.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
@@ -194,25 +214,29 @@ func New(cfg Config) (*Server, error) {
 		cache:   newPlanCache(cfg.CacheSize),
 		warm:    newWarmPools(cfg.WarmPools),
 		metrics: NewMetrics(),
+		logger:  cfg.Logger,
 		mux:     http.NewServeMux(),
 		started: time.Now(),
+		ready:   make(chan struct{}),
 		gate:    newIngestGate(cfg.MaxIngestBytes),
 	}
-	if cfg.DataDir != "" {
-		var err error
-		s.corpora, err = corpus.Open(filepath.Join(cfg.DataDir, "corpora"))
-		if err != nil {
-			s.pool.Close()
-			return nil, err
+	// Every ended span feeds the stage histograms; root spans are already
+	// covered by the request-duration histograms, so only interior stages
+	// are recorded.
+	s.tracer = obs.NewTracer(cfg.TraceBuffer, func(sp *obs.Span) {
+		if !sp.Root() {
+			s.metrics.ObserveStage(sp.Name, sp.Duration().Seconds())
 		}
-		s.budgets, err = ledger.Open(filepath.Join(cfg.DataDir, "ledger.journal"), cfg.Budget)
-		if err != nil {
-			s.pool.Close()
-			return nil, err
-		}
+	})
+	if cfg.DataDir == "" {
+		close(s.ready)
+	} else {
+		go s.openState()
 	}
-	s.handle("GET /healthz", s.handleHealthz)
-	s.handle("GET /metrics", s.handleMetrics)
+	s.handleUntraced("GET /healthz", s.handleHealthz)
+	s.handleUntraced("GET /readyz", s.handleReadyz)
+	s.handleUntraced("GET /metrics", s.handleMetrics)
+	s.handleUntraced("GET /v1/debug/traces", s.handleDebugTraces)
 	s.handle("POST /v1/sanitize", s.handleSanitize)
 	s.handle("POST /v1/jobs", s.handleJobSubmit)
 	s.handle("GET /v1/jobs", s.handleJobList)
@@ -230,11 +254,30 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
+// openState opens the corpus store and replays the ledger journal, then
+// closes ready. The channel close publishes the field writes (happens-
+// before), so readers that wait on ready never race.
+func (s *Server) openState() {
+	defer close(s.ready)
+	corpora, err := corpus.Open(filepath.Join(s.cfg.DataDir, "corpora"))
+	if err != nil {
+		s.openErr = err
+		return
+	}
+	budgets, err := ledger.Open(filepath.Join(s.cfg.DataDir, "ledger.journal"), s.cfg.Budget)
+	if err != nil {
+		s.openErr = err
+		return
+	}
+	s.corpora, s.budgets = corpora, budgets
+}
+
 // Close stops the worker pool — in-flight solves finish, queued tasks are
 // drained and failed with ErrClosed (async jobs transition to "failed") —
-// and releases the ledger journal.
+// and releases the ledger journal (waiting out the async open first).
 func (s *Server) Close() {
 	s.pool.Close()
+	<-s.ready
 	if s.budgets != nil {
 		s.budgets.Close()
 	}
@@ -265,15 +308,51 @@ func (s *Server) bodyCap(r *http.Request) int64 {
 	return s.cfg.MaxBodyBytes
 }
 
-// handle registers a pattern with per-request metrics instrumentation. The
-// pattern doubles as the handler label in /metrics.
+// handle registers a pattern with per-request metrics instrumentation, a
+// root trace span (propagated via the request context and echoed in the
+// X-Trace-Id response header) and structured request logging. The pattern
+// doubles as the handler label in /metrics and as the root span name.
 func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	s.register(pattern, h, true)
+}
+
+// handleUntraced registers a scrape-path pattern: metrics-observed but
+// neither traced nor logged, so health probes and Prometheus scrapes do not
+// evict real request traces from the ring buffer or spam the access log.
+func (s *Server) handleUntraced(pattern string, h http.HandlerFunc) {
+	s.register(pattern, h, false)
+}
+
+func (s *Server) register(pattern string, h http.HandlerFunc, traced bool) {
 	label := pattern
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		var root *obs.Span
+		if traced {
+			var ctx context.Context
+			ctx, root = s.tracer.Start(r.Context(), label)
+			root.SetAttr("method", r.Method)
+			root.SetAttr("path", r.URL.Path)
+			w.Header().Set("X-Trace-Id", root.TraceID)
+			r = r.WithContext(ctx)
+		}
 		h(rec, r)
-		s.metrics.Observe(label, rec.code, time.Since(start).Seconds())
+		elapsed := time.Since(start)
+		if root != nil {
+			root.SetAttr("status", rec.code)
+			root.End()
+		}
+		s.metrics.Observe(label, rec.code, elapsed.Seconds())
+		if s.logger != nil && root != nil {
+			s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", rec.code),
+				slog.Float64("duration_ms", float64(elapsed.Microseconds())/1000),
+				slog.String("trace_id", root.TraceID),
+			)
+		}
 	})
 }
 
@@ -334,6 +413,9 @@ type sanitizeResponse struct {
 	Records          []Record               `json:"records"`
 	Cached           bool                   `json:"cached"`
 	ElapsedMS        float64                `json:"elapsed_ms"`
+	// Trace is the request's span tree, stamped on the per-request response
+	// copy when the client asked for ?debug=trace (never cached).
+	Trace *obs.SpanJSON `json:"trace,omitempty"`
 }
 
 type lambdaRequest struct {
@@ -519,7 +601,7 @@ func cacheKey(digest string, opts dpslog.Options) string {
 // a pool worker for sync requests, async jobs, and corpus releases. digest
 // is the precomputed corpus identity — corpus requests pass the stored
 // digest so referencing a corpus never re-hashes it.
-func (s *Server) runSanitize(l *dpslog.Log, opts dpslog.Options, digest string) (*sanitizeResponse, error) {
+func (s *Server) runSanitize(ctx context.Context, l *dpslog.Log, opts dpslog.Options, digest string) (*sanitizeResponse, error) {
 	if opts.Seed == 0 {
 		opts.Seed = seedFromDigest(digest)
 	}
@@ -532,7 +614,11 @@ func (s *Server) runSanitize(l *dpslog.Log, opts dpslog.Options, digest string) 
 		opts.Parallelism = s.cfg.SolveParallelism
 	}
 	key := cacheKey(digest, opts)
-	if resp, ok := s.cache.Get(key); ok {
+	_, csp := obs.Start(ctx, "cache.lookup")
+	resp, ok := s.cache.Get(key)
+	csp.SetAttr("hit", ok)
+	csp.End()
+	if ok {
 		hit := *resp
 		hit.Cached = true
 		return &hit, nil
@@ -549,8 +635,10 @@ func (s *Server) runSanitize(l *dpslog.Log, opts dpslog.Options, digest string) 
 	// and make identical requests history-dependent. Per-key pools
 	// reproduce the prior basis instead, preserving the determinism
 	// contract.
+	_, wsp := obs.Start(ctx, "warmpool.lookup")
 	san.SetWarmCache(s.warm.get(key))
-	res, err := san.Sanitize(l)
+	wsp.End()
+	res, err := san.SanitizeContext(ctx, l)
 	if err != nil {
 		return nil, err
 	}
@@ -558,7 +646,7 @@ func (s *Server) runSanitize(l *dpslog.Log, opts dpslog.Options, digest string) 
 	for _, rec := range res.Output.Records() {
 		out = append(out, Record{User: rec.User, Query: rec.Query, URL: rec.URL, Count: rec.Count})
 	}
-	resp := &sanitizeResponse{
+	resp = &sanitizeResponse{
 		Digest:           digest,
 		Seed:             opts.Seed,
 		InputSize:        l.Size(),
@@ -579,6 +667,7 @@ func (s *Server) runSanitize(l *dpslog.Log, opts dpslog.Options, digest string) 
 		Records: out,
 	}
 	s.metrics.ObserveSolveComponents(res.Plan.Components)
+	s.metrics.ObserveSolver(res.Plan.Iterations, res.Plan.Solver)
 	s.cache.Put(key, resp)
 	// Callers stamp per-request fields (ElapsedMS, Cached) on the result, so
 	// hand back a copy rather than the struct the cache now owns.
@@ -595,11 +684,53 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleReadyz is the readiness gate: 200 only once the corpus store has
+// opened and the ledger journal has fully replayed (trivially immediate in
+// stateless mode). Liveness is /healthz; this answers "may traffic be
+// routed here yet".
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	select {
+	case <-s.ready:
+	default:
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "starting"})
+		return
+	}
+	if s.openErr != nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "error",
+			"error":  s.openErr.Error(),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":       "ready",
+		"corpus_store": s.corpora != nil,
+		"uptime_s":     time.Since(s.started).Seconds(),
+	})
+}
+
+// handleDebugTraces serves the ring buffer of recently completed request
+// traces, newest first.
+func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"total":  s.tracer.Total(),
+		"traces": s.tracer.Traces(),
+	})
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	workers, busy, queued := s.pool.Stats()
 	hits, misses := s.cache.Stats()
 	var lg *LedgerGauges
-	if s.corpora != nil {
+	// The ledger gauges need the stateful subsystems; a scrape during the
+	// async open simply omits them rather than blocking Prometheus.
+	stateReady := false
+	select {
+	case <-s.ready:
+		stateReady = s.openErr == nil
+	default:
+	}
+	if stateReady && s.corpora != nil {
 		budget := s.budgets.Budget()
 		lg = &LedgerGauges{
 			BudgetEpsilon: budget.Epsilon,
@@ -637,13 +768,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // "/" pattern swallows the mux's own method matching, so the fallback
 // handler re-derives it here.
 var allowedMethods = map[string]string{
-	"/healthz":     "GET",
-	"/metrics":     "GET",
-	"/v1/sanitize": "POST",
-	"/v1/jobs":     "GET, POST",
-	"/v1/lambda":   "POST",
-	"/v1/stats":    "POST",
-	"/v1/corpora":  "GET",
+	"/healthz":         "GET",
+	"/readyz":          "GET",
+	"/metrics":         "GET",
+	"/v1/sanitize":     "POST",
+	"/v1/jobs":         "GET, POST",
+	"/v1/lambda":       "POST",
+	"/v1/stats":        "POST",
+	"/v1/corpora":      "GET",
+	"/v1/debug/traces": "GET",
 }
 
 // corpusAllow derives the allowed methods for /v1/corpora/{name}[/...]
@@ -683,7 +816,10 @@ func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSanitize(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	ctx := r.Context()
+	_, dsp := obs.Start(ctx, "decode")
 	l, opts, err := decodeSanitizeRequest(r)
+	dsp.End()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -694,11 +830,19 @@ func (s *Server) handleSanitize(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	_, hsp := obs.Start(ctx, "digest")
+	digest := dpslog.Digest(l)
+	hsp.End()
 	var (
 		resp   *sanitizeResponse
 		runErr error
 	)
-	err = s.pool.Do(r.Context(), func() { resp, runErr = s.runSanitize(l, opts, dpslog.Digest(l)) })
+	// The queue.wait span closes as the first act of the task — on a worker
+	// — so it measures exactly the backlog time. End is idempotent; the
+	// second call below covers the never-ran error paths.
+	_, qsp := obs.Start(ctx, "queue.wait")
+	err = s.pool.Do(ctx, func() { qsp.End(); resp, runErr = s.runSanitize(ctx, l, opts, digest) })
+	qsp.End()
 	switch {
 	case errors.Is(err, ErrSaturated):
 		w.Header().Set("Retry-After", "1")
@@ -715,7 +859,18 @@ func (s *Server) handleSanitize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	if wantTrace(r) {
+		// Snapshot from inside the still-open root span: it renders with its
+		// live duration and in_flight set, taken at the same instant as
+		// ElapsedMS above.
+		resp.Trace = obs.FromContext(ctx).Snapshot()
+	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// wantTrace reports whether the client asked for the span tree inline.
+func wantTrace(r *http.Request) bool {
+	return r.URL.Query().Get("debug") == "trace"
 }
 
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
@@ -731,9 +886,15 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	job := s.jobs.Create()
 	submit := func() {
 		s.jobs.Start(job.ID)
+		// Async jobs outlive their submitting request, so each run is its
+		// own root trace (visible in /v1/debug/traces by job_id).
+		ctx, root := s.tracer.Start(context.Background(), "job sanitize")
+		root.SetAttr("job_id", job.ID)
+		defer root.End()
 		start := time.Now()
-		resp, err := s.runSanitize(l, opts, dpslog.Digest(l))
+		resp, err := s.runSanitize(ctx, l, opts, dpslog.Digest(l))
 		if err != nil {
+			root.SetAttr("error", err.Error())
 			s.jobs.Fail(job.ID, err)
 			return
 		}
@@ -795,12 +956,15 @@ func (s *Server) handleLambda(w http.ResponseWriter, r *http.Request) {
 		lambda int
 		runErr error
 	)
+	_, qsp := obs.Start(r.Context(), "queue.wait")
 	err = s.pool.Do(r.Context(), func() {
+		qsp.End()
 		// Same oversubscription guard as sanitize solves: the worker pool
 		// already fills the cores, so components solve at the configured
 		// per-solve parallelism rather than the library's GOMAXPROCS.
 		lambda, runErr = dpslog.LambdaParallelism(l, eps, req.Delta, s.cfg.SolveParallelism)
 	})
+	qsp.End()
 	switch {
 	case errors.Is(err, ErrSaturated):
 		w.Header().Set("Retry-After", "1")

@@ -38,6 +38,7 @@ import (
 	"sync"
 
 	"dpslog/internal/dp"
+	"dpslog/internal/obs"
 	"dpslog/internal/partition"
 	"dpslog/internal/searchlog"
 )
@@ -67,13 +68,27 @@ func compScope(ci, n int) string {
 // and returns the plans in component order (deterministic regardless of
 // scheduling). The first error by component index wins and is annotated
 // with the component's shape.
-func solvePerComponent(comps []partition.Component, parallelism int, solve func(ci int, c *partition.Component) (*Plan, error)) ([]*Plan, error) {
+func solvePerComponent(comps []partition.Component, opts Options, solve func(o Options, ci int, c *partition.Component) (*Plan, error)) ([]*Plan, error) {
 	plans := make([]*Plan, len(comps))
 	errs := make([]error, len(comps))
-	workers := workerCount(parallelism, len(comps))
+	workers := workerCount(opts.Parallelism, len(comps))
+	// Each component solve gets its own "ump.component" span, and the inner
+	// LP spans nest under it via the Options copy. Child spans append under
+	// the shared parent span's lock, so concurrent component goroutines
+	// record safely (covered by the -race span tests).
+	traced := func(ci int) (*Plan, error) {
+		cctx, sp := obs.Start(opts.ctx(), "ump.component")
+		sp.SetAttr("component", ci)
+		sp.SetAttr("pairs", comps[ci].Log.NumPairs())
+		sp.SetAttr("users", comps[ci].Log.NumUsers())
+		defer sp.End()
+		co := opts
+		co.Ctx = cctx
+		return solve(co, ci, &comps[ci])
+	}
 	if workers == 1 {
 		for ci := range comps {
-			plans[ci], errs[ci] = solve(ci, &comps[ci])
+			plans[ci], errs[ci] = traced(ci)
 		}
 	} else {
 		sem := make(chan struct{}, workers)
@@ -84,7 +99,7 @@ func solvePerComponent(comps []partition.Component, parallelism int, solve func(
 			go func(ci int) {
 				defer wg.Done()
 				defer func() { <-sem }()
-				plans[ci], errs[ci] = solve(ci, &comps[ci])
+				plans[ci], errs[ci] = traced(ci)
 			}(ci)
 		}
 		wg.Wait()
@@ -112,6 +127,7 @@ func stitch(kind Kind, l *searchlog.Log, comps []partition.Component, plans []*P
 		plan.Objective += p.Objective
 		plan.RelaxationObjective += p.RelaxationObjective
 		plan.Iterations += p.Iterations
+		plan.Stats.add(p.Stats)
 	}
 	return plan
 }
@@ -126,8 +142,8 @@ func MaxOutputSize(l *searchlog.Log, params dp.Params, opts Options) (*Plan, err
 	if comps == nil {
 		return maxOutputSizeMono(l, params, opts.scoped("mono"))
 	}
-	plans, err := solvePerComponent(comps, opts.Parallelism, func(ci int, c *partition.Component) (*Plan, error) {
-		return maxOutputSizeMono(c.Log, params, opts.scoped(compScope(ci, len(comps))))
+	plans, err := solvePerComponent(comps, opts, func(o Options, ci int, c *partition.Component) (*Plan, error) {
+		return maxOutputSizeMono(c.Log, params, o.scoped(compScope(ci, len(comps))))
 	})
 	if err != nil {
 		return nil, err
@@ -148,8 +164,8 @@ func Diversity(l *searchlog.Log, params dp.Params, opts Options) (*Plan, error) 
 	if comps == nil {
 		return diversityMono(l, params, opts)
 	}
-	plans, err := solvePerComponent(comps, opts.Parallelism, func(_ int, c *partition.Component) (*Plan, error) {
-		return diversityMono(c.Log, params, opts)
+	plans, err := solvePerComponent(comps, opts, func(o Options, _ int, c *partition.Component) (*Plan, error) {
+		return diversityMono(c.Log, params, o)
 	})
 	if err != nil {
 		return nil, err
@@ -217,7 +233,7 @@ func QueryDiversity(l *searchlog.Log, params dp.Params, opts Options) (*Plan, er
 			return cc[a].pair < cc[b].pair
 		})
 	}
-	plans, err := solvePerComponent(comps, opts.Parallelism, func(ci int, c *partition.Component) (*Plan, error) {
+	plans, err := solvePerComponent(comps, opts, func(_ Options, ci int, c *partition.Component) (*Plan, error) {
 		ccons, err := dp.Build(c.Log, params)
 		if err != nil {
 			return nil, err
@@ -268,8 +284,8 @@ func FrequentSupport(l *searchlog.Log, params dp.Params, minSupport float64, out
 	// and the fractional bound is never below the integral plan's size, so
 	// the feasibility precheck stays as close to the monolithic one
 	// (outputSize ≤ λ_LP) as an integral allocation permits.
-	lamPlans, err := solvePerComponent(comps, opts.Parallelism, func(ci int, c *partition.Component) (*Plan, error) {
-		return maxOutputSizeMono(c.Log, params, opts.scoped(compScope(ci, len(comps))))
+	lamPlans, err := solvePerComponent(comps, opts, func(o Options, ci int, c *partition.Component) (*Plan, error) {
+		return maxOutputSizeMono(c.Log, params, o.scoped(compScope(ci, len(comps))))
 	})
 	if err != nil {
 		return nil, err
@@ -292,7 +308,7 @@ func FrequentSupport(l *searchlog.Log, params dp.Params, minSupport float64, out
 	// per-component allocation rows.
 	inSize := float64(l.Size())
 	invO := 1 / float64(outputSize)
-	plans, err := solvePerComponent(comps, opts.Parallelism, func(ci int, c *partition.Component) (*Plan, error) {
+	plans, err := solvePerComponent(comps, opts, func(o Options, ci int, c *partition.Component) (*Plan, error) {
 		if alloc[ci] == 0 {
 			return &Plan{Kind: KindFrequent, Counts: make([]int, c.Log.NumPairs()), Components: 1}, nil
 		}
@@ -301,12 +317,15 @@ func FrequentSupport(l *searchlog.Log, params dp.Params, minSupport float64, out
 			return nil, err
 		}
 		frequent, supIn := frequentPairs(c.Log, minSupport, inSize)
-		return frequentCore(c.Log, ccons, frequent, supIn, invO, alloc[ci], opts.scoped(compScope(ci, len(comps))))
+		return frequentCore(c.Log, ccons, frequent, supIn, invO, alloc[ci], o.scoped(compScope(ci, len(comps))))
 	})
 	if err != nil {
 		return nil, err
 	}
 	plan := stitch(KindFrequent, l, comps, plans)
+	for _, p := range lamPlans {
+		plan.Stats.add(p.Stats)
+	}
 	// Realized objective at the stitched integral plan, over the global
 	// frequent set and realized |O|.
 	plan.Objective = SupportDistance(l, minSupport, plan.Counts)
@@ -342,8 +361,8 @@ func Combined(l *searchlog.Log, params dp.Params, minSupport float64, w Combined
 		return combinedMono(l, params, minSupport, w, opts.scoped("mono"))
 	}
 	// Phase 1: the λ anchor, from the per-component O-UMP relaxations.
-	lamPlans, err := solvePerComponent(comps, opts.Parallelism, func(ci int, c *partition.Component) (*Plan, error) {
-		return maxOutputSizeMono(c.Log, params, opts.scoped(compScope(ci, len(comps))))
+	lamPlans, err := solvePerComponent(comps, opts, func(o Options, ci int, c *partition.Component) (*Plan, error) {
+		return maxOutputSizeMono(c.Log, params, o.scoped(compScope(ci, len(comps))))
 	})
 	if err != nil {
 		return nil, err
@@ -361,18 +380,21 @@ func Combined(l *searchlog.Log, params dp.Params, minSupport float64, w Combined
 	inSize := float64(l.Size())
 	sizeCoef := w.SizeWeight / inSize
 	invScale := 1 / lam
-	plans, err := solvePerComponent(comps, opts.Parallelism, func(ci int, c *partition.Component) (*Plan, error) {
+	plans, err := solvePerComponent(comps, opts, func(o Options, ci int, c *partition.Component) (*Plan, error) {
 		ccons, err := dp.Build(c.Log, params)
 		if err != nil {
 			return nil, err
 		}
 		frequent, supIn := frequentPairs(c.Log, minSupport, inSize)
-		return combinedCore(c.Log, ccons, frequent, supIn, sizeCoef, w.DistanceWeight, invScale, opts.scoped(compScope(ci, len(comps))))
+		return combinedCore(c.Log, ccons, frequent, supIn, sizeCoef, w.DistanceWeight, invScale, o.scoped(compScope(ci, len(comps))))
 	})
 	if err != nil {
 		return nil, err
 	}
 	plan := stitch(KindCombined, l, comps, plans)
+	for _, p := range lamPlans {
+		plan.Stats.add(p.Stats)
+	}
 	dist := SupportDistance(l, minSupport, plan.Counts)
 	plan.Objective = w.SizeWeight*float64(plan.OutputSize)/inSize - w.DistanceWeight*dist
 	return plan, nil
@@ -387,7 +409,7 @@ func decomposeFor(l *searchlog.Log, opts Options) []partition.Component {
 	if opts.NoDecompose {
 		return nil
 	}
-	comps := partition.Decompose(l)
+	comps := partition.DecomposeCtx(opts.ctx(), l)
 	if len(comps) <= 1 {
 		return nil
 	}

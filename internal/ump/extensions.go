@@ -72,6 +72,7 @@ func combinedMono(l *searchlog.Log, params dp.Params, minSupport float64, w Comb
 	if err != nil {
 		return nil, err
 	}
+	plan.Stats.add(lamPlan.Stats)
 	// Realized joint objective on the integral plan.
 	dist := SupportDistance(l, minSupport, plan.Counts)
 	plan.Objective = w.SizeWeight*float64(plan.OutputSize)/inSize - w.DistanceWeight*dist
@@ -94,7 +95,7 @@ func combinedCore(l *searchlog.Log, cons *dp.Constraints, frequent []int, supIn 
 		prob.SetCoef(r2, i, -invScale)
 		prob.SetCoef(r2, y, -1)
 	}
-	sol, err := lp.Solve(prob, opts.lpOptions("cump", prob))
+	sol, err := opts.solveLP("cump", prob)
 	if err != nil {
 		return nil, fmt.Errorf("ump: combined solve: %w", err)
 	}
@@ -116,6 +117,7 @@ func combinedCore(l *searchlog.Log, cons *dp.Constraints, frequent []int, supIn 
 		RelaxationObjective: sol.Objective,
 		Iterations:          sol.Iterations,
 		Components:          1,
+		Stats:               lpStats(sol),
 	}, nil
 }
 
@@ -175,7 +177,7 @@ func MinPrivacy(l *searchlog.Log, target int, opts Options) (*MinPrivacyResult, 
 	for i := 0; i < l.NumPairs(); i++ {
 		prob.SetCoef(eq, i, 1)
 	}
-	sol, err := lp.Solve(prob, opts.lpOptions("minpriv", prob))
+	sol, err := opts.solveLP("minpriv", prob)
 	if err != nil {
 		return nil, fmt.Errorf("ump: min-privacy solve: %w", err)
 	}
@@ -241,6 +243,7 @@ func MinPrivacy(l *searchlog.Log, target int, opts Options) (*MinPrivacyResult, 
 		RelaxationObjective: zLP,
 		Iterations:          sol.Iterations,
 		Components:          1,
+		Stats:               lpStats(sol),
 	}
 	return &MinPrivacyResult{Plan: plan, Epsilon: realized}, nil
 }

@@ -21,6 +21,7 @@
 package ump
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -29,6 +30,7 @@ import (
 	"dpslog/internal/bip"
 	"dpslog/internal/dp"
 	"dpslog/internal/lp"
+	"dpslog/internal/obs"
 	"dpslog/internal/searchlog"
 )
 
@@ -139,6 +141,19 @@ type Options struct {
 	// monolithically, exactly as before internal/partition existed. It is
 	// the differential-testing and ablation-benchmark baseline.
 	NoDecompose bool
+	// Ctx, when non-nil, carries an obs trace: every LP/BIP solve and the
+	// decomposition record child spans under it. It never affects which
+	// plan is produced — a nil Ctx (or one without an active span) makes
+	// every tracing call a no-op.
+	Ctx context.Context
+}
+
+// ctx resolves Options.Ctx for span creation.
+func (o Options) ctx() context.Context {
+	if o.Ctx == nil {
+		return context.Background()
+	}
+	return o.Ctx
 }
 
 // Plan is an integral, strictly feasible assignment of output counts.
@@ -162,6 +177,83 @@ type Plan struct {
 	// Components is the number of connected components the solve decomposed
 	// into (1 for a monolithic solve or a connected log).
 	Components int
+	// Stats aggregates the solver-depth counters of every LP behind the
+	// plan (zero-valued for purely combinatorial solves such as D-UMP).
+	Stats SolveStats
+}
+
+// SolveStats aggregates lp.SolveStats across every LP solved for one plan —
+// all components, including auxiliary solves such as F-UMP's per-component
+// λ phase.
+type SolveStats struct {
+	// LPSolves counts simplex runs.
+	LPSolves int
+	// Refactorizations sums basis factorizations across the LPs.
+	Refactorizations int
+	// PresolveRows and PresolveCols sum presolve eliminations.
+	PresolveRows int
+	PresolveCols int
+	// EtaLength is the largest peak eta-file length any LP observed.
+	EtaLength int
+	// WarmHits counts LPs that installed a warm-start basis; WarmMisses
+	// counts LPs that cold-started (no basis pooled yet, or the snapshot
+	// failed validation). WarmHits + WarmMisses = LPSolves.
+	WarmHits   int
+	WarmMisses int
+}
+
+// add accumulates o into s (sums, except the EtaLength maximum).
+func (s *SolveStats) add(o SolveStats) {
+	s.LPSolves += o.LPSolves
+	s.Refactorizations += o.Refactorizations
+	s.PresolveRows += o.PresolveRows
+	s.PresolveCols += o.PresolveCols
+	if o.EtaLength > s.EtaLength {
+		s.EtaLength = o.EtaLength
+	}
+	s.WarmHits += o.WarmHits
+	s.WarmMisses += o.WarmMisses
+}
+
+// lpStats converts one solution's counters into the aggregate form.
+func lpStats(sol *lp.Solution) SolveStats {
+	st := SolveStats{
+		LPSolves:         1,
+		Refactorizations: sol.Stats.Refactorizations,
+		PresolveRows:     sol.Stats.PresolveRows,
+		PresolveCols:     sol.Stats.PresolveCols,
+		EtaLength:        sol.Stats.EtaLength,
+	}
+	if sol.Stats.WarmAccepted {
+		st.WarmHits = 1
+	} else {
+		st.WarmMisses = 1
+	}
+	return st
+}
+
+// solveLP runs one traced LP solve: a "lp.solve" child span (when Ctx
+// carries a trace) records the problem shape and the solver-depth counters.
+func (o Options) solveLP(kind string, prob *lp.Problem) (*lp.Solution, error) {
+	_, sp := obs.Start(o.ctx(), "lp.solve")
+	sol, err := lp.Solve(prob, o.lpOptions(kind, prob))
+	if sp != nil {
+		sp.SetAttr("kind", kind)
+		sp.SetAttr("vars", prob.NumVariables())
+		sp.SetAttr("constraints", prob.NumConstraints())
+		if sol != nil {
+			sp.SetAttr("status", sol.Status.String())
+			sp.SetAttr("iterations", sol.Iterations)
+			sp.SetAttr("refactorizations", sol.Stats.Refactorizations)
+			sp.SetAttr("eta_len", sol.Stats.EtaLength)
+			sp.SetAttr("presolve_rows", sol.Stats.PresolveRows)
+			sp.SetAttr("presolve_cols", sol.Stats.PresolveCols)
+			sp.SetAttr("warm_attempted", sol.Stats.WarmAttempted)
+			sp.SetAttr("warm_accepted", sol.Stats.WarmAccepted)
+		}
+	}
+	sp.End()
+	return sol, err
 }
 
 // warmKey builds the pool key for one LP solve: kind, decomposition scope
@@ -368,7 +460,7 @@ func maxOutputSizeMono(l *searchlog.Log, params dp.Params, opts Options) (*Plan,
 		return &Plan{Kind: KindOutputSize, Counts: nil, OutputSize: 0, Components: 1}, nil
 	}
 	prob := buildBase(l, cons, lp.Maximize, 1, opts.NoBoxConstraint)
-	sol, err := lp.Solve(prob, opts.lpOptions("oump", prob))
+	sol, err := opts.solveLP("oump", prob)
 	if err != nil {
 		return nil, fmt.Errorf("ump: O-UMP solve: %w", err)
 	}
@@ -390,6 +482,7 @@ func maxOutputSizeMono(l *searchlog.Log, params dp.Params, opts Options) (*Plan,
 		RelaxationObjective: sol.Objective,
 		Iterations:          sol.Iterations,
 		Components:          1,
+		Stats:               lpStats(sol),
 	}
 	plan.Objective = float64(plan.OutputSize)
 	return plan, nil
@@ -463,7 +556,7 @@ func frequentCore(l *searchlog.Log, cons *dp.Constraints, frequent []int, supIn 
 		prob.SetCoef(r2, y, -1)
 	}
 
-	sol, err := lp.Solve(prob, opts.lpOptions("fump", prob))
+	sol, err := opts.solveLP("fump", prob)
 	if err != nil {
 		return nil, fmt.Errorf("ump: F-UMP solve: %w", err)
 	}
@@ -493,6 +586,7 @@ func frequentCore(l *searchlog.Log, cons *dp.Constraints, frequent []int, supIn 
 		RelaxationObjective: sol.Objective,
 		Iterations:          sol.Iterations,
 		Components:          1,
+		Stats:               lpStats(sol),
 	}, nil
 }
 
@@ -543,7 +637,17 @@ func diversityMono(l *searchlog.Log, params dp.Params, opts Options) (*Plan, err
 		}
 		prob.Rows[k] = terms
 	}
+	_, sp := obs.Start(opts.ctx(), "bip.solve")
 	sol, err := solver.Solve(prob)
+	if sp != nil {
+		sp.SetAttr("solver", name)
+		sp.SetAttr("cols", prob.NumCols)
+		if sol != nil {
+			sp.SetAttr("nodes", sol.Nodes)
+			sp.SetAttr("retained", sol.Objective)
+		}
+	}
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("ump: D-UMP (%s): %w", name, err)
 	}

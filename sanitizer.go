@@ -1,12 +1,14 @@
 package dpslog
 
 import (
+	"context"
 	"fmt"
 	"slices"
 	"strings"
 
 	"dpslog/internal/bip"
 	"dpslog/internal/dp"
+	"dpslog/internal/obs"
 	"dpslog/internal/rng"
 	"dpslog/internal/sampling"
 	"dpslog/internal/ump"
@@ -252,7 +254,15 @@ type Plan struct {
 	Components int
 	// NoiseApplied reports that §4.2 end-to-end noise perturbed the counts.
 	NoiseApplied bool
+	// Solver aggregates the solver-depth counters (LP solves, simplex
+	// refactorizations, presolve eliminations, eta-file peak, warm-start
+	// hits vs cold fallbacks) across every LP behind the plan.
+	Solver SolveStats
 }
+
+// SolveStats aggregates solver-depth counters across the LPs behind one
+// plan; see ump.SolveStats for field semantics.
+type SolveStats = ump.SolveStats
 
 // Result is a completed sanitization.
 type Result struct {
@@ -336,8 +346,21 @@ func (s *Sanitizer) Options() Options { return s.opts }
 // plan, and multinomially sample user-IDs per pair. The input log is not
 // modified.
 func (s *Sanitizer) Sanitize(in *Log) (*Result, error) {
+	return s.SanitizeContext(context.Background(), in)
+}
+
+// SanitizeContext is Sanitize with trace propagation: when ctx carries an
+// active obs span, the pipeline records child spans per stage (preprocess,
+// solve with per-LP detail, noise, audit, sample). Tracing never changes
+// the output; a context without a span makes every recording call a no-op.
+func (s *Sanitizer) SanitizeContext(ctx context.Context, in *Log) (*Result, error) {
 	opts := s.opts
+	_, psp := obs.Start(ctx, "preprocess")
 	pre, preStats := Preprocess(in)
+	psp.SetAttr("pairs", pre.NumPairs())
+	psp.SetAttr("users", pre.NumUsers())
+	psp.SetAttr("removed_pairs", preStats.RemovedPairs)
+	psp.End()
 	params := dp.Params{Eps: opts.Epsilon, Delta: opts.Delta}
 	uopts := ump.Options{NoBoxConstraint: opts.NoBoxConstraint, Solver: opts.Solver, Parallelism: opts.Parallelism}
 	if s.warm != nil {
@@ -363,7 +386,10 @@ func (s *Sanitizer) Sanitize(in *Log) (*Result, error) {
 			}
 			return out, nil
 		}
+		_, bsp := obs.Start(ctx, "sensitivity_bound")
 		bounded, dropped, err := dp.BoundSensitivity(pre, opts.D, solve)
+		bsp.SetAttr("dropped_users", len(dropped))
+		bsp.End()
 		if err != nil {
 			return nil, fmt.Errorf("dpslog: sensitivity bounding: %w", err)
 		}
@@ -375,7 +401,18 @@ func (s *Sanitizer) Sanitize(in *Log) (*Result, error) {
 		pre = bounded
 	}
 
+	solveCtx, ssp := obs.Start(ctx, "solve")
+	uopts.Ctx = solveCtx
 	plan, lambda, err := s.solveObjectiveWithLambda(pre, params, uopts)
+	if ssp != nil && plan != nil {
+		ssp.SetAttr("kind", string(plan.Kind))
+		ssp.SetAttr("components", plan.Components)
+		ssp.SetAttr("iterations", plan.Iterations)
+		ssp.SetAttr("lp_solves", plan.Stats.LPSolves)
+		ssp.SetAttr("warm_hits", plan.Stats.WarmHits)
+		ssp.SetAttr("warm_misses", plan.Stats.WarmMisses)
+	}
+	ssp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -383,9 +420,11 @@ func (s *Sanitizer) Sanitize(in *Log) (*Result, error) {
 	counts := plan.Counts
 	noised := false
 	if opts.EndToEnd {
+		_, nsp := obs.Start(ctx, "noise")
 		g := rng.New(opts.Seed ^ 0x9e3779b97f4a7c15)
 		noisy, err := dp.NoisyCounts(g, counts, opts.D, opts.EpsPrime)
 		if err != nil {
+			nsp.End()
 			return nil, err
 		}
 		// Respect the box and Condition 1 invariants, then re-project into
@@ -397,18 +436,27 @@ func (s *Sanitizer) Sanitize(in *Log) (*Result, error) {
 		}
 		cons, err := dp.Build(pre, params)
 		if err != nil {
+			nsp.End()
 			return nil, err
 		}
 		counts = dp.ProjectFeasible(cons, noisy)
 		noised = true
+		nsp.SetAttr("d", opts.D)
+		nsp.SetAttr("eps_prime", opts.EpsPrime)
+		nsp.End()
 	}
 
 	// Invariant: every released plan satisfies Theorem 1 exactly.
-	if err := dp.VerifyLog(pre, params, counts); err != nil {
+	_, asp := obs.Start(ctx, "audit")
+	err = dp.VerifyLog(pre, params, counts)
+	asp.End()
+	if err != nil {
 		return nil, fmt.Errorf("dpslog: internal error: plan failed audit: %w", err)
 	}
 
+	_, smp := obs.Start(ctx, "sample")
 	out, err := sampling.Output(rng.New(opts.Seed), pre, counts)
+	smp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -455,6 +503,7 @@ func (s *Sanitizer) Sanitize(in *Log) (*Result, error) {
 			Iterations:          plan.Iterations,
 			Components:          plan.Components,
 			NoiseApplied:        noised,
+			Solver:              plan.Stats,
 		},
 	}, nil
 }

@@ -1,0 +1,131 @@
+package dpslog_test
+
+// Concurrency coverage for the tracing path: internal/server runs many
+// traced SanitizeContext calls on a shared *Sanitizer, each under its own
+// root span but recording into one shared Tracer ring. Span recording,
+// component-solve child spans (Parallelism > 1 solves components on
+// several goroutines at once) and ring-buffer pushes must all be safe
+// under -race, and tracing must not perturb determinism.
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+
+	"dpslog"
+	"dpslog/internal/obs"
+)
+
+// BenchmarkSanitizeUntraced / BenchmarkSanitizeTraced measure the cost of
+// the instrumentation on the small-corpus O-UMP solve: untraced contexts
+// hit only nil-span checks, traced contexts record the full span tree.
+// The PR 6 budget is ≤ 2% overhead for tracing (compare the two).
+func BenchmarkSanitizeUntraced(b *testing.B) {
+	benchmarkSanitize(b, nil)
+}
+
+func BenchmarkSanitizeTraced(b *testing.B) {
+	benchmarkSanitize(b, obs.NewTracer(obs.DefaultTraceBuffer, nil))
+}
+
+func benchmarkSanitize(b *testing.B, tracer *obs.Tracer) {
+	in, err := dpslog.Generate("small", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := dpslog.New(dpslog.Options{Epsilon: math.Log(2), Delta: 0.5, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := context.Background()
+		var root *obs.Span
+		if tracer != nil {
+			ctx, root = tracer.Start(ctx, "bench sanitize")
+		}
+		if _, err := s.SanitizeContext(ctx, in); err != nil {
+			b.Fatal(err)
+		}
+		root.End()
+	}
+}
+
+func TestSanitizeContextConcurrentTracing(t *testing.T) {
+	// A sharded corpus decomposes into several components, so with
+	// Parallelism > 1 each trace's solve span gains children from
+	// concurrent goroutines — the contended path.
+	in, err := dpslog.Generate("tiny-sharded", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := dpslog.New(dpslog.Options{Epsilon: math.Log(2), Delta: 0.5, Seed: 3, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := s.Sanitize(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refDigest := dpslog.Digest(ref.Output)
+
+	tracer := obs.NewTracer(64, nil)
+	const goroutines, iters = 8, 2
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines*iters)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				ctx, root := tracer.Start(context.Background(), "test sanitize")
+				res, err := s.SanitizeContext(ctx, in)
+				root.End()
+				if err != nil {
+					errc <- err
+					return
+				}
+				if dpslog.Digest(res.Output) != refDigest {
+					t.Error("traced concurrent SanitizeContext produced a different release")
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	traces := tracer.Traces()
+	if want := goroutines * iters; len(traces) != want {
+		t.Fatalf("retained %d traces, want %d", len(traces), want)
+	}
+	for _, tr := range traces {
+		if tr.InFlight {
+			t.Fatalf("trace %s still in flight after End", tr.TraceID)
+		}
+		var solve *obs.SpanJSON
+		for _, c := range tr.Children {
+			if c.DurationNS <= 0 {
+				t.Errorf("stage %q has non-positive duration", c.Name)
+			}
+			if c.Name == "solve" {
+				solve = c
+			}
+		}
+		if solve == nil {
+			t.Fatalf("trace %s lacks a solve span", tr.TraceID)
+		}
+		components := 0
+		for _, c := range solve.Children {
+			if c.Name == "ump.component" {
+				components++
+			}
+		}
+		if components < 2 {
+			t.Errorf("trace %s: %d ump.component spans under solve, want ≥ 2 (sharded corpus)", tr.TraceID, components)
+		}
+	}
+}
