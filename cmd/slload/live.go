@@ -1,0 +1,232 @@
+package main
+
+// The live load-generation mode: synthetic uniform/Poisson arrivals
+// against one endpoint, optionally captured as a replayable trace.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/url"
+	"os"
+	"sync"
+	"time"
+
+	"dpslog"
+	"dpslog/internal/loadgen"
+	"dpslog/internal/replay"
+)
+
+func runLive(f *flags) {
+	if *f.rps <= 0 || *f.duration <= 0 || *f.distinct < 1 {
+		fatal(fmt.Errorf("need -rps > 0, -duration > 0, -distinct ≥ 1"))
+	}
+	if *f.arrivals != "uniform" && *f.arrivals != "poisson" {
+		fatal(fmt.Errorf("unknown arrival process %q (want uniform or poisson)", *f.arrivals))
+	}
+
+	corpus, err := dpslog.Generate(*f.profile, *f.genSeed)
+	if err != nil {
+		fatal(err)
+	}
+	var body bytes.Buffer
+	if _, err := dpslog.WriteTSV(&body, corpus); err != nil {
+		fatal(err)
+	}
+	payloads := map[string][]byte{"corpus": body.Bytes()}
+
+	endpoint := *f.endpoint
+	if *f.corpusName != "" {
+		endpoint = "corpus"
+	}
+	expect := "2xx"
+	if *f.expect429 {
+		expect = "2xx,429"
+	}
+
+	// request builds the i-th descriptor: the replayable record the run
+	// both executes and (with -trace-out) captures.
+	var request func(i int) replay.Record
+	switch endpoint {
+	case "sanitize":
+		q := url.Values{}
+		q.Set("eexp", fmt.Sprint(*f.eexp))
+		q.Set("delta", fmt.Sprint(*f.delta))
+		q.Set("objective", *f.objective)
+		if *f.solver != "" {
+			q.Set("solver", *f.solver)
+		}
+		if *f.objective == "frequent" || *f.objective == "combined" {
+			q.Set("support", fmt.Sprint(*f.support))
+		}
+		request = func(i int) replay.Record {
+			qq := url.Values{}
+			for k, v := range q {
+				qq[k] = v
+			}
+			qq.Set("seed", fmt.Sprint(i%*f.distinct+1))
+			return replay.Record{
+				Class:       "sanitize",
+				Method:      "POST",
+				Path:        "/v1/sanitize?" + qq.Encode(),
+				ContentType: "text/tab-separated-values",
+				BodyRef:     "corpus",
+				Expect:      expect,
+			}
+		}
+	case "lambda":
+		env, err := loadgen.LambdaEnvelope(*f.eexp, *f.delta, payloads["corpus"])
+		if err != nil {
+			fatal(err)
+		}
+		request = func(int) replay.Record {
+			return replay.Record{
+				Class:       "lambda",
+				Method:      "POST",
+				Path:        "/v1/lambda",
+				ContentType: "application/json",
+				Body:        string(env),
+				Expect:      expect,
+			}
+		}
+	case "stats":
+		request = func(int) replay.Record {
+			return replay.Record{
+				Class:       "stats",
+				Method:      "POST",
+				Path:        "/v1/stats",
+				ContentType: "text/tab-separated-values",
+				BodyRef:     "corpus",
+				Expect:      expect,
+			}
+		}
+	case "corpus":
+		obj, err := dpslog.ParseObjective(*f.objective)
+		if err != nil {
+			fatal(err)
+		}
+		baseOpts := dpslog.Options{
+			Epsilon:   math.Log(*f.eexp),
+			Delta:     *f.delta,
+			Objective: obj,
+			Solver:    *f.solver,
+		}
+		if *f.objective == "frequent" || *f.objective == "combined" {
+			baseOpts.MinSupport = *f.support
+		}
+		path := "/v1/corpora/" + *f.corpusName + "/sanitize"
+		request = func(i int) replay.Record {
+			opts := baseOpts
+			opts.Seed = uint64(i%*f.distinct + 1)
+			env, _ := json.Marshal(struct {
+				Options dpslog.Options `json:"options"`
+			}{opts})
+			return replay.Record{
+				Class:       "corpus",
+				Method:      "POST",
+				Path:        path,
+				ContentType: "application/json",
+				Body:        string(env),
+				Expect:      expect,
+			}
+		}
+	default:
+		fatal(fmt.Errorf("unknown endpoint %q", endpoint))
+	}
+
+	client := replay.NewClient(*f.timeout)
+
+	var traceW *loadgen.TraceWriter
+	if *f.traceOut != "" {
+		traceW, err = loadgen.CreateTrace(*f.traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		traceW.Write(replay.Header{
+			V:         replay.Version,
+			Kind:      "header",
+			Base:      *f.base,
+			CreatedBy: "slload",
+			Payloads:  map[string]replay.Payload{"corpus": {Profile: *f.profile, Seed: *f.genSeed}},
+		})
+	}
+
+	results := make(chan loadgen.Result, 1024)
+	collector := &loadgen.Collector{Window: *f.batch, Trace: traceW}
+	done := make(chan loadgen.Summary, 1)
+	go func() { done <- collector.Run(results) }()
+
+	start := time.Now()
+	// stamp records the actual request offset so a captured trace replays
+	// the run's arrivals, not its intentions.
+	stamp := func(rec replay.Record, res loadgen.Result) loadgen.Result {
+		rec.TMS = float64(res.Start.Sub(start)) / float64(time.Millisecond)
+		res.TraceLine = rec.WithResult(res)
+		return res
+	}
+
+	if endpoint == "corpus" {
+		// Upload once; every subsequent request references the corpus by
+		// name with an options-only body. Captured as a setup record so a
+		// replayed trace re-creates the corpus before its timed section.
+		up := replay.Record{
+			Class:       "setup",
+			Setup:       true,
+			Method:      "PUT",
+			Path:        "/v1/corpora/" + *f.corpusName,
+			ContentType: "text/tab-separated-values",
+			BodyRef:     "corpus",
+		}
+		res := replay.Exec(client, *f.base, up, payloads)
+		if loadgen.Classify(res) != loadgen.OutcomeOK {
+			fatal(fmt.Errorf("upload corpus: status %d err %v", res.Status, res.Err))
+		}
+		results <- stamp(up, res)
+		fmt.Printf("slload: uploaded corpus %q (%d bytes) once; requests carry options only\n",
+			*f.corpusName, len(payloads["corpus"]))
+	}
+
+	fmt.Printf("slload: %s profile (%d tuples, %d users) → %s%s at %.1f rps (%s arrivals) for %s\n",
+		*f.profile, corpus.Size(), corpus.NumUsers(), *f.base, request(0).Path, *f.rps, *f.arrivals, *f.duration)
+
+	var sched loadgen.Schedule
+	if *f.arrivals == "uniform" {
+		sched = loadgen.UniformSchedule(*f.rps)
+	} else {
+		sched = loadgen.PoissonSchedule(*f.rps, *f.loadSeed)
+	}
+	var wg sync.WaitGroup
+	loadgen.Pace(sched, loadgen.Limits{D: *f.duration}, nil, func(i int) {
+		rec := request(i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results <- stamp(rec, replay.Exec(client, *f.base, rec, payloads))
+		}()
+	})
+	wg.Wait()
+	close(results)
+	sum := <-done
+
+	elapsed := time.Since(start).Seconds()
+	fmt.Printf("slload: total sent=%d ok=%d fail=%d budget_exhausted=%d achieved=%.1f rps  %s\n",
+		sum.Sent, sum.OK, sum.Errors(), sum.Exhausted, float64(sum.Sent)/elapsed, loadgen.FormatLatencies(sum.Latencies))
+	exit := 0
+	if sum.Errors() > 0 {
+		exit = 1
+	}
+	if *f.expect429 && sum.Exhausted == 0 {
+		fmt.Fprintln(os.Stderr, "slload: -expect-429 set but the budget never exhausted")
+		exit = 1
+	}
+	if traceW != nil {
+		// A truncated or unwritable trace fails the run: downstream replays
+		// gate CI, so a silently short capture is worse than a loud one.
+		if err := traceW.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "slload: writing %s: %v\n", *f.traceOut, err)
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}

@@ -1,9 +1,9 @@
-// Command slload is the load generator for slserve. It synthesizes a
-// corpus once, then drives the service at a target request rate with
-// uniform or Poisson arrivals, printing batched p50/p95/p99 latencies and a
-// final summary — the harness future performance PRs regress against.
+// Command slload is the load harness for slserve: a synthetic-arrival
+// load generator, a trace synthesizer, and a recorded-trace replayer with
+// per-class SLO gates. The engine lives in internal/loadgen and
+// internal/replay; this command wires flags to it.
 //
-// Usage:
+// Live load generation (the historical mode):
 //
 //	slload [-url http://localhost:8080] [-rps 20] [-duration 15s]
 //	       [-arrivals poisson|uniform] [-profile tiny] [-gen-seed 1]
@@ -20,377 +20,141 @@
 // -corpus switches to the corpus-referencing mode against a stateful
 // slserve (-data-dir): the TSV corpus is uploaded ONCE to
 // /v1/corpora/NAME, then every request POSTs an options-only JSON body to
-// /v1/corpora/NAME/sanitize — throughput is no longer bottlenecked on
-// re-sending and re-parsing the full corpus per request. Releases are
-// charged against the server's per-corpus privacy budget; 429
-// budget-exhausted responses are failures unless -expect-429 is given, in
-// which case they are counted separately and the run fails only if NO 429
-// is observed (the CI budget-exhaustion smoke gate).
+// /v1/corpora/NAME/sanitize. Releases are charged against the server's
+// per-corpus privacy budget; 429 budget-exhausted responses are failures
+// unless -expect-429 is given, in which case they are counted separately
+// and the run fails only if NO 429 is observed (the CI budget-exhaustion
+// smoke gate).
 //
-// -trace-out FILE writes one JSON line per request — timestamp, request
-// class, latency, status and the server-assigned X-Trace-Id — so a slow
-// request found in the load run can be joined against the server's
-// /v1/debug/traces ring buffer (or its access log) by trace ID.
+// -trace-out FILE captures the run as a REPLAYABLE ndjson trace: a header
+// line naming the synthetic corpus (profile + seed, regenerated on
+// replay rather than embedded), then one line per request with its
+// offset, class, method, path, body reference, expected status class and
+// the observed latency/status/X-Trace-Id. Feed the file back through
+// -replay to reproduce the run's per-class request mix exactly.
+//
+// Trace synthesis (offline, no server needed):
+//
+//	slload -record FILE [-profile tiny] [-gen-seed 1] [-rps 40]
+//	       [-duration 5s] [-load-seed 7] [-eexp 2] [-delta 0.25]
+//	       [-distinct 4] [-corpus-distinct 3] [-storm-429 25]
+//	       [-corpus replay]
+//
+// Synthesizes a deterministic mixed trace — chunked ingest PUTs, sync and
+// async sanitize, corpus-referencing sanitize, budget and stats queries,
+// and a deliberate over-budget 429 storm — Poisson-paced at -rps for
+// -duration. The same flags always produce the same trace, so a replayed
+// run can be gated against a committed per-class count baseline.
+//
+// Trace replay with SLO gates:
+//
+//	slload -replay FILE [-url http://localhost:8080] [-speedup 1]
+//	       [-n 0] [-d 0] [-slo '*:err<1%'] [-bench-out BENCH_replay.json]
+//	       [-baseline BENCH_replay.json] [-batch 5s] [-timeout 30s]
+//	       [-trace-out FILE]
+//
+// Replays the trace open-loop at its recorded timestamps (divided by
+// -speedup), -n/-d bounding the replayed section, reporting batched
+// p50/p95/p99 per request class. The run fails on any -slo violation
+// (grammar: "class:p95<250ms,err<1%;*:p99<2s"; "none" disables the
+// default '*:err<1%'), on per-class count drift against -baseline, and on
+// a trace that cannot be written out intact.
 package main
 
 import (
-	"bytes"
-	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
-	"math"
-	"net/http"
-	"net/url"
 	"os"
-	"sort"
-	"sync"
 	"time"
-
-	"dpslog"
-	"dpslog/internal/rng"
 )
 
 func main() {
-	base := flag.String("url", "http://localhost:8080", "slserve base URL")
-	rps := flag.Float64("rps", 20, "target request rate per second")
-	duration := flag.Duration("duration", 15*time.Second, "how long to send load")
-	arrivals := flag.String("arrivals", "poisson", "arrival process: uniform or poisson")
-	profile := flag.String("profile", "tiny", "synthetic corpus profile: tiny, small, paper, tiny-sharded or small-sharded")
-	genSeed := flag.Uint64("gen-seed", 1, "corpus generation seed")
-	eexp := flag.Float64("eexp", 2.0, "privacy parameter e^ε")
-	delta := flag.Float64("delta", 0.5, "privacy parameter δ")
-	objective := flag.String("objective", "size", "sanitization objective (size, frequent, diversity, ...)")
-	solver := flag.String("solver", "", "D-UMP BIP solver (diversity objectives)")
-	support := flag.Float64("support", 0.002, "frequent-pair minimum support (objective=frequent)")
-	distinct := flag.Int("distinct", 4, "rotate the sanitize seed across N values (1 = pure cache path)")
-	batch := flag.Duration("batch", 5*time.Second, "latency reporting batch window")
-	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
-	endpoint := flag.String("endpoint", "sanitize", "target endpoint: sanitize, lambda or stats")
-	loadSeed := flag.Uint64("load-seed", 7, "arrival schedule seed (poisson)")
-	corpusName := flag.String("corpus", "", "corpus-referencing mode: upload the corpus once under this name, then sanitize by reference (requires slserve -data-dir)")
-	expect429 := flag.Bool("expect-429", false, "budget-exhausted 429s are expected: count them separately and fail only if none is seen")
-	traceOut := flag.String("trace-out", "", "write one JSON line per request (time, class, latency, status, trace ID) to this file")
+	f := parseFlags()
+	switch {
+	case *f.record != "":
+		runRecord(f)
+	case *f.replayFile != "":
+		runReplay(f)
+	default:
+		runLive(f)
+	}
+}
+
+// flags is the full surface; the three modes read overlapping subsets.
+type flags struct {
+	base       *string
+	rps        *float64
+	duration   *time.Duration
+	arrivals   *string
+	profile    *string
+	genSeed    *uint64
+	eexp       *float64
+	delta      *float64
+	objective  *string
+	solver     *string
+	support    *float64
+	distinct   *int
+	batch      *time.Duration
+	timeout    *time.Duration
+	endpoint   *string
+	loadSeed   *uint64
+	corpusName *string
+	expect429  *bool
+	traceOut   *string
+
+	record         *string
+	corpusDistinct *int
+	storm429       *int
+
+	replayFile *string
+	speedup    *float64
+	n          *int
+	d          *time.Duration
+	slo        *string
+	benchOut   *string
+	baseline   *string
+}
+
+func parseFlags() *flags {
+	f := &flags{
+		base:       flag.String("url", "http://localhost:8080", "slserve base URL"),
+		rps:        flag.Float64("rps", 20, "target request rate per second (live and -record modes)"),
+		duration:   flag.Duration("duration", 15*time.Second, "how long to send (live) or synthesize (-record) load"),
+		arrivals:   flag.String("arrivals", "poisson", "arrival process: uniform or poisson (live mode)"),
+		profile:    flag.String("profile", "tiny", "synthetic corpus profile: tiny, small, paper, dense, tiny-sharded or small-sharded"),
+		genSeed:    flag.Uint64("gen-seed", 1, "corpus generation seed"),
+		eexp:       flag.Float64("eexp", 2.0, "privacy parameter e^ε"),
+		delta:      flag.Float64("delta", 0.5, "privacy parameter δ"),
+		objective:  flag.String("objective", "size", "sanitization objective (size, frequent, diversity, ...)"),
+		solver:     flag.String("solver", "", "D-UMP BIP solver (diversity objectives)"),
+		support:    flag.Float64("support", 0.002, "frequent-pair minimum support (objective=frequent)"),
+		distinct:   flag.Int("distinct", 4, "rotate the sanitize seed across N values (1 = pure cache path)"),
+		batch:      flag.Duration("batch", 5*time.Second, "latency reporting batch window"),
+		timeout:    flag.Duration("timeout", 30*time.Second, "per-request timeout"),
+		endpoint:   flag.String("endpoint", "sanitize", "target endpoint: sanitize, lambda or stats (live mode)"),
+		loadSeed:   flag.Uint64("load-seed", 7, "arrival schedule seed (poisson, -record synthesis)"),
+		corpusName: flag.String("corpus", "", "corpus-referencing mode: upload the corpus once under this name, then sanitize by reference (requires slserve -data-dir); names the stored corpus in -record mode (default replay)"),
+		expect429:  flag.Bool("expect-429", false, "budget-exhausted 429s are expected: count them separately and fail only if none is seen (live mode)"),
+		traceOut:   flag.String("trace-out", "", "capture the run as a replayable ndjson trace at this path"),
+
+		record:         flag.String("record", "", "synthesize a mixed-traffic trace to this path and exit (no server contacted)"),
+		corpusDistinct: flag.Int("corpus-distinct", 3, "-record: distinct corpus-release seeds; each spends (ln eexp, delta) of the per-corpus budget once"),
+		storm429:       flag.Int("storm-429", 25, "-record: deliberate over-budget requests appended as a burst, each expecting 429"),
+
+		replayFile: flag.String("replay", "", "replay the ndjson trace at this path against -url"),
+		speedup:    flag.Float64("speedup", 1, "-replay: timeline compression (2 = twice the recorded rate)"),
+		n:          flag.Int("n", 0, "-replay: cap the replayed requests (0 = whole trace)"),
+		d:          flag.Duration("d", 0, "-replay: cap the replayed trace time, pre-speedup (0 = whole trace)"),
+		slo:        flag.String("slo", "*:err<1%", "-replay: SLO gates, e.g. 'sanitize:p95<250ms,err<1%;*:p99<2s' ('none' disables)"),
+		benchOut:   flag.String("bench-out", "", "-replay: write the per-class BENCH_replay JSON report to this path"),
+		baseline:   flag.String("baseline", "", "-replay: committed BENCH_replay JSON whose per-class request counts this run must reproduce exactly"),
+	}
 	flag.Parse()
-
-	if *rps <= 0 || *duration <= 0 || *distinct < 1 {
-		fatal(fmt.Errorf("need -rps > 0, -duration > 0, -distinct ≥ 1"))
+	if *f.record != "" && *f.replayFile != "" {
+		fatal(fmt.Errorf("-record and -replay are mutually exclusive"))
 	}
-	if *arrivals != "uniform" && *arrivals != "poisson" {
-		fatal(fmt.Errorf("unknown arrival process %q (want uniform or poisson)", *arrivals))
-	}
-
-	corpus, err := dpslog.Generate(*profile, *genSeed)
-	if err != nil {
-		fatal(err)
-	}
-	var body bytes.Buffer
-	if _, err := dpslog.WriteTSV(&body, corpus); err != nil {
-		fatal(err)
-	}
-	payload := body.Bytes()
-
-	var target string
-	q := url.Values{}
-	var baseOpts dpslog.Options
-	if *corpusName != "" {
-		*endpoint = "corpus"
-	}
-	switch *endpoint {
-	case "sanitize":
-		q.Set("eexp", fmt.Sprint(*eexp))
-		q.Set("delta", fmt.Sprint(*delta))
-		q.Set("objective", *objective)
-		if *solver != "" {
-			q.Set("solver", *solver)
-		}
-		if *objective == "frequent" || *objective == "combined" {
-			q.Set("support", fmt.Sprint(*support))
-		}
-		target = *base + "/v1/sanitize"
-	case "lambda":
-		target = *base + "/v1/lambda"
-	case "stats":
-		target = *base + "/v1/stats"
-	case "corpus":
-		obj, err := dpslog.ParseObjective(*objective)
-		if err != nil {
-			fatal(err)
-		}
-		baseOpts = dpslog.Options{
-			Epsilon:   math.Log(*eexp),
-			Delta:     *delta,
-			Objective: obj,
-			Solver:    *solver,
-		}
-		if *objective == "frequent" || *objective == "combined" {
-			baseOpts.MinSupport = *support
-		}
-		target = *base + "/v1/corpora/" + *corpusName + "/sanitize"
-	default:
-		fatal(fmt.Errorf("unknown endpoint %q", *endpoint))
-	}
-
-	client := &http.Client{Timeout: *timeout}
-	if *endpoint == "corpus" {
-		// Upload once; every subsequent request references the corpus by
-		// name with an options-only body.
-		if err := uploadCorpus(client, *base, *corpusName, payload); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("slload: uploaded corpus %q (%d bytes) once; requests carry options only\n",
-			*corpusName, len(payload))
-	}
-
-	fmt.Printf("slload: %s profile (%d tuples, %d users) → %s at %.1f rps (%s arrivals) for %s\n",
-		*profile, corpus.Size(), corpus.NumUsers(), target, *rps, *arrivals, *duration)
-
-	var traceW io.Writer
-	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		traceW = f
-	}
-
-	results := make(chan result, 1024)
-	collectDone := make(chan summary, 1)
-	go collect(results, *batch, *expect429, traceW, collectDone)
-
-	g := rng.New(*loadSeed)
-	var wg sync.WaitGroup
-	start := time.Now()
-	deadline := start.Add(*duration)
-	next := start
-	for i := 0; ; i++ {
-		if *arrivals == "uniform" {
-			next = next.Add(time.Duration(float64(time.Second) / *rps))
-		} else {
-			// Exponential inter-arrival with rate rps.
-			next = next.Add(time.Duration(-math.Log(1-g.Float64()) / *rps * float64(time.Second)))
-		}
-		if next.After(deadline) {
-			break
-		}
-		time.Sleep(time.Until(next))
-		wg.Add(1)
-		go func(seq int) {
-			defer wg.Done()
-			results <- fire(client, *endpoint, target, q, payload, baseOpts, *eexp, *delta, seq%*distinct+1)
-		}(i)
-	}
-	wg.Wait()
-	close(results)
-	sum := <-collectDone
-
-	elapsed := time.Since(start).Seconds()
-	fail := sum.sent - sum.ok - sum.exhausted
-	fmt.Printf("slload: total sent=%d ok=%d fail=%d budget_exhausted=%d achieved=%.1f rps  %s\n",
-		sum.sent, sum.ok, fail, sum.exhausted, float64(sum.sent)/elapsed, percentiles(sum.latencies))
-	if fail > 0 {
-		os.Exit(1)
-	}
-	if *expect429 && sum.exhausted == 0 {
-		fmt.Fprintln(os.Stderr, "slload: -expect-429 set but the budget never exhausted")
-		os.Exit(1)
-	}
+	return f
 }
-
-// uploadCorpus PUTs the TSV corpus under name, the once-per-run step of
-// the corpus-referencing mode.
-func uploadCorpus(client *http.Client, base, name string, tsv []byte) error {
-	req, err := http.NewRequest(http.MethodPut, base+"/v1/corpora/"+name, bytes.NewReader(tsv))
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", "text/tab-separated-values")
-	resp, err := client.Do(req)
-	if err != nil {
-		return fmt.Errorf("upload corpus: %w", err)
-	}
-	defer resp.Body.Close()
-	body, _ := io.ReadAll(resp.Body)
-	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
-		return fmt.Errorf("upload corpus: status %d: %s", resp.StatusCode, body)
-	}
-	return nil
-}
-
-type result struct {
-	start   time.Time
-	class   string
-	latency time.Duration
-	status  int
-	traceID string
-	err     error
-}
-
-type summary struct {
-	sent, ok, exhausted int
-	latencies           []time.Duration
-}
-
-// fire issues one request and classifies the outcome. Sanitize and stats
-// send the TSV corpus; lambda sends a small JSON envelope with the corpus
-// inlined as TSV; corpus mode sends an options-only envelope referencing
-// the uploaded corpus.
-func fire(client *http.Client, endpoint, target string, q url.Values, payload []byte, baseOpts dpslog.Options, eexp, delta float64, seed int) result {
-	var (
-		req *http.Request
-		err error
-	)
-	switch endpoint {
-	case "lambda":
-		env := fmt.Sprintf(`{"eexp":%g,"delta":%g,"tsv":%q}`, eexp, delta, payload)
-		req, err = http.NewRequest("POST", target, bytes.NewReader([]byte(env)))
-		if req != nil {
-			req.Header.Set("Content-Type", "application/json")
-		}
-	case "corpus":
-		opts := baseOpts
-		opts.Seed = uint64(seed)
-		env, merr := json.Marshal(map[string]dpslog.Options{"options": opts})
-		if merr != nil {
-			return result{err: merr}
-		}
-		req, err = http.NewRequest("POST", target, bytes.NewReader(env))
-		if req != nil {
-			req.Header.Set("Content-Type", "application/json")
-		}
-	default:
-		qq := make(url.Values, len(q)+1)
-		for k, v := range q {
-			qq[k] = v
-		}
-		if endpoint == "sanitize" {
-			qq.Set("seed", fmt.Sprint(seed))
-		}
-		u := target
-		if len(qq) > 0 {
-			u += "?" + qq.Encode()
-		}
-		req, err = http.NewRequest("POST", u, bytes.NewReader(payload))
-		if req != nil {
-			req.Header.Set("Content-Type", "text/tab-separated-values")
-		}
-	}
-	if err != nil {
-		return result{class: endpoint, err: err}
-	}
-	start := time.Now()
-	resp, err := client.Do(req)
-	if err != nil {
-		return result{start: start, class: endpoint, err: err}
-	}
-	defer resp.Body.Close()
-	r := result{start: start, class: endpoint, traceID: resp.Header.Get("X-Trace-Id")}
-	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
-		r.err = err
-		return r
-	}
-	r.latency = time.Since(start)
-	r.status = resp.StatusCode
-	if resp.StatusCode != http.StatusOK {
-		r.err = fmt.Errorf("status %d", resp.StatusCode)
-	}
-	return r
-}
-
-// traceRecord is one -trace-out JSON line.
-type traceRecord struct {
-	Time      string  `json:"time"`
-	Class     string  `json:"class"`
-	LatencyMS float64 `json:"latency_ms"`
-	Status    int     `json:"status,omitempty"`
-	TraceID   string  `json:"trace_id,omitempty"`
-	Error     string  `json:"error,omitempty"`
-}
-
-// collect aggregates results, printing one line per batch window and
-// returning the whole-run summary when the results channel closes. With
-// expect429, budget-exhausted 429 responses are an expected outcome class
-// rather than failures. collect is the sole writer of the -trace-out
-// stream, so concurrent request goroutines never interleave lines.
-func collect(results <-chan result, window time.Duration, expect429 bool, traceW io.Writer, done chan<- summary) {
-	var sum summary
-	var batch []time.Duration
-	batchStart := time.Now()
-	batchFail, batch429 := 0, 0
-	tick := time.NewTicker(window)
-	defer tick.Stop()
-	flush := func() {
-		if len(batch) == 0 && batchFail == 0 && batch429 == 0 {
-			return
-		}
-		fmt.Printf("slload: batch %5.1fs sent=%d ok=%d fail=%d budget_exhausted=%d  %s\n",
-			time.Since(batchStart).Seconds(), len(batch)+batchFail+batch429, len(batch), batchFail, batch429, percentiles(batch))
-		batch, batchFail, batch429 = nil, 0, 0
-		batchStart = time.Now()
-	}
-	for {
-		select {
-		case r, ok := <-results:
-			if !ok {
-				flush()
-				done <- sum
-				return
-			}
-			if traceW != nil {
-				rec := traceRecord{
-					Time:      r.start.UTC().Format(time.RFC3339Nano),
-					Class:     r.class,
-					LatencyMS: float64(r.latency.Microseconds()) / 1000,
-					Status:    r.status,
-					TraceID:   r.traceID,
-				}
-				if r.err != nil {
-					rec.Error = r.err.Error()
-				}
-				if line, err := json.Marshal(rec); err == nil {
-					fmt.Fprintf(traceW, "%s\n", line)
-				}
-			}
-			sum.sent++
-			if expect429 && r.status == http.StatusTooManyRequests {
-				sum.exhausted++
-				batch429++
-				continue
-			}
-			if r.err != nil {
-				fmt.Fprintf(os.Stderr, "slload: request failed: %v\n", r.err)
-				batchFail++
-				continue
-			}
-			sum.ok++
-			sum.latencies = append(sum.latencies, r.latency)
-			batch = append(batch, r.latency)
-		case <-tick.C:
-			flush()
-		}
-	}
-}
-
-// percentiles renders p50/p95/p99/max of the given latencies.
-func percentiles(lat []time.Duration) string {
-	if len(lat) == 0 {
-		return "p50=- p95=- p99=- max=-"
-	}
-	s := append([]time.Duration(nil), lat...)
-	sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
-	pick := func(p float64) time.Duration {
-		i := int(math.Ceil(p*float64(len(s)))) - 1
-		if i < 0 {
-			i = 0
-		}
-		return s[i]
-	}
-	return fmt.Sprintf("p50=%s p95=%s p99=%s max=%s",
-		round(pick(0.50)), round(pick(0.95)), round(pick(0.99)), round(s[len(s)-1]))
-}
-
-func round(d time.Duration) time.Duration { return d.Round(10 * time.Microsecond) }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "slload:", err)

@@ -1,0 +1,54 @@
+package main
+
+// The -record mode: synthesize a deterministic mixed-traffic trace from a
+// gen profile, offline.
+
+import (
+	"fmt"
+	"sort"
+
+	"dpslog/internal/replay"
+)
+
+func runRecord(f *flags) {
+	cfg := replay.SynthConfig{
+		Profile:        *f.profile,
+		GenSeed:        *f.genSeed,
+		RPS:            *f.rps,
+		Duration:       *f.duration,
+		Seed:           *f.loadSeed,
+		EExp:           *f.eexp,
+		Delta:          *f.delta,
+		Distinct:       *f.distinct,
+		CorpusDistinct: *f.corpusDistinct,
+		Storm429:       *f.storm429,
+		CorpusName:     *f.corpusName,
+		CreatedBy:      "slload -record",
+		Objective:      *f.objective,
+	}
+	tr, err := replay.Synthesize(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if err := tr.WriteFile(*f.record); err != nil {
+		fatal(err)
+	}
+	counts := tr.ClassCounts()
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	fmt.Printf("slload: recorded %d requests over %s to %s\n", total, *f.duration, *f.record)
+	for _, class := range sortedCountKeys(counts) {
+		fmt.Printf("slload:   class %-16s %d\n", class, counts[class])
+	}
+}
+
+func sortedCountKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,99 @@
+package main
+
+// The -replay mode: drive a recorded trace against slserve and gate the
+// outcome on per-class SLOs and a committed count baseline.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"dpslog/internal/loadgen"
+	"dpslog/internal/replay"
+)
+
+func runReplay(f *flags) {
+	tr, err := replay.ReadFile(*f.replayFile)
+	if err != nil {
+		fatal(err)
+	}
+	var slos []replay.SLO
+	if *f.slo != "" && *f.slo != "none" {
+		slos, err = replay.ParseSLOs(*f.slo)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	var capture *loadgen.TraceWriter
+	if *f.traceOut != "" {
+		capture, err = loadgen.CreateTrace(*f.traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		h := tr.Header
+		h.Base = *f.base
+		h.CreatedBy = "slload -replay"
+		capture.Write(h)
+	}
+
+	counts := tr.ClassCounts()
+	fmt.Printf("slload: replaying %s (%d requests, %d classes) against %s at %gx\n",
+		*f.replayFile, len(tr.Records), len(counts), *f.base, *f.speedup)
+
+	sum, elapsed, err := replay.Run(tr, replay.Config{
+		BaseURL: *f.base,
+		Client:  replay.NewClient(*f.timeout),
+		Speedup: *f.speedup,
+		N:       *f.n,
+		D:       *f.d,
+		Window:  *f.batch,
+		Capture: capture,
+		Prefix:  "slload",
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	for _, class := range sum.ClassNames() {
+		st := sum.Classes[class]
+		fmt.Printf("slload: class %-16s sent=%d ok=%d fail=%d budget_exhausted=%d  %s\n",
+			class, st.Sent, st.OK, st.Errors(), st.Exhausted, loadgen.FormatLatencies(st.Latencies))
+	}
+	fmt.Printf("slload: total sent=%d ok=%d fail=%d budget_exhausted=%d achieved=%.1f rps in %s\n",
+		sum.Sent, sum.OK, sum.Errors(), sum.Exhausted,
+		float64(sum.Sent)/max(elapsed.Seconds(), 1e-9), elapsed.Round(time.Millisecond))
+
+	violations := replay.Evaluate(slos, sum.Classes)
+	// The basename keeps the committed baseline machine-independent.
+	report := replay.BuildReport(filepath.Base(*f.replayFile), *f.speedup, sum, elapsed, violations)
+	exit := 0
+	if *f.benchOut != "" {
+		if err := report.WriteFile(*f.benchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "slload: writing %s: %v\n", *f.benchOut, err)
+			exit = 1
+		}
+	}
+	for _, v := range violations {
+		fmt.Fprintf(os.Stderr, "slload: SLO violation: %s\n", v)
+		exit = 1
+	}
+	if len(violations) == 0 && len(slos) > 0 {
+		fmt.Printf("slload: all SLOs met (%s)\n", *f.slo)
+	}
+	if *f.baseline != "" {
+		if err := report.CheckBaseline(*f.baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "slload: %v\n", err)
+			exit = 1
+		} else {
+			fmt.Printf("slload: per-class counts match baseline %s\n", *f.baseline)
+		}
+	}
+	if capture != nil {
+		if err := capture.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "slload: writing %s: %v\n", *f.traceOut, err)
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}

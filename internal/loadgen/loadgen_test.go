@@ -1,0 +1,227 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPercentileIndexMath(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	seq := func(n int) []time.Duration {
+		s := make([]time.Duration, n)
+		for i := range s {
+			s[i] = ms(i + 1)
+		}
+		return s
+	}
+	cases := []struct {
+		n    int
+		p    float64
+		want time.Duration
+	}{
+		{0, 0.50, 0},
+		{1, 0.50, ms(1)},
+		{1, 0.99, ms(1)},
+		{2, 0.50, ms(1)}, // ceil(0.5·2)−1 = 0
+		{2, 0.95, ms(2)}, // ceil(1.9)−1 = 1
+		{2, 0.99, ms(2)}, // ceil(1.98)−1 = 1
+		{100, 0.50, ms(50)},
+		{100, 0.95, ms(95)},
+		{100, 0.99, ms(99)},
+		{100, 1.00, ms(100)},
+		{10, 0.99, ms(10)}, // ceil(9.9)−1 = 9
+	}
+	for _, c := range cases {
+		if got := Percentile(seq(c.n), c.p); got != c.want {
+			t.Errorf("Percentile(n=%d, p=%g) = %v, want %v", c.n, c.p, got, c.want)
+		}
+	}
+	st := ComputeStats(seq(100))
+	if st.P50 != ms(50) || st.P95 != ms(95) || st.P99 != ms(99) || st.Max != ms(100) || st.Count != 100 {
+		t.Errorf("ComputeStats = %+v", st)
+	}
+	// ComputeStats must not mutate its input.
+	unsorted := []time.Duration{ms(3), ms(1), ms(2)}
+	ComputeStats(unsorted)
+	if unsorted[0] != ms(3) {
+		t.Error("ComputeStats sorted the caller's slice")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		name string
+		r    Result
+		want Outcome
+	}{
+		{"plain 200", Result{Status: 200}, OutcomeOK},
+		{"201 in default 2xx", Result{Status: 201}, OutcomeOK},
+		{"unexpected 500", Result{Status: 500}, OutcomeMismatch},
+		{"unexpected 429", Result{Status: 429}, OutcomeMismatch},
+		{"expected 429", Result{Status: 429, Expect: "2xx,429"}, OutcomeExhausted},
+		{"ok under expect-429", Result{Status: 200, Expect: "2xx,429"}, OutcomeOK},
+		{"503 not in 2xx,429", Result{Status: 503, Expect: "2xx,429"}, OutcomeMismatch},
+		{"storm wants 429 and gets it", Result{Status: 429, Expect: "429"}, OutcomeExhausted},
+		{"storm wants 429 but got 200", Result{Status: 200, Expect: "429"}, OutcomeMismatch},
+		{"expected 503 range", Result{Status: 503, Expect: "5xx"}, OutcomeOK},
+		{"expected exact 503", Result{Status: 503, Expect: "503"}, OutcomeOK},
+		{"transport error", Result{Err: errors.New("dial refused")}, OutcomeFail},
+		{"body error with 200", Result{Status: 200, Err: errors.New("read reset")}, OutcomeFail},
+	}
+	for _, c := range cases {
+		if got := Classify(c.r); got != c.want {
+			t.Errorf("%s: Classify = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestDoStampsLatencyOnErrorPaths is the regression test for the
+// latency_ms:0 bug: transport errors must still record elapsed time.
+func TestDoStampsLatencyOnErrorPaths(t *testing.T) {
+	// A listener that is immediately closed: connection refused.
+	ts := httptest.NewServer(http.NotFoundHandler())
+	dead := ts.URL
+	ts.Close()
+	client := &http.Client{Timeout: time.Second}
+	req, err := http.NewRequest("GET", dead+"/x", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Do(client, req, "probe", "")
+	if r.Err == nil {
+		t.Fatal("expected a transport error from a closed listener")
+	}
+	if r.Latency <= 0 {
+		t.Fatalf("transport-error latency = %v, want > 0", r.Latency)
+	}
+	if Classify(r) != OutcomeFail {
+		t.Fatalf("Classify = %v, want OutcomeFail", Classify(r))
+	}
+
+	// A server that lies about Content-Length: the body read fails after
+	// a 200 status; the latency must still be stamped and the result must
+	// classify as a failure, not a success.
+	lying := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Length", "1000")
+		w.WriteHeader(http.StatusOK)
+		w.(http.Flusher).Flush()
+		conn, _, _ := w.(http.Hijacker).Hijack()
+		conn.Close()
+	}))
+	defer lying.Close()
+	req2, _ := http.NewRequest("GET", lying.URL, nil)
+	r2 := Do(client, req2, "probe", "")
+	if r2.Err == nil {
+		t.Fatal("expected a body-read error")
+	}
+	if r2.Latency <= 0 {
+		t.Fatalf("body-error latency = %v, want > 0", r2.Latency)
+	}
+	if Classify(r2) != OutcomeFail {
+		t.Fatalf("Classify = %v, want OutcomeFail", Classify(r2))
+	}
+}
+
+func TestLambdaEnvelopeValidJSONForNonASCII(t *testing.T) {
+	// The historical %q-built envelope emitted \xNN escapes for these
+	// bytes — invalid JSON. json.Marshal must round-trip them exactly.
+	tsv := []byte("u1\tcafé naïve\thttp://ex.com/日本語\t3\n")
+	env, err := LambdaEnvelope(2, 0.5, tsv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(env) {
+		t.Fatalf("envelope is not valid JSON: %s", env)
+	}
+	var got struct {
+		EExp  float64 `json:"eexp"`
+		Delta float64 `json:"delta"`
+		TSV   string  `json:"tsv"`
+	}
+	if err := json.Unmarshal(env, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.TSV != string(tsv) {
+		t.Fatalf("tsv round-trip: got %q want %q", got.TSV, tsv)
+	}
+	if got.EExp != 2 || got.Delta != 0.5 {
+		t.Fatalf("parameters drifted: %+v", got)
+	}
+	// And the old formatting really was broken — keep the contrast pinned
+	// so nobody "simplifies" back to it.
+	old := fmt.Sprintf(`{"eexp":%g,"delta":%g,"tsv":%q}`, 2.0, 0.5, tsv)
+	if json.Valid([]byte(old)) {
+		t.Skip("fmt quoting became JSON-safe; the guard is obsolete")
+	}
+}
+
+func TestTraceWriterRoundTripAndClose(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/trace.ndjson"
+	tw, err := CreateTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type rec struct {
+		I int    `json:"i"`
+		S string `json:"s"`
+	}
+	const n = 100
+	for i := 0; i < n; i++ {
+		tw.Write(rec{I: i, S: strings.Repeat("x", 50)})
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := readLines(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != n {
+		t.Fatalf("trace has %d lines, want %d (buffer not flushed?)", len(raw), n)
+	}
+	for i, line := range raw {
+		var r rec
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if r.I != i {
+			t.Fatalf("line %d holds record %d — order lost", i, r.I)
+		}
+	}
+}
+
+func TestTraceWriterSurfacesWriteErrors(t *testing.T) {
+	tw := NewTraceWriter(failingWriter{})
+	for i := 0; i < 10000; i++ { // overflow the bufio buffer
+		tw.Write(map[string]int{"i": i})
+	}
+	if err := tw.Close(); err == nil {
+		t.Fatal("Close silently swallowed the write error")
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+func readLines(path string) ([]string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var lines []string
+	for _, l := range strings.Split(strings.TrimSuffix(string(raw), "\n"), "\n") {
+		if l != "" {
+			lines = append(lines, l)
+		}
+	}
+	return lines, nil
+}

@@ -1,0 +1,57 @@
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Percentile returns the nearest-rank percentile (index ⌈p·n⌉−1) of an
+// ascending-sorted latency slice; zero for an empty slice.
+func Percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// LatencyStats is the percentile summary of one latency population.
+type LatencyStats struct {
+	Count              int
+	P50, P95, P99, Max time.Duration
+}
+
+// ComputeStats copies, sorts and summarizes the latencies.
+func ComputeStats(lat []time.Duration) LatencyStats {
+	if len(lat) == 0 {
+		return LatencyStats{}
+	}
+	s := append([]time.Duration(nil), lat...)
+	sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+	return LatencyStats{
+		Count: len(s),
+		P50:   Percentile(s, 0.50),
+		P95:   Percentile(s, 0.95),
+		P99:   Percentile(s, 0.99),
+		Max:   s[len(s)-1],
+	}
+}
+
+// FormatLatencies renders the historical slload percentile line.
+func FormatLatencies(lat []time.Duration) string {
+	if len(lat) == 0 {
+		return "p50=- p95=- p99=- max=-"
+	}
+	st := ComputeStats(lat)
+	round := func(d time.Duration) time.Duration { return d.Round(10 * time.Microsecond) }
+	return fmt.Sprintf("p50=%s p95=%s p99=%s max=%s",
+		round(st.P50), round(st.P95), round(st.P99), round(st.Max))
+}

@@ -1,0 +1,92 @@
+package loadgen
+
+import (
+	"math"
+	"time"
+
+	"dpslog/internal/rng"
+)
+
+// A Schedule yields successive arrival offsets from the run start, in
+// non-decreasing order; ok false ends the schedule. Synthetic schedules
+// (uniform, Poisson) are infinite and rely on Limits to stop; a recorded
+// timestamp schedule ends with its trace.
+type Schedule func() (offset time.Duration, ok bool)
+
+// UniformSchedule arrives every 1/rps, first arrival one period in — the
+// historical slload spacing.
+func UniformSchedule(rps float64) Schedule {
+	step := time.Duration(float64(time.Second) / rps)
+	var next time.Duration
+	return func() (time.Duration, bool) {
+		next += step
+		return next, true
+	}
+}
+
+// PoissonSchedule arrives with exponential inter-arrival times at the
+// given rate, deterministically in the seed.
+func PoissonSchedule(rps float64, seed uint64) Schedule {
+	g := rng.New(seed)
+	var next time.Duration
+	return func() (time.Duration, bool) {
+		next += time.Duration(-math.Log(1-g.Float64()) / rps * float64(time.Second))
+		return next, true
+	}
+}
+
+// TimestampSchedule replays recorded offsets, compressed (or stretched)
+// by the speedup factor: speedup 2 fires a trace in half its recorded
+// wall time at twice its recorded rate. speedup ≤ 0 means 1.
+func TimestampSchedule(offsets []time.Duration, speedup float64) Schedule {
+	if speedup <= 0 {
+		speedup = 1
+	}
+	i := 0
+	return func() (time.Duration, bool) {
+		if i >= len(offsets) {
+			return 0, false
+		}
+		off := time.Duration(float64(offsets[i]) / speedup)
+		i++
+		return off, true
+	}
+}
+
+// Limits bounds a paced run: N caps the number of arrivals, D the
+// schedule offset (both 0 = unlimited). For a replayed trace, D is in
+// recorded trace time, before the speedup compression.
+type Limits struct {
+	N int
+	D time.Duration
+}
+
+// Pace fires fn(i) at each schedule offset, open-loop: fn is expected to
+// dispatch asynchronously, so one slow request never delays later
+// arrivals — exactly the arrival process the schedule prescribes.
+// Returns the number of arrivals fired. rawOffset, when non-nil, maps an
+// offset back to its pre-speedup value for the D limit (the identity for
+// synthetic schedules).
+func Pace(s Schedule, lim Limits, rawOffset func(time.Duration) time.Duration, fn func(i int)) int {
+	start := time.Now()
+	for i := 0; ; i++ {
+		if lim.N > 0 && i >= lim.N {
+			return i
+		}
+		off, ok := s()
+		if !ok {
+			return i
+		}
+		if lim.D > 0 {
+			raw := off
+			if rawOffset != nil {
+				raw = rawOffset(off)
+			}
+			if raw > lim.D {
+				return i
+			}
+		}
+		time.Sleep(time.Until(start.Add(off)))
+		fn(i)
+	}
+}

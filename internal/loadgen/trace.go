@@ -1,0 +1,68 @@
+package loadgen
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+)
+
+// TraceWriter is a buffered ndjson sink. The historical slload wrote its
+// -trace-out stream through an unbuffered *os.File closed via a bare
+// defer — every record paid a write(2) and a full buffer at exit was
+// silently truncated. The writer buffers, remembers the first error, and
+// Close flushes and reports it so a truncated trace fails the run.
+type TraceWriter struct {
+	bw     *bufio.Writer
+	closer io.Closer // nil when the underlying writer needs no close
+	err    error
+}
+
+// NewTraceWriter wraps w; if w is an io.Closer, Close closes it after the
+// flush.
+func NewTraceWriter(w io.Writer) *TraceWriter {
+	t := &TraceWriter{bw: bufio.NewWriter(w)}
+	if c, ok := w.(io.Closer); ok {
+		t.closer = c
+	}
+	return t
+}
+
+// CreateTrace opens path for writing and returns the buffered writer.
+func CreateTrace(path string) (*TraceWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return NewTraceWriter(f), nil
+}
+
+// Write marshals v and appends it as one line. Errors stick: the first
+// one is what Close reports.
+func (t *TraceWriter) Write(v any) {
+	if t.err != nil {
+		return
+	}
+	line, err := json.Marshal(v)
+	if err != nil {
+		t.err = err
+		return
+	}
+	if _, err := t.bw.Write(append(line, '\n')); err != nil {
+		t.err = err
+	}
+}
+
+// Close flushes the buffer and closes the underlying file, returning the
+// first error seen anywhere in the stream's life.
+func (t *TraceWriter) Close() error {
+	if err := t.bw.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+	if t.closer != nil {
+		if err := t.closer.Close(); err != nil && t.err == nil {
+			t.err = err
+		}
+	}
+	return t.err
+}

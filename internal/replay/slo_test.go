@@ -1,0 +1,102 @@
+package replay
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dpslog/internal/loadgen"
+)
+
+func TestParseSLOs(t *testing.T) {
+	slos, err := ParseSLOs("sanitize:p95<250ms,err<1%;*:p99<2s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slos) != 2 {
+		t.Fatalf("got %d SLOs, want 2", len(slos))
+	}
+	if s := slos[0]; s.Class != "sanitize" || s.MaxP95 != 250*time.Millisecond || s.MaxErrRate != 0.01 || s.MaxP50 != 0 || s.MaxP99 != 0 {
+		t.Fatalf("first SLO: %+v", s)
+	}
+	if s := slos[1]; s.Class != "*" || s.MaxP99 != 2*time.Second || s.MaxErrRate != -1 {
+		t.Fatalf("second SLO: %+v", s)
+	}
+
+	// "1%" and "0.01" are the same ceiling.
+	pct, _ := ParseSLOs("a:err<1%")
+	frac, _ := ParseSLOs("a:err<0.01")
+	if pct[0].MaxErrRate != frac[0].MaxErrRate {
+		t.Fatalf("percent %v != fraction %v", pct[0].MaxErrRate, frac[0].MaxErrRate)
+	}
+
+	for _, bad := range []string{
+		"no-colon",
+		":p95<1s",
+		"a:p95",
+		"a:p95<not-a-duration",
+		"a:err<1x",
+		"a:p42<1s",
+	} {
+		if _, err := ParseSLOs(bad); err == nil {
+			t.Errorf("ParseSLOs accepted %q", bad)
+		}
+	}
+}
+
+func classStats(lat []time.Duration, fail int) *loadgen.ClassStats {
+	st := &loadgen.ClassStats{Sent: len(lat) + fail, OK: len(lat), Fail: fail, Latencies: lat}
+	return st
+}
+
+func TestEvaluate(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	classes := map[string]*loadgen.ClassStats{
+		"fast":  classStats([]time.Duration{ms(1), ms(2), ms(3)}, 0),
+		"slow":  classStats([]time.Duration{ms(100), ms(200), ms(300)}, 0),
+		"flaky": classStats([]time.Duration{ms(1)}, 1), // 50% errors
+		"dead":  classStats(nil, 4),                    // no expected responses at all
+	}
+
+	// All gates met.
+	if v := Evaluate([]SLO{{Class: "fast", MaxP95: ms(10), MaxErrRate: 0.5}}, classes); len(v) != 0 {
+		t.Fatalf("unexpected violations: %v", v)
+	}
+	// Latency cap exceeded.
+	v := Evaluate([]SLO{{Class: "slow", MaxP95: ms(10), MaxErrRate: -1}}, classes)
+	if len(v) != 1 || v[0].Metric != "p95" || v[0].Class != "slow" {
+		t.Fatalf("slow p95 violations: %v", v)
+	}
+	// Error rate exceeded.
+	v = Evaluate([]SLO{{Class: "flaky", MaxErrRate: 0.01}}, classes)
+	if len(v) != 1 || v[0].Metric != "err" {
+		t.Fatalf("flaky err violations: %v", v)
+	}
+	// A latency SLO over a class with no successful responses must violate,
+	// not silently pass on an empty percentile set.
+	v = Evaluate([]SLO{{Class: "dead", MaxP50: ms(10), MaxErrRate: -1}}, classes)
+	if len(v) != 1 || !strings.Contains(v[0].Actual, "no expected responses") {
+		t.Fatalf("dead-class violations: %v", v)
+	}
+	// A gated class that never appeared is a presence violation.
+	v = Evaluate([]SLO{{Class: "missing", MaxP50: ms(10), MaxErrRate: -1}}, classes)
+	if len(v) != 1 || v[0].Metric != "presence" {
+		t.Fatalf("missing-class violations: %v", v)
+	}
+	// "*" fans out over every observed class. flaky's p99 is exactly 1ms —
+	// equal to the limit, not over it — so three of the four classes violate.
+	v = Evaluate([]SLO{{Class: "*", MaxP99: ms(1), MaxErrRate: -1}}, classes)
+	if len(v) != 3 {
+		t.Fatalf("wildcard p99<1ms: got %d violations, want 3: %v", len(v), v)
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Class: "sanitize", Metric: "p95", Limit: "250ms", Actual: "412ms"}
+	s := v.String()
+	for _, want := range []string{"sanitize", "p95", "250ms", "412ms"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("violation %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package replay
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/url"
+	"time"
+
+	"dpslog"
+	"dpslog/internal/rng"
+)
+
+// SynthConfig parameterizes the -record trace synthesizer. The output is
+// deterministic in (Profile, GenSeed, Seed, RPS, Duration, mix knobs) —
+// two machines given the same config synthesize byte-identical traces,
+// which is what lets CI gate a replayed run against a committed per-class
+// count baseline.
+type SynthConfig struct {
+	// Profile and GenSeed name the synthetic corpus every payload-bearing
+	// request carries (or references once uploaded).
+	Profile string
+	GenSeed uint64
+	// RPS and Duration shape the Poisson arrival process of the mixed
+	// section; Seed drives it and the class mix.
+	RPS      float64
+	Duration time.Duration
+	Seed     uint64
+	// EExp and Delta are the privacy parameters of sanitize requests.
+	// Corpus-referencing releases spend (ln EExp, Delta) of the server's
+	// per-corpus budget per distinct seed; with CorpusDistinct distinct
+	// seeds the trace stays replayable as long as
+	// CorpusDistinct·(ln EExp, Delta) fits the budget — repeats of a seed
+	// are idempotent releases and charge nothing.
+	EExp, Delta float64
+	Objective   string
+	// Distinct rotates stateless sanitize seeds (plan-cache mix);
+	// CorpusDistinct bounds the distinct corpus-release seeds (budget
+	// spend). Defaults 4 and 3.
+	Distinct, CorpusDistinct int
+	// Storm429 appends a deliberate over-budget burst: requests whose ε
+	// alone exceeds any sane corpus budget, each expecting a 429. Fired
+	// at 2ms spacing right after the mixed section.
+	Storm429 int
+	// CorpusName is the stored corpus the referencing classes use
+	// (default "replay").
+	CorpusName string
+	// CreatedBy labels the header.
+	CreatedBy string
+}
+
+// The mixed-traffic classes and their weights: mostly solves (stateless
+// and corpus-referencing, sync and async), a steady trickle of corpus
+// re-uploads, and cheap budget/stats probes.
+var synthMix = []struct {
+	class  string
+	weight float64
+}{
+	{"sanitize", 0.30},
+	{"corpus_sanitize", 0.25},
+	{"sanitize_async", 0.10},
+	{"ingest_put", 0.05},
+	{"budget", 0.15},
+	{"stats", 0.15},
+}
+
+// Synthesize derives a mixed-scenario trace from a gen profile: one
+// setup upload of the corpus, a Poisson-paced mixed section, and an
+// optional deliberate 429 storm.
+func Synthesize(cfg SynthConfig) (*Trace, error) {
+	if cfg.Profile == "" {
+		cfg.Profile = "tiny"
+	}
+	if cfg.GenSeed == 0 {
+		cfg.GenSeed = 1
+	}
+	if cfg.RPS <= 0 || cfg.Duration <= 0 {
+		return nil, fmt.Errorf("replay: synthesize needs RPS > 0 and Duration > 0")
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 7
+	}
+	if cfg.EExp == 0 {
+		cfg.EExp = 2
+	}
+	if cfg.Delta == 0 {
+		cfg.Delta = 0.25
+	}
+	if cfg.Objective == "" {
+		cfg.Objective = "output-size"
+	}
+	if cfg.Distinct <= 0 {
+		cfg.Distinct = 4
+	}
+	if cfg.CorpusDistinct <= 0 {
+		cfg.CorpusDistinct = 3
+	}
+	if cfg.CorpusName == "" {
+		cfg.CorpusName = "replay"
+	}
+	if _, err := dpslog.Generate(cfg.Profile, cfg.GenSeed); err != nil {
+		return nil, err
+	}
+	obj, err := dpslog.ParseObjective(cfg.Objective)
+	if err != nil {
+		return nil, err
+	}
+
+	tr := &Trace{Header: Header{
+		V:         Version,
+		Kind:      "header",
+		CreatedBy: cfg.CreatedBy,
+		Payloads:  map[string]Payload{"corpus": {Profile: cfg.Profile, Seed: cfg.GenSeed}},
+	}}
+
+	// Setup: the corpus every referencing class depends on must exist
+	// before the open-loop section starts — a timed upload could lose the
+	// race against the first corpus_sanitize at high speedup.
+	tr.Records = append(tr.Records, Record{
+		Class:       "setup",
+		Setup:       true,
+		Method:      "PUT",
+		Path:        "/v1/corpora/" + cfg.CorpusName,
+		ContentType: "text/tab-separated-values",
+		BodyRef:     "corpus",
+	})
+
+	sanitizeQuery := func(seed int) string {
+		q := url.Values{}
+		q.Set("eexp", fmt.Sprint(cfg.EExp))
+		q.Set("delta", fmt.Sprint(cfg.Delta))
+		q.Set("objective", cfg.Objective)
+		q.Set("seed", fmt.Sprint(seed))
+		return q.Encode()
+	}
+	corpusBody := func(seed uint64, epsilon, delta float64) string {
+		opts := dpslog.Options{Epsilon: epsilon, Delta: delta, Objective: obj, Seed: seed}
+		env, _ := json.Marshal(struct {
+			Options dpslog.Options `json:"options"`
+		}{opts})
+		return string(env)
+	}
+
+	g := rng.New(cfg.Seed)
+	var t time.Duration
+	for i := 0; ; i++ {
+		t += time.Duration(-math.Log(1-g.Float64()) / cfg.RPS * float64(time.Second))
+		if t > cfg.Duration {
+			break
+		}
+		rec := Record{TMS: float64(t) / float64(time.Millisecond)}
+		x := g.Float64()
+		var class string
+		for _, m := range synthMix {
+			if x < m.weight {
+				class = m.class
+				break
+			}
+			x -= m.weight
+		}
+		if class == "" {
+			class = synthMix[len(synthMix)-1].class
+		}
+		rec.Class = class
+		switch class {
+		case "sanitize":
+			rec.Method = "POST"
+			rec.Path = "/v1/sanitize?" + sanitizeQuery(i%cfg.Distinct+1)
+			rec.ContentType = "text/tab-separated-values"
+			rec.BodyRef = "corpus"
+		case "sanitize_async":
+			rec.Method = "POST"
+			rec.Path = "/v1/jobs?" + sanitizeQuery(i%cfg.Distinct+1)
+			rec.ContentType = "text/tab-separated-values"
+			rec.BodyRef = "corpus"
+		case "corpus_sanitize":
+			rec.Method = "POST"
+			rec.Path = "/v1/corpora/" + cfg.CorpusName + "/sanitize"
+			rec.ContentType = "application/json"
+			rec.Body = corpusBody(uint64(i%cfg.CorpusDistinct+1), math.Log(cfg.EExp), cfg.Delta)
+		case "ingest_put":
+			rec.Method = "PUT"
+			rec.Path = "/v1/corpora/" + cfg.CorpusName
+			rec.ContentType = "text/tab-separated-values"
+			rec.BodyRef = "corpus"
+		case "budget":
+			rec.Method = "GET"
+			rec.Path = "/v1/corpora/" + cfg.CorpusName + "/budget"
+		case "stats":
+			rec.Method = "POST"
+			rec.Path = "/v1/stats"
+			rec.ContentType = "text/tab-separated-values"
+			rec.BodyRef = "corpus"
+		}
+		tr.Records = append(tr.Records, rec)
+	}
+
+	// The deliberate 429 storm: ε = 1000 nats exceeds any plausible
+	// per-corpus budget on its own, so the server's pre-solve budget check
+	// refuses every one with a structured 429 — deterministically,
+	// whatever the prior spend.
+	for i := 0; i < cfg.Storm429; i++ {
+		tr.Records = append(tr.Records, Record{
+			TMS:         float64(cfg.Duration)/float64(time.Millisecond) + float64(i)*2,
+			Class:       "storm_429",
+			Method:      "POST",
+			Path:        "/v1/corpora/" + cfg.CorpusName + "/sanitize",
+			ContentType: "application/json",
+			Body:        corpusBody(uint64(1000+i), 1000, cfg.Delta),
+			Expect:      "429",
+		})
+	}
+	return tr, nil
+}

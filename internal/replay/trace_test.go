@@ -1,0 +1,204 @@
+package replay
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	tr := &Trace{
+		Header: Header{
+			Kind:      "header",
+			Base:      "http://localhost:8080",
+			CreatedBy: "test",
+			Payloads:  map[string]Payload{"corpus": {Profile: "tiny", Seed: 3}},
+		},
+		Records: []Record{
+			{Class: "setup", Setup: true, Method: "PUT", Path: "/v1/corpora/replay", BodyRef: "corpus"},
+			{TMS: 12.5, Class: "sanitize", Method: "POST", Path: "/v1/sanitize?seed=1", ContentType: "text/tab-separated-values", BodyRef: "corpus"},
+			{TMS: 40, Class: "storm_429", Method: "POST", Path: "/v1/corpora/replay/sanitize", Body: `{"options":{"epsilon":1000}}`, Expect: "429"},
+			{TMS: 41, Class: "budget", Method: "GET", Path: "/v1/corpora/replay/budget", LatencyMS: 1.25, Status: 200, TraceID: "abc"},
+		},
+	}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Header.V != Version || got.Header.Kind != "header" || got.Header.Base != tr.Header.Base {
+		t.Fatalf("header drifted: %+v", got.Header)
+	}
+	if p := got.Header.Payloads["corpus"]; p.Profile != "tiny" || p.Seed != 3 {
+		t.Fatalf("payload drifted: %+v", p)
+	}
+	if len(got.Records) != len(tr.Records) {
+		t.Fatalf("got %d records, want %d", len(got.Records), len(tr.Records))
+	}
+	for i, rec := range got.Records {
+		if rec != tr.Records[i] {
+			t.Errorf("record %d drifted:\n got %+v\nwant %+v", i, rec, tr.Records[i])
+		}
+	}
+	if rec := got.Records[1]; rec.Offset() != 12500*time.Microsecond {
+		t.Errorf("Offset = %v, want 12.5ms", rec.Offset())
+	}
+}
+
+func TestTraceWriteFileReadFile(t *testing.T) {
+	path := t.TempDir() + "/trace.ndjson"
+	tr := &Trace{
+		Header:  Header{Kind: "header", Payloads: map[string]Payload{"corpus": {Profile: "tiny", Seed: 1}}},
+		Records: []Record{{TMS: 1, Class: "stats", Path: "/v1/stats", BodyRef: "corpus"}},
+	}
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != 1 || got.Records[0].Class != "stats" {
+		t.Fatalf("round-trip lost records: %+v", got.Records)
+	}
+}
+
+func TestReadHeadersOptionalAndValidated(t *testing.T) {
+	// A headerless trace is legal.
+	tr, err := Read(strings.NewReader(`{"t_ms":1,"class":"stats","path":"/v1/stats"}` + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Records) != 1 || tr.Header.Kind != "" {
+		t.Fatalf("headerless parse: %+v", tr)
+	}
+
+	cases := []struct {
+		name, in string
+	}{
+		{"missing path", `{"t_ms":1,"class":"stats"}`},
+		{"missing class", `{"t_ms":1,"path":"/v1/stats"}`},
+		{"future version", `{"kind":"header","v":99}`},
+		{"broken json", `{"t_ms":`},
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c.in + "\n")); err == nil {
+			t.Errorf("%s: Read accepted %q", c.name, c.in)
+		}
+	}
+}
+
+func TestMaterializeAndClassCounts(t *testing.T) {
+	tr := &Trace{
+		Header: Header{Kind: "header", Payloads: map[string]Payload{"corpus": {Profile: "tiny", Seed: 1}}},
+		Records: []Record{
+			{Class: "sanitize", Path: "/a", BodyRef: "corpus"},
+			{Class: "sanitize", Path: "/a", BodyRef: "corpus"},
+			{Class: "stats", Path: "/b"},
+		},
+	}
+	payloads, err := tr.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(payloads["corpus"]) == 0 {
+		t.Fatal("materialized corpus is empty")
+	}
+	// Materialization is deterministic: same profile+seed, same bytes.
+	again, _ := tr.Materialize()
+	if !bytes.Equal(payloads["corpus"], again["corpus"]) {
+		t.Fatal("materialized payload not deterministic")
+	}
+	counts := tr.ClassCounts()
+	if counts["sanitize"] != 2 || counts["stats"] != 1 {
+		t.Fatalf("ClassCounts = %v", counts)
+	}
+
+	tr.Records = append(tr.Records, Record{Class: "x", Path: "/c", BodyRef: "nope"})
+	if _, err := tr.Materialize(); err == nil {
+		t.Fatal("Materialize accepted an unknown payload ref")
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	cfg := SynthConfig{RPS: 200, Duration: 500 * time.Millisecond, Storm429: 5}
+	a, err := Synthesize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synthesize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bufA, bufB bytes.Buffer
+	if err := a.Write(&bufA); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Write(&bufB); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+		t.Fatal("same SynthConfig produced different traces")
+	}
+
+	counts := a.ClassCounts()
+	if counts["setup"] != 1 {
+		t.Fatalf("want exactly one setup upload, got %d", counts["setup"])
+	}
+	if counts["storm_429"] != 5 {
+		t.Fatalf("want 5 storm records, got %d", counts["storm_429"])
+	}
+	mixed := 0
+	for class, n := range counts {
+		if class != "setup" && class != "storm_429" {
+			mixed += n
+		}
+	}
+	// ~200 rps over 500ms ⇒ ~100 mixed arrivals; Poisson spread is wide but
+	// an order-of-magnitude check catches a broken arrival process.
+	if mixed < 30 || mixed > 300 {
+		t.Fatalf("mixed section has %d records, want ~100", mixed)
+	}
+
+	// Every storm record expects exactly a 429 and every body ref resolves.
+	if _, err := a.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range a.Records {
+		if rec.Class == "storm_429" && rec.Expect != "429" {
+			t.Fatalf("storm record expects %q, want 429", rec.Expect)
+		}
+		if !rec.Setup && rec.Class != "storm_429" && rec.TMS == 0 {
+			t.Fatalf("timed record with zero offset: %+v", rec)
+		}
+	}
+
+	// A different load seed changes the trace.
+	c, err := Synthesize(SynthConfig{RPS: 200, Duration: 500 * time.Millisecond, Storm429: 5, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bufC bytes.Buffer
+	if err := c.Write(&bufC); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(bufA.Bytes(), bufC.Bytes()) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestSynthesizeRejectsBadConfig(t *testing.T) {
+	if _, err := Synthesize(SynthConfig{}); err == nil {
+		t.Fatal("Synthesize accepted zero RPS/Duration")
+	}
+	if _, err := Synthesize(SynthConfig{RPS: 10, Duration: time.Second, Profile: "no-such-profile"}); err == nil {
+		t.Fatal("Synthesize accepted an unknown profile")
+	}
+	if _, err := Synthesize(SynthConfig{RPS: 10, Duration: time.Second, Objective: "no-such-objective"}); err == nil {
+		t.Fatal("Synthesize accepted an unknown objective")
+	}
+}
