@@ -1,6 +1,9 @@
 package dpslog
 
-import "dpslog/internal/ledger"
+import (
+	"dpslog/internal/dp"
+	"dpslog/internal/ledger"
+)
 
 // Budget is an (ε, δ) differential privacy allowance. The sanitization
 // service accounts every release of a corpus against one Budget under
@@ -17,3 +20,11 @@ type Release = ledger.Release
 // configured budget, cumulative spend, and remaining allowance. The server
 // surfaces it as a structured 429 response.
 type OverBudgetError = ledger.OverBudgetError
+
+// MinDeltaFor returns the smallest δ compatible with a release at ε
+// (Condition 3 of Theorem 1 requires ln 1/(1−δ) ≥ ε). Frontier tools use it
+// to report the δ a minimal-ε plan needs; the ε/δ coupling itself lives in
+// internal/dp, the budget packages' single home for privacy arithmetic.
+func MinDeltaFor(eps float64) float64 {
+	return dp.MinDeltaFor(eps)
+}

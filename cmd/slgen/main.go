@@ -30,19 +30,27 @@ func main() {
 		l, _ = dpslog.Preprocess(l)
 	}
 	w := os.Stdout
+	var f *os.File
 	if *out != "" {
-		f, err := os.Create(*out)
+		f, err = os.Create(*out)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "slgen:", err)
 			os.Exit(1)
 		}
-		defer f.Close()
 		w = f
 	}
 	n, err := dpslog.WriteTSV(w, l)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "slgen:", err)
 		os.Exit(1)
+	}
+	// Close carries the final flush error; a silently truncated corpus must
+	// fail the command, not surface as a digest mismatch later.
+	if f != nil {
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "slgen:", err)
+			os.Exit(1)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "slgen: wrote %d rows (%s)\n", n, dpslog.ComputeStats(l))
 }

@@ -41,17 +41,23 @@ func main() {
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
+	var inFile *os.File
 	if flag.NArg() > 0 {
 		f, err := os.Open(flag.Arg(0))
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
+		inFile = f
 		in = f
 	}
 	log, err := dpslog.ReadTSV(in)
 	if err != nil {
 		fatal(err)
+	}
+	if inFile != nil {
+		if err := inFile.Close(); err != nil {
+			fatal(err)
+		}
 	}
 
 	opts := dpslog.Options{
@@ -93,16 +99,24 @@ func main() {
 	}
 
 	w := os.Stdout
+	var outFile *os.File
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
+		outFile = f
 		w = f
 	}
 	if _, err := dpslog.WriteTSV(w, res.Output); err != nil {
 		fatal(err)
+	}
+	// Close carries the final flush error; a truncated sanitized log must
+	// fail the command rather than pass the audit below.
+	if outFile != nil {
+		if err := outFile.Close(); err != nil {
+			fatal(err)
+		}
 	}
 
 	// Audit report.

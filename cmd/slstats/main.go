@@ -21,13 +21,14 @@ func main() {
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
+	var f *os.File
 	if flag.NArg() > 0 {
-		f, err := os.Open(flag.Arg(0))
+		var err error
+		f, err = os.Open(flag.Arg(0))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "slstats:", err)
 			os.Exit(1)
 		}
-		defer f.Close()
 		in = f
 	}
 	var l *dpslog.Log
@@ -40,6 +41,12 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "slstats:", err)
 		os.Exit(1)
+	}
+	if f != nil {
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "slstats:", err)
+			os.Exit(1)
+		}
 	}
 	pre, st := dpslog.Preprocess(l)
 	fmt.Printf("raw:          %s\n", dpslog.ComputeStats(l))

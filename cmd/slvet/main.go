@@ -1,0 +1,128 @@
+// Command slvet runs the project's static-analysis suite (internal/analysis)
+// over the repository: the privacy and durability invariants the compiler
+// cannot see, encoded as analyzers and gated in CI.
+//
+// Usage:
+//
+//	slvet [-list] [-json] [packages...]
+//
+// Package patterns are module-relative directories, recursive with a /...
+// suffix; the default is ./... . Exit status is 1 when findings are
+// reported, 2 on usage or load errors.
+//
+// Deliberate exceptions are suppressed in the source with
+//
+//	//slvet:ignore <analyzer> <reason>
+//
+// on the finding's line or the line directly above; the reason is
+// mandatory. See DESIGN.md §12 for each analyzer's rule and rationale.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dpslog/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	asJSON := flag.Bool("json", false, "emit findings as JSON")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All {
+			fmt.Printf("%-15s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	root, module, err := findModule()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "slvet:", err)
+		os.Exit(2)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := analysis.Run(root, module, patterns, analysis.All)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "slvet:", err)
+		os.Exit(2)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		type finding struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		out := make([]finding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, finding{rel(root, f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message})
+		}
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "slvet:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Printf("%s:%d:%d: %s: %s\n", rel(root, f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "slvet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// rel shortens absolute file names to module-relative ones for stable,
+// clickable output.
+func rel(root, file string) string {
+	if r, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(r, "..") {
+		return r
+	}
+	return file
+}
+
+// findModule walks up from the working directory to the enclosing go.mod
+// and reads the module path from it.
+func findModule() (root, module string, err error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		gomod := filepath.Join(dir, "go.mod")
+		if _, statErr := os.Stat(gomod); statErr == nil {
+			f, err := os.Open(gomod)
+			if err != nil {
+				return "", "", err
+			}
+			sc := bufio.NewScanner(f)
+			for sc.Scan() {
+				line := strings.TrimSpace(sc.Text())
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					f.Close()
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			f.Close()
+			return "", "", fmt.Errorf("no module line in %s", gomod)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}

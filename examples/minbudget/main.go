@@ -33,10 +33,12 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		delta := 1 - math.Exp(-mb.Epsilon)
+		delta := dpslog.MinDeltaFor(mb.Epsilon)
 		fmt.Printf("%-13d %-13.4f %-8.3f %.4f\n", target, mb.Epsilon, math.Exp(mb.Epsilon), delta)
 
 		// Sanity: the plan audits at exactly its reported frontier point.
+		// The 1e-9 widening is float-audit slack, not composition.
+		//slvet:ignore budgetarith audit tolerance against the binary-search frontier, not budget arithmetic
 		if err := dpslog.VerifyCounts(mb.Preprocessed, mb.Epsilon+1e-9, clamp(delta), mb.Counts); err != nil {
 			log.Fatalf("frontier plan failed audit: %v", err)
 		}

@@ -1,0 +1,85 @@
+// Package analysis is the project's static-analysis layer: a small,
+// dependency-free framework modelled on golang.org/x/tools/go/analysis plus
+// the slvet analyzer suite that encodes this repository's privacy and
+// durability invariants (DESIGN.md §12).
+//
+// The framework deliberately mirrors the x/tools API surface (Analyzer,
+// Pass, Diagnostic) so the suite can be rebased onto the real module the day
+// the build environment carries it; until then everything here runs on the
+// standard library alone: go/parser for syntax, go/types for semantics, and
+// go/importer for the standard library's export data.
+//
+// Each analyzer exists because the invariant it enforces has been broken by
+// hand at least once, or because DESIGN.md states it and nothing else checks
+// it. The suite is run over the repository by cmd/slvet and gated in CI; a
+// finding fails the lint job. Deliberate exceptions are annotated in the
+// source with a suppression directive:
+//
+//	//slvet:ignore <analyzer> <reason>
+//
+// placed on the offending line or the line directly above it. The reason is
+// mandatory — a directive without one is ignored and the finding stands.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// An Analyzer describes one slvet rule: a name, a doc string shown by
+// `slvet -list`, and the function that inspects a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// A Pass connects an Analyzer to the single package it is being run on.
+// All reporting goes through Report/Reportf so the driver owns collection,
+// suppression and ordering.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Path     string // import path of the package under analysis
+	Pkg      *TypesPackage
+	Report   func(Diagnostic)
+}
+
+// Reportf reports a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding. The driver attaches the analyzer name.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// A Finding is a Diagnostic resolved to a file position, ready to print.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// pathIs reports whether the import path equals one of the given suffixes
+// or ends with "/"+suffix. Matching by suffix keeps the analyzers honest in
+// both the real module ("dpslog/internal/rng") and the analysistest fixture
+// tree ("rngdiscipline/internal/rng").
+func pathIs(path string, suffixes ...string) bool {
+	for _, s := range suffixes {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}

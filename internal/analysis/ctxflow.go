@@ -1,0 +1,44 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// ctxFlowPkgs are the serving and solver layers, where every operation is
+// supposed to inherit the caller's deadline and trace span. A fresh
+// context.Background() there silently detaches a solve from its request:
+// cancellation stops propagating, queue-wait spans vanish from traces, and
+// a client disconnect no longer frees the worker.
+var ctxFlowPkgs = []string{"internal/server", "internal/ump"}
+
+// CtxFlow flags context.Background()/context.TODO() in the request path.
+// The two sanctioned detachments (async job roots that outlive their
+// submitting request, and ump's nil-Options fallback) carry suppression
+// directives with their rationale.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "flag context.Background()/context.TODO() inside internal/server and internal/ump: " +
+		"handlers and solver entry points must thread the caller's context so deadlines, " +
+		"cancellation and trace spans propagate (deliberate detachments need a directive)",
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	if !pathIs(pass.Path, ctxFlowPkgs...) {
+		return nil
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := pkgFuncCall(info, call, "context", "Background", "TODO"); ok {
+				pass.Reportf(call.Pos(), "context.%s() in the request path: thread the caller's context so deadlines, cancellation and trace spans propagate", name)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,229 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// directiveRE matches the suppression directive. The reason group is
+// mandatory: an ignore without a stated reason does not suppress anything.
+var directiveRE = regexp.MustCompile(`^//slvet:ignore\s+([a-z]+)\s+\S`)
+
+// suppression records one valid directive: findings by that analyzer on
+// the directive's line, or the line directly below it, are dropped.
+type suppression struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// suppressions scans a package's comments for valid directives.
+func suppressions(fset *token.FileSet, pkg *TypesPackage) []suppression {
+	var out []suppression
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := directiveRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Slash)
+				out = append(out, suppression{file: pos.Filename, line: pos.Line, analyzer: m[1]})
+			}
+		}
+	}
+	return out
+}
+
+// runPackage executes the analyzers over one loaded package and returns the
+// surviving (non-suppressed) findings.
+func runPackage(fset *token.FileSet, pkg *TypesPackage, analyzers []*Analyzer) ([]Finding, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     fset,
+			Files:    pkg.Files,
+			Path:     pkg.Path,
+			Pkg:      pkg,
+			Report: func(d Diagnostic) {
+				d.Analyzer = a.Name
+				diags = append(diags, d)
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	sup := suppressions(fset, pkg)
+	var out []Finding
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		ignored := false
+		for _, s := range sup {
+			if s.analyzer == d.Analyzer && s.file == pos.Filename && (s.line == pos.Line || s.line == pos.Line-1) {
+				ignored = true
+				break
+			}
+		}
+		if !ignored {
+			out = append(out, Finding{Pos: pos, Analyzer: d.Analyzer, Message: d.Message})
+		}
+	}
+	return out, nil
+}
+
+// Run loads every package matched by the patterns (relative to the module
+// root) and runs the analyzers over each. Patterns are either plain package
+// directories ("./internal/ledger") or recursive ("./...",
+// "./internal/..."). Findings come back sorted by position.
+func Run(root, module string, patterns []string, analyzers []*Analyzer) ([]Finding, error) {
+	dirs, err := expandPatterns(root, patterns)
+	if err != nil {
+		return nil, err
+	}
+	ld := NewLoader(root, module)
+	var pkgs []*TypesPackage
+	for _, rel := range dirs {
+		path := module
+		if rel != "." {
+			path = module + "/" + filepath.ToSlash(rel)
+		}
+		p, err := ld.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+
+	// Packages are independent once loaded; analyze them concurrently.
+	var (
+		mu       sync.Mutex
+		findings []Finding
+		firstErr error
+		wg       sync.WaitGroup
+		sem      = make(chan struct{}, runtime.GOMAXPROCS(0))
+	)
+	for _, p := range pkgs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(p *TypesPackage) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			fs, err := runPackage(ld.Fset, p, analyzers)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			findings = append(findings, fs...)
+		}(p)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// expandPatterns resolves package patterns to module-relative directories
+// containing at least one non-test Go file. testdata and hidden directories
+// are never descended into, mirroring the go tool.
+func expandPatterns(root string, patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(rel string) {
+		rel = filepath.ToSlash(rel)
+		if !seen[rel] {
+			seen[rel] = true
+			out = append(out, rel)
+		}
+	}
+	for _, pat := range patterns {
+		pat = strings.TrimPrefix(pat, "./")
+		if pat == "" {
+			pat = "."
+		}
+		recursive := false
+		if pat == "..." {
+			pat, recursive = ".", true
+		} else if strings.HasSuffix(pat, "/...") {
+			pat, recursive = strings.TrimSuffix(pat, "/..."), true
+		}
+		base := filepath.Join(root, filepath.FromSlash(pat))
+		if !recursive {
+			ok, err := hasGoFiles(base)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				return nil, fmt.Errorf("no Go files in %s", base)
+			}
+			add(pat)
+			continue
+		}
+		err := filepath.WalkDir(base, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != base && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			ok, err := hasGoFiles(p)
+			if err != nil {
+				return err
+			}
+			if ok {
+				rel, err := filepath.Rel(root, p)
+				if err != nil {
+					return err
+				}
+				add(rel)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func hasGoFiles(dir string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range entries {
+		n := e.Name()
+		if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+			return true, nil
+		}
+	}
+	return false, nil
+}

@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// JSONBuild rejects printf-family construction of JSON bodies. The PR 7
+// lambda-envelope bug is the archetype: fmt.Sprintf(`{"lambda": %q}`, s)
+// emitted Go's \xNN escapes for non-ASCII corpora — valid Go quoting,
+// invalid JSON — and every consumer downstream choked. %q is Go syntax,
+// not JSON syntax; json.Marshal (or an Encoder) is the only sanctioned
+// serializer. Prometheus exposition lines (`name{label=%q} %d`) are not
+// JSON and are not flagged: the heuristic keys on JSON-specific shapes
+// (`{"`, `":`, `[{`) in the format literal.
+var JSONBuild = &Analyzer{
+	Name: "jsonbuild",
+	Doc: "flag fmt.Sprintf/Fprintf/Appendf calls whose format literal builds a JSON document: " +
+		"%q emits Go escapes that are not valid JSON — use json.Marshal",
+	Run: runJSONBuild,
+}
+
+// jsonish reports whether an unquoted format literal is shaped like a JSON
+// document under construction.
+func jsonish(s string) bool {
+	return strings.Contains(s, `{"`) || strings.Contains(s, `":`) || strings.Contains(s, `[{`)
+}
+
+// formatArgIndex maps the flagged fmt functions to the position of their
+// format-string argument.
+var formatArgIndex = map[string]int{
+	"Sprintf": 0,
+	"Fprintf": 1,
+	"Appendf": 1,
+}
+
+func runJSONBuild(pass *Pass) error {
+	info := pass.Pkg.Info
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, ok := pkgFuncCall(info, call, "fmt", "Sprintf", "Fprintf", "Appendf")
+			if !ok {
+				return true
+			}
+			idx := formatArgIndex[name]
+			if len(call.Args) <= idx {
+				return true
+			}
+			lit, ok := unparen(call.Args[idx]).(*ast.BasicLit)
+			if !ok {
+				return true
+			}
+			format, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			if jsonish(format) && strings.Contains(format, "%") {
+				pass.Reportf(call.Pos(), "fmt.%s builds a JSON document by string formatting: use json.Marshal — %%q emits Go escapes (\\xNN) that are not valid JSON", name)
+			}
+			return true
+		})
+	}
+	return nil
+}

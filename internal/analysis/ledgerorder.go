@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// LedgerOrder enforces the check-before-charge discipline around the
+// privacy ledger (DESIGN.md §8): a Charge must be preceded — in the same
+// function — by a Check/CheckCtx on the same ledger (the cheap refusal
+// before compute is spent), and the Charge's error result must be
+// consumed, because an over-budget refusal at charge time is the last line
+// of defense for the (ε,δ) guarantee. Errs private: a Charge whose error
+// is dropped can release results the ledger refused to account for.
+var LedgerOrder = &Analyzer{
+	Name: "ledgerorder",
+	Doc: "flag ledger.Charge/ChargeCtx calls without a preceding Check/CheckCtx on the same " +
+		"ledger in the same function, and Charge calls whose error result is discarded: " +
+		"over-budget refusals must gate compute and must never be dropped",
+	Run: runLedgerOrder,
+}
+
+func runLedgerOrder(pass *Pass) error {
+	// The ledger package itself implements Charge and may call its own
+	// internals freely.
+	if pathIs(pass.Path, "internal/ledger") {
+		return nil
+	}
+	info := pass.Pkg.Info
+
+	// ledgerMethod matches x.<name>/x.<name>Ctx where x is a
+	// ledger.Ledger.
+	ledgerMethod := func(call *ast.CallExpr, name string) (recv ast.Expr, ok bool) {
+		sel, isSel := call.Fun.(*ast.SelectorExpr)
+		if !isSel || (sel.Sel.Name != name && sel.Sel.Name != name+"Ctx") {
+			return nil, false
+		}
+		if tv, ok := info.Types[sel.X]; !ok || !namedFrom(tv.Type, "Ledger", "internal/ledger") {
+			return nil, false
+		}
+		return sel.X, true
+	}
+
+	for _, fn := range funcDecls(pass.Files) {
+		// Collect Check positions per receiver.
+		checks := make(map[string][]token.Pos)
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if recv, ok := ledgerMethod(call, "Check"); ok {
+					key := exprString(unparen(recv))
+					checks[key] = append(checks[key], call.Pos())
+				}
+			}
+			return true
+		})
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			recv, ok := ledgerMethod(call, "Charge")
+			if !ok {
+				return true
+			}
+			key := exprString(unparen(recv))
+			preceded := false
+			for _, p := range checks[key] {
+				if p < call.Pos() {
+					preceded = true
+					break
+				}
+			}
+			if !preceded {
+				pass.Reportf(call.Pos(), "%s.Charge without a preceding %s.Check in this function: check before compute so exhausted budgets refuse cheaply and composition stays ordered", key, key)
+			}
+			stmt, _ := enclosingStmt(fn.Body, call)
+			switch s := stmt.(type) {
+			case *ast.ExprStmt:
+				if s.X == call {
+					pass.Reportf(call.Pos(), "Charge result discarded: the over-budget error is the privacy guarantee's last gate — consume it")
+				}
+			case *ast.AssignStmt:
+				// The error is the last result; a blank there drops the
+				// over-budget refusal on the floor.
+				if len(s.Rhs) == 1 && s.Rhs[0] == call && len(s.Lhs) > 0 {
+					if id, ok := s.Lhs[len(s.Lhs)-1].(*ast.Ident); ok && id.Name == "_" {
+						pass.Reportf(call.Pos(), "Charge error assigned to _: the over-budget refusal must be consumed")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

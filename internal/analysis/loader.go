@@ -1,0 +1,187 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// TypesPackage bundles the syntax and type information the analyzers need
+// for one package. It is the loader's unit of work.
+type TypesPackage struct {
+	Path  string // import path
+	Dir   string // absolute directory
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages rooted at a directory. Two layouts
+// are supported:
+//
+//   - module layout (Module != ""): import paths under Module resolve to
+//     subdirectories of Root — this is how cmd/slvet loads the repository;
+//   - tree layout (Module == ""): every import path that names an existing
+//     subdirectory of Root resolves there — this is how the analysistest
+//     fixtures under testdata/src are loaded, GOPATH-style.
+//
+// Anything else is delegated to the toolchain's export-data importer, with
+// a from-source fallback for environments that lack export data. Test files
+// (_test.go) are never loaded: the analyzers' contracts exempt test code,
+// and skipping it keeps external-test-package complications out of the
+// type checker.
+type Loader struct {
+	Fset   *token.FileSet
+	Root   string
+	Module string
+
+	mu   sync.Mutex
+	pkgs map[string]*TypesPackage
+	std  types.Importer
+	src  types.Importer
+}
+
+// NewLoader returns a loader for the tree rooted at root. module is the
+// module path ("" for the GOPATH-style fixture layout).
+func NewLoader(root, module string) *Loader {
+	return &Loader{
+		Fset:   token.NewFileSet(),
+		Root:   root,
+		Module: module,
+		pkgs:   make(map[string]*TypesPackage),
+	}
+}
+
+// inProgress marks a package currently being type-checked, to turn import
+// cycles into errors instead of deadlocks.
+var inProgress = &TypesPackage{}
+
+// Load parses and type-checks the package with the given import path.
+func (l *Loader) Load(path string) (*TypesPackage, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.load(path)
+}
+
+func (l *Loader) load(path string) (*TypesPackage, error) {
+	if p, ok := l.pkgs[path]; ok {
+		if p == inProgress {
+			return nil, fmt.Errorf("import cycle through %q", path)
+		}
+		return p, nil
+	}
+	dir, local := l.localDir(path)
+	if !local {
+		return nil, fmt.Errorf("%q is not under the analysis root", path)
+	}
+	l.pkgs[path] = inProgress
+	p, err := l.loadDir(dir, path)
+	if err != nil {
+		delete(l.pkgs, path)
+		return nil, err
+	}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// localDir maps an import path to a directory under Root, if it is local.
+func (l *Loader) localDir(path string) (string, bool) {
+	if l.Module != "" {
+		if path == l.Module {
+			return l.Root, true
+		}
+		if rest, ok := strings.CutPrefix(path, l.Module+"/"); ok {
+			return filepath.Join(l.Root, filepath.FromSlash(rest)), true
+		}
+		return "", false
+	}
+	dir := filepath.Join(l.Root, filepath.FromSlash(path))
+	if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+		return dir, true
+	}
+	return "", false
+}
+
+// Import implements types.Importer: local packages load recursively, all
+// others come from the standard-library importer chain.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if _, local := l.localDir(path); local {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	if l.std == nil {
+		l.std = importer.Default()
+	}
+	pkg, err := l.std.Import(path)
+	if err == nil {
+		return pkg, nil
+	}
+	// No export data (e.g. a toolchain without precompiled archives):
+	// fall back to type-checking the dependency from source.
+	if l.src == nil {
+		l.src = importer.ForCompiler(l.Fset, "source", nil)
+	}
+	return l.src.Import(path)
+}
+
+func (l *Loader) loadDir(dir, path string) (*TypesPackage, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("read %s: %w", dir, err)
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no buildable Go files in %s", dir)
+	}
+	sort.Strings(names)
+
+	var files []*ast.File
+	pkgName := ""
+	for _, n := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		if pkgName == "" {
+			pkgName = f.Name.Name
+		} else if f.Name.Name != pkgName {
+			return nil, fmt.Errorf("%s: mixed packages %q and %q", dir, pkgName, f.Name.Name)
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(path, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("type-checking %s: %w", path, typeErrs[0])
+	}
+	return &TypesPackage{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}, nil
+}

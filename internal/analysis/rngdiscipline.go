@@ -1,0 +1,41 @@
+package analysis
+
+import (
+	"strconv"
+)
+
+// rngAllowedPkgs are the only packages that may touch math/rand directly:
+// internal/rng is the single calibrated source of mechanism randomness
+// (DESIGN.md: "all randomness flows through internal/rng" — its Laplace
+// sampler clamps the u=0 inverse-CDF edge draw that once produced −Inf
+// noise, regression-anchored by TestLaplaceExtremeEpsilonFinite in
+// internal/rng), and internal/obs draws non-mechanism trace IDs whose
+// quality has no privacy consequence.
+var rngAllowedPkgs = []string{"internal/rng", "internal/obs"}
+
+// RngDiscipline rejects math/rand imports outside the sanctioned packages.
+var RngDiscipline = &Analyzer{
+	Name: "rngdiscipline",
+	Doc: "flag math/rand and math/rand/v2 imports outside internal/rng and internal/obs: " +
+		"every mechanism noise draw must flow through the calibrated sampler in internal/rng, " +
+		"or the (ε,δ) guarantee silently degrades (test files are exempt)",
+	Run: runRngDiscipline,
+}
+
+func runRngDiscipline(pass *Pass) error {
+	if pathIs(pass.Path, rngAllowedPkgs...) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(), "import of %s outside internal/rng: draw mechanism randomness through internal/rng so noise stays calibrated and reproducible", path)
+			}
+		}
+	}
+	return nil
+}

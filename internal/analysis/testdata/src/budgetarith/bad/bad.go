@@ -1,0 +1,40 @@
+// Package bad does budget arithmetic outside the budget packages: every
+// composition-shaped expression on an ε/δ-named field or a ledger.Budget
+// member is a finding; presence checks against 0, call arguments and plain
+// assignments are not.
+package bad
+
+import "budgetarith/internal/ledger"
+
+type options struct {
+	Epsilon float64
+	Delta   float64
+	Spent   ledger.Budget
+}
+
+func compose(o options, eps float64) float64 {
+	x := o.Epsilon + eps // want `raw \+ arithmetic on Epsilon`
+	if o.Delta < 0.5 {   // want `raw < arithmetic on Delta`
+		x = -o.Epsilon // want `raw negation of Epsilon`
+	}
+	x /= 2
+	return x
+}
+
+func budgetMembers(o options) float64 {
+	left := o.Spent.Spendable - 1 // want `raw - arithmetic on Budget.Spendable`
+	o.Spent.Epsilon += 0.5        // want `raw \+= on Epsilon`
+	return left
+}
+
+func allowed(o options) (bool, float64, float64) {
+	set := o.Epsilon == 0 // zero-value presence check: allowed
+	positive := o.Delta > 0
+	_ = positive
+	e := o.Epsilon // plain copy: allowed
+	return set, e, scale(o.Epsilon)
+}
+
+func scale(eps float64) float64 { // call-argument passthrough: allowed
+	return eps
+}

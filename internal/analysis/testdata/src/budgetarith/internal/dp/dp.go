@@ -1,0 +1,16 @@
+// Package dp stands in for the repository's internal/dp: mechanism
+// calibration arithmetic is allowed here.
+package dp
+
+type Params struct {
+	Eps   float64
+	Delta float64
+}
+
+// Budget merges Conditions 2 and 3 — allowed in the calibration package.
+func (p Params) Budget() float64 {
+	if p.Eps < 1-p.Delta {
+		return p.Eps
+	}
+	return 1 - p.Delta
+}

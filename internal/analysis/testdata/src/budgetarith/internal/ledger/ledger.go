@@ -1,0 +1,18 @@
+// Package ledger stands in for the repository's internal/ledger: the home
+// of sequential-composition accounting, where budget arithmetic is allowed.
+package ledger
+
+type Budget struct {
+	Epsilon   float64
+	Delta     float64
+	Spendable float64
+}
+
+// Remaining composes inside the allowed package: no findings.
+func Remaining(total, spent Budget) Budget {
+	return Budget{
+		Epsilon:   total.Epsilon - spent.Epsilon,
+		Delta:     total.Delta - spent.Delta,
+		Spendable: total.Spendable - spent.Spendable,
+	}
+}

@@ -1,0 +1,24 @@
+// Package server stands in for the repository's internal/server: the
+// request path, where a fresh root context detaches deadlines,
+// cancellation and trace spans.
+package server
+
+import "context"
+
+func handler() context.Context {
+	return context.Background() // want `context.Background\(\) in the request path`
+}
+
+func pending() context.Context {
+	ctx := context.TODO() // want `context.TODO\(\) in the request path`
+	return ctx
+}
+
+func sanctioned() context.Context {
+	//slvet:ignore ctxflow fixture: a documented detachment (async job root)
+	return context.Background()
+}
+
+func threaded(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithCancel(ctx) // deriving from the caller: allowed
+}

@@ -1,0 +1,9 @@
+// Package other is outside the serving and solver layers: root contexts
+// are fine in tools, generators and tests' helpers.
+package other
+
+import "context"
+
+func Root() context.Context {
+	return context.Background()
+}

@@ -1,0 +1,99 @@
+// Package a exercises the writable-file defer-close rule: bare deferred
+// closes on writable files and WriteClosers are findings; read-only files,
+// the dual-close idiom and explicitly checked closes are not.
+package a
+
+import (
+	"compress/gzip"
+	"io"
+	"os"
+)
+
+func badCreate(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `bare defer f.Close\(\) on a writable file`
+	_, err = f.WriteString("x")
+	return err
+}
+
+func badOpenFile(path string) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `bare defer f.Close\(\) on a writable file`
+	_, err = f.WriteString("x")
+	return err
+}
+
+func badWriteCloser(w io.WriteCloser) error {
+	defer w.Close() // want `bare defer w.Close\(\) on a writable file`
+	_, err := w.Write([]byte("x"))
+	return err
+}
+
+func badGzip(dst io.Writer) error {
+	zw := gzip.NewWriter(dst)
+	defer zw.Close() // want `bare defer zw.Close\(\) on a writable file`
+	_, err := zw.Write([]byte("x"))
+	return err
+}
+
+func goodReadOnly(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // read-only: the close error carries no data loss
+	buf := make([]byte, 16)
+	_, err = f.Read(buf)
+	return err
+}
+
+func goodReadOnlyOpenFile(path string) error {
+	f, err := os.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	buf := make([]byte, 16)
+	_, err = f.Read(buf)
+	return err
+}
+
+func goodDualClose(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // error-path cleanup half of the dual-close idiom
+	if _, err := f.WriteString("x"); err != nil {
+		return err
+	}
+	return f.Close() // explicit checked close on the success path
+}
+
+func goodExplicit(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString("x"); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func goodReadCloser(r io.ReadCloser) error {
+	defer r.Close() // not a writer: nothing flushed, nothing lost
+	buf := make([]byte, 16)
+	_, err := r.Read(buf)
+	return err
+}

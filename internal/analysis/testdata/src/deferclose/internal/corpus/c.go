@@ -1,0 +1,35 @@
+// Package corpus stands in for the repository's internal/corpus: a strict
+// durability package where discarded Sync errors — and discarded Close
+// errors outside cleanup-before-error-return blocks — are findings too.
+package corpus
+
+import (
+	"fmt"
+	"os"
+)
+
+func putAtomic(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString("x"); err != nil {
+		f.Close() // cleanup before an error return: the write error wins
+		return fmt.Errorf("write: %w", err)
+	}
+	f.Sync() // want `Sync error discarded on the durability path`
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("sync: %w", err)
+	}
+	return f.Close()
+}
+
+func sloppyPublish(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	f.WriteString("x")
+	f.Close() // want `Close error discarded on the durability path`
+}

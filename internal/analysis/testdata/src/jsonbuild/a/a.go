@@ -1,0 +1,29 @@
+// Package a builds JSON bodies by string formatting — the PR 7
+// lambda-envelope bug class — and also shows the shapes that are allowed:
+// json.Marshal, and Prometheus exposition lines that merely look brace-y.
+package a
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+func bad(name string, w io.Writer) string {
+	s := fmt.Sprintf(`{"name": %q}`, name)   // want `fmt.Sprintf builds a JSON document`
+	fmt.Fprintf(w, `{"error": %q}`, name)    // want `fmt.Fprintf builds a JSON document`
+	b := fmt.Appendf(nil, `[{"v": %d}]`, 42) // want `fmt.Appendf builds a JSON document`
+	_ = b
+	return s
+}
+
+func good(name string, w io.Writer) ([]byte, error) {
+	// Prometheus text exposition is not JSON: braces without JSON shapes.
+	fmt.Fprintf(w, "slserve_requests_total{handler=%q,code=%q} %d\n", name, "200", 1)
+	fmt.Fprintf(w, "slserve_latency_bucket{le=\"+Inf\"} %d\n", 7)
+	// Non-format string building no document.
+	s := fmt.Sprintf("user %s has %d releases", name, 3)
+	_ = s
+	// The sanctioned serializer.
+	return json.Marshal(map[string]string{"name": name})
+}

@@ -1,0 +1,52 @@
+// Package a exercises the check-before-charge discipline: a Charge without
+// a same-function Check, or with its error result dropped, is a finding.
+package a
+
+import "ledgerorder/internal/ledger"
+
+func good(l *ledger.Ledger) error {
+	if err := l.Check("d", "k", 1, 0.1); err != nil {
+		return err
+	}
+	// ...solve here: the check gated the compute...
+	rel, replayed, err := l.Charge("c", "d", "k", 1, 0.1)
+	_, _ = rel, replayed
+	return err
+}
+
+func goodCtx(l *ledger.Ledger) error {
+	if err := l.CheckCtx("d", "k", 1, 0.1); err != nil {
+		return err
+	}
+	_, _, err := l.ChargeCtx("c", "d", "k", 1, 0.1)
+	return err
+}
+
+func noCheck(l *ledger.Ledger) error {
+	_, _, err := l.Charge("c", "d", "k", 1, 0.1) // want `Charge without a preceding`
+	return err
+}
+
+func discarded(l *ledger.Ledger) {
+	if err := l.Check("d", "k", 1, 0.1); err != nil {
+		return
+	}
+	l.Charge("c", "d", "k", 1, 0.1) // want `Charge result discarded`
+}
+
+func blanked(l *ledger.Ledger) ledger.Release {
+	if err := l.Check("d", "k", 1, 0.1); err != nil {
+		return ledger.Release{}
+	}
+	rel, _, _ := l.Charge("c", "d", "k", 1, 0.1) // want `Charge error assigned to _`
+	return rel
+}
+
+func twoLedgers(audit, live *ledger.Ledger) error {
+	if err := audit.Check("d", "k", 1, 0.1); err != nil {
+		return err
+	}
+	// The check above was on a different ledger: it does not count.
+	_, _, err := live.Charge("c", "d", "k", 1, 0.1) // want `Charge without a preceding`
+	return err
+}

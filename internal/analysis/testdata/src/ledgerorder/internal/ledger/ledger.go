@@ -1,0 +1,33 @@
+// Package ledger stands in for the repository's internal/ledger: the
+// privacy-budget ledger whose Check/Charge ordering the analyzer enforces
+// at call sites. The ledger's own internals are exempt.
+package ledger
+
+import "errors"
+
+type Release struct{ Seq int }
+
+type Ledger struct{ spent float64 }
+
+func (l *Ledger) Check(digest, key string, eps, delta float64) error {
+	if l.spent+eps > 1 {
+		return errors.New("over budget")
+	}
+	return nil
+}
+
+func (l *Ledger) CheckCtx(digest, key string, eps, delta float64) error {
+	return l.Check(digest, key, eps, delta)
+}
+
+func (l *Ledger) Charge(corpus, digest, key string, eps, delta float64) (Release, bool, error) {
+	if err := l.Check(digest, key, eps, delta); err != nil {
+		return Release{}, false, err
+	}
+	l.spent += eps
+	return Release{Seq: 1}, true, nil
+}
+
+func (l *Ledger) ChargeCtx(corpus, digest, key string, eps, delta float64) (Release, bool, error) {
+	return l.Charge(corpus, digest, key, eps, delta)
+}

@@ -1,0 +1,13 @@
+// Package bad draws randomness outside internal/rng: both math/rand
+// generations are rejected wherever mechanism noise could originate.
+package bad
+
+import (
+	"math/rand" // want `import of math/rand outside internal/rng`
+
+	randv2 "math/rand/v2" // want `import of math/rand/v2 outside internal/rng`
+)
+
+func Draw() (int, uint64) {
+	return rand.Int(), randv2.Uint64()
+}

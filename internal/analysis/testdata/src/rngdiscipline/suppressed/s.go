@@ -1,0 +1,15 @@
+// Package suppressed exercises the directive: a reasoned ignore silences
+// the finding, a bare ignore (no reason) does not.
+package suppressed
+
+import (
+	//slvet:ignore rngdiscipline fixture: a documented exception with a stated reason is honored
+	"math/rand"
+
+	//slvet:ignore rngdiscipline
+	randv2 "math/rand/v2" // want `import of math/rand/v2 outside internal/rng`
+)
+
+func Draw() (int, uint64) {
+	return rand.Int(), randv2.Uint64()
+}

@@ -1,0 +1,246 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+	"sync"
+)
+
+// Structural stand-ins for io.Writer and io.Closer. Building the method
+// sets by hand (rather than importing "io" through whichever importer is
+// active) keeps types.Implements independent of export-data identity.
+var ifaceOnce sync.Once
+var writerIface, closerIface *types.Interface
+
+func stdIfaces() (writer, closer *types.Interface) {
+	ifaceOnce.Do(func() {
+		errType := types.Universe.Lookup("error").Type()
+		byteSlice := types.NewSlice(types.Typ[types.Byte])
+		writeSig := types.NewSignatureType(nil, nil, nil,
+			types.NewTuple(types.NewVar(token.NoPos, nil, "p", byteSlice)),
+			types.NewTuple(
+				types.NewVar(token.NoPos, nil, "n", types.Typ[types.Int]),
+				types.NewVar(token.NoPos, nil, "err", errType)),
+			false)
+		closeSig := types.NewSignatureType(nil, nil, nil,
+			types.NewTuple(),
+			types.NewTuple(types.NewVar(token.NoPos, nil, "", errType)),
+			false)
+		writerIface = types.NewInterfaceType(
+			[]*types.Func{types.NewFunc(token.NoPos, nil, "Write", writeSig)}, nil)
+		writerIface.Complete()
+		closerIface = types.NewInterfaceType(
+			[]*types.Func{types.NewFunc(token.NoPos, nil, "Close", closeSig)}, nil)
+		closerIface.Complete()
+	})
+	return writerIface, closerIface
+}
+
+func implementsEither(t types.Type, iface *types.Interface) bool {
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, iface) || types.Implements(types.NewPointer(t), iface)
+}
+
+// isOSFile reports whether t is *os.File (or os.File).
+func isOSFile(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "os" && obj.Name() == "File"
+}
+
+// namedFrom reports whether t (after pointer deref) is a defined type with
+// the given name whose package import path matches one of the suffixes.
+func namedFrom(t types.Type, name string, pkgSuffixes ...string) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Name() != name || obj.Pkg() == nil {
+		return false
+	}
+	return pathIs(obj.Pkg().Path(), pkgSuffixes...)
+}
+
+// pkgFuncCall reports whether call invokes pkgPath.name (resolving the
+// package qualifier through the type info, so renamed imports still match).
+func pkgFuncCall(info *types.Info, call *ast.CallExpr, pkgPath string, names ...string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != pkgPath {
+		return "", false
+	}
+	for _, n := range names {
+		if sel.Sel.Name == n {
+			return n, true
+		}
+	}
+	return "", false
+}
+
+// enclosingStmt walks the path from a function body down to the given node
+// and returns the innermost statement containing it, plus the statement's
+// parent block (nil when the statement is not directly in a block, e.g. an
+// if-init assignment).
+func enclosingStmt(body *ast.BlockStmt, node ast.Node) (stmt ast.Stmt, block *ast.BlockStmt) {
+	var find func(list []ast.Stmt, parent *ast.BlockStmt) bool
+	var inStmt func(s ast.Stmt, parent *ast.BlockStmt) bool
+	contains := func(n ast.Node) bool {
+		return n != nil && n.Pos() <= node.Pos() && node.End() <= n.End()
+	}
+	inStmt = func(s ast.Stmt, parent *ast.BlockStmt) bool {
+		if !contains(s) {
+			return false
+		}
+		// Descend into nested statements first: the innermost match wins.
+		switch st := s.(type) {
+		case *ast.BlockStmt:
+			if find(st.List, st) {
+				return true
+			}
+		case *ast.IfStmt:
+			if st.Init != nil && inStmt(st.Init, nil) {
+				return true
+			}
+			if inStmt(st.Body, nil) {
+				return true
+			}
+			if st.Else != nil && inStmt(st.Else, nil) {
+				return true
+			}
+		case *ast.ForStmt:
+			if st.Init != nil && inStmt(st.Init, nil) {
+				return true
+			}
+			if st.Post != nil && inStmt(st.Post, nil) {
+				return true
+			}
+			if inStmt(st.Body, nil) {
+				return true
+			}
+		case *ast.RangeStmt:
+			if inStmt(st.Body, nil) {
+				return true
+			}
+		case *ast.SwitchStmt:
+			if st.Init != nil && inStmt(st.Init, nil) {
+				return true
+			}
+			for _, c := range st.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok && find(cc.Body, nil) {
+					return true
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range st.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok && find(cc.Body, nil) {
+					return true
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range st.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && find(cc.Body, nil) {
+					return true
+				}
+			}
+		case *ast.LabeledStmt:
+			if inStmt(st.Stmt, nil) {
+				return true
+			}
+		}
+		stmt, block = s, parent
+		return true
+	}
+	find = func(list []ast.Stmt, parent *ast.BlockStmt) bool {
+		for _, s := range list {
+			if inStmt(s, parent) {
+				return true
+			}
+		}
+		return false
+	}
+	find(body.List, body)
+	return stmt, block
+}
+
+// exprString renders a receiver expression for identity comparison
+// ("s.budgets", "f"). Only the shapes that matter for receiver matching are
+// handled; anything else renders as a position-independent placeholder.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "()"
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[]"
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	}
+	return "?"
+}
+
+// funcDecls yields every function declaration with a body in the package,
+// including methods.
+func funcDecls(files []*ast.File) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}
+
+// unparen strips parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// isZeroLit reports whether e is the literal 0 (or 0.0).
+func isZeroLit(e ast.Expr) bool {
+	bl, ok := unparen(e).(*ast.BasicLit)
+	if !ok {
+		return false
+	}
+	s := strings.TrimSuffix(bl.Value, ".0")
+	return s == "0"
+}

@@ -80,6 +80,15 @@ func (o Options) validate() error {
 	return nil
 }
 
+// Threshold derives the standard release threshold τ = (2D/ε)·ln(1/(2δ̂))
+// for a contribution bound d and per-item failure mass deltaHat. The
+// calibration lives here — next to the mechanism whose guarantee depends on
+// it — so callers (experiments, tables) cannot drift from the published
+// formula.
+func Threshold(eps float64, d int, deltaHat float64) float64 {
+	return 2 * float64(d) / eps * math.Log(1/(2*deltaHat))
+}
+
 // Sanitize runs the baseline mechanism over the input log.
 func Sanitize(l *searchlog.Log, opts Options) (*Release, error) {
 	if err := opts.validate(); err != nil {
@@ -92,7 +101,7 @@ func Sanitize(l *searchlog.Log, opts Options) (*Release, error) {
 	scale := 2 * float64(d) / opts.Epsilon
 	tau := opts.Threshold
 	if tau == 0 {
-		tau = scale * math.Log(1/(2*1e-5))
+		tau = Threshold(opts.Epsilon, d, 1e-5)
 	}
 	g := rng.New(opts.Seed ^ 0xABCD1234)
 

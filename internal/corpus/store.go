@@ -180,6 +180,7 @@ func (s *Store) Put(name string, l *searchlog.Log) (Meta, error) {
 // directory handle, so failure is ignored.
 func syncDir(dir string) {
 	if d, err := os.Open(dir); err == nil {
+		//slvet:ignore deferclose directory fsync is best-effort by contract: not all platforms support fsync on a directory handle
 		d.Sync()
 		d.Close()
 	}

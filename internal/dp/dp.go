@@ -48,6 +48,15 @@ func (p Params) Budget() float64 {
 	return math.Min(p.Eps, math.Log(1/(1-p.Delta)))
 }
 
+// MinDeltaFor returns the smallest δ compatible with a release at ε under
+// the merged Theorem-1 budget: Condition 3 requires ln 1/(1−δ) ≥ ε, i.e.
+// δ ≥ 1 − e^(−ε). Frontier sweeps that report "the δ this ε needs" must use
+// this helper rather than re-deriving the coupling locally (budgetarith
+// enforces that ε/δ arithmetic stays inside the budget packages).
+func MinDeltaFor(eps float64) float64 {
+	return 1 - math.Exp(-eps)
+}
+
 // Term is one coefficient of a user's DP constraint: pair index and
 // ln t_ijk = ln(c_ij / (c_ij − c_ijk)).
 type Term struct {

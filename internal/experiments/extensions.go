@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"dpslog/internal/baseline"
+	"dpslog/internal/dp"
 	"dpslog/internal/metrics"
 	"dpslog/internal/ump"
 )
@@ -50,8 +51,7 @@ func (r *Runner) BaselineCompare() (*Table, error) {
 		// D = 5 and δ̂ = 10⁻³ keep the baseline's threshold within reach of
 		// synthetic head-pair counts; the original used larger corpora.
 		const dBound = 5
-		scale := 2 * float64(dBound) / p.Eps
-		tau := scale * math.Log(1/(2*1e-3))
+		tau := baseline.Threshold(p.Eps, dBound, 1e-3)
 		rel, err := baseline.Sanitize(r.pre, baseline.Options{Epsilon: p.Eps, D: dBound, Threshold: tau, Seed: r.cfg.Seed})
 		if err != nil {
 			return nil, err
@@ -113,7 +113,7 @@ func (r *Runner) Frontier() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		delta := 1 - math.Exp(-res.Epsilon)
+		delta := dp.MinDeltaFor(res.Epsilon)
 		t.AddRow(fmt.Sprint(target),
 			fmt.Sprint(res.Plan.OutputSize),
 			fmt.Sprintf("%.4f", res.Epsilon),

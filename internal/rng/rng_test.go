@@ -146,6 +146,48 @@ func TestLaplaceAlwaysFinite(t *testing.T) {
 	}
 }
 
+// TestLaplaceExtremeEpsilonFinite is the regression anchor cited by the
+// rngdiscipline analyzer (internal/analysis): the reason all noise must be
+// drawn through this package. The Laplace scale is sensitivity/ε, so the
+// table covers ε from vanishingly small (scale 1e300, where an unclamped
+// tail draw would overflow to −Inf) to astronomically large (scale 1e-300,
+// where naive arithmetic underflows to denormals). Across a million seeded
+// samples at each scale no draw may be ±Inf or NaN, and at nonzero scale
+// noise must not be identically zero (the clamp must not flatten the
+// distribution).
+func TestLaplaceExtremeEpsilonFinite(t *testing.T) {
+	const samples = 1_000_000
+	cases := []struct {
+		name  string
+		scale float64 // sensitivity/ε
+	}{
+		{"eps=1e300", 1e-300},
+		{"eps=1e10", 1e-10},
+		{"eps=1", 1},
+		{"eps=1e-10", 1e10},
+		{"eps=1e-300", 1e300},
+	}
+	for i, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			g := New(uint64(0xd1f5 + i))
+			sawNonZero := false
+			for n := 0; n < samples; n++ {
+				v := g.Laplace(tc.scale)
+				if math.IsInf(v, 0) || math.IsNaN(v) {
+					t.Fatalf("scale %g draw %d: non-finite Laplace noise %g", tc.scale, n, v)
+				}
+				if v != 0 {
+					sawNonZero = true
+				}
+			}
+			if !sawNonZero {
+				t.Errorf("scale %g: all %d draws were exactly zero; clamp flattened the distribution", tc.scale, samples)
+			}
+		})
+	}
+}
+
 func TestZipfDistribution(t *testing.T) {
 	g := New(6)
 	n := 50

@@ -888,6 +888,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		s.jobs.Start(job.ID)
 		// Async jobs outlive their submitting request, so each run is its
 		// own root trace (visible in /v1/debug/traces by job_id).
+		//slvet:ignore ctxflow async jobs deliberately detach: they outlive the submitting request and are cancelled via the job store, not the request context
 		ctx, root := s.tracer.Start(context.Background(), "job sanitize")
 		root.SetAttr("job_id", job.ID)
 		defer root.End()

@@ -151,6 +151,10 @@ type Options struct {
 // ctx resolves Options.Ctx for span creation.
 func (o Options) ctx() context.Context {
 	if o.Ctx == nil {
+		// A nil Options.Ctx means the caller is untraced and undeadlined
+		// by design (library use outside the server); this is the one
+		// documented fallback.
+		//slvet:ignore ctxflow nil Options.Ctx is the documented untraced/undeadlined library entry point; server callers always set Ctx
 		return context.Background()
 	}
 	return o.Ctx
