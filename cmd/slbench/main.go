@@ -1,13 +1,13 @@
 // Command slbench measures the solver hot paths — monolithic vs
 // component-decomposed, sequential vs parallel, dense vs sparse-LU basis
 // engine — plus the multinomial sampling step, the warm-started grid
-// sweeps and the streaming sharded ingest fold, and emits a
-// machine-readable benchmark trajectory (BENCH_pr5.json) that future
-// changes are compared against.
+// sweeps, the streaming sharded ingest fold and every registered release
+// mechanism end to end, and emits a machine-readable benchmark trajectory
+// (BENCH_pr9.json) that future changes are compared against.
 //
 // Usage:
 //
-//	slbench [-o BENCH_pr5.json] [-profiles tiny,small,tiny-sharded,small-sharded]
+//	slbench [-o BENCH_pr9.json] [-profiles tiny,small,tiny-sharded,small-sharded]
 //	        [-objectives output-size,diversity] [-benchtime 1s|1x] [-seed 1]
 //	        [-baseline BENCH_pr2.json] [-no-sweeps]
 //	        [-cpuprofile FILE] [-memprofile FILE]
@@ -22,6 +22,13 @@
 // re-run the monolithic O-UMP solve on the legacy dense basis engine: the
 // dense-vs-sparse ratio at equal λ is the PR 3 headline.
 //
+// The {profile}/mechanism/{name} rows run each mechanism registered in
+// internal/mechanism (ump, laplace, zealous, localdp) through its full
+// Sanitize path at a matched e^ε = 2 budget; the gated objective is the
+// released row count, which is deterministic in -seed, so the baseline
+// comparison doubles as a cross-machine determinism check of every release
+// path the server can dispatch to.
+//
 // With -baseline, slbench compares every objective value against the named
 // earlier trajectory by benchmark name and exits nonzero on any mismatch:
 // speed may drift between engines and machines, λ and plan objectives may
@@ -30,6 +37,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -45,6 +53,7 @@ import (
 	"dpslog/internal/gen"
 	"dpslog/internal/ingest"
 	"dpslog/internal/lp"
+	"dpslog/internal/mechanism"
 	"dpslog/internal/rng"
 	"dpslog/internal/sampling"
 	"dpslog/internal/searchlog"
@@ -87,7 +96,7 @@ var (
 )
 
 func main() {
-	out := flag.String("o", "BENCH_pr5.json", "output JSON file (- for stdout)")
+	out := flag.String("o", "BENCH_pr9.json", "output JSON file (- for stdout)")
 	profiles := flag.String("profiles", "tiny,small,tiny-sharded,small-sharded", "comma-separated corpus profiles")
 	objectives := flag.String("objectives", "output-size,diversity", "comma-separated objectives: output-size, diversity")
 	benchtime := flag.String("benchtime", "", "per-benchmark budget, go test style (e.g. 2s or 1x); empty = testing default (1s)")
@@ -115,7 +124,7 @@ func main() {
 
 	params := dp.Params{Eps: math.Log(2), Delta: 0.5}
 	traj := trajectory{
-		PR:         "pr5",
+		PR:         "pr9",
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Seed:       *seed,
 		Benchtime:  *benchtime,
@@ -229,6 +238,9 @@ func main() {
 		// reproduces the histogram, which is exactly what the baseline
 		// gate should catch.
 		benchIngest(&traj, profile, raw)
+
+		// Every registered release mechanism, end to end.
+		benchMechanisms(&traj, profile, pre, *seed)
 	}
 
 	// Profiles are flushed before the baseline gate: a gate failure is
@@ -456,6 +468,60 @@ func benchIngest(traj *trajectory, profile string, raw *searchlog.Log) {
 			Pairs:          raw.NumPairs(),
 			Users:          raw.NumUsers(),
 			ObjectiveValue: float64(l.Size()),
+			N:              r.N,
+			NsPerOp:        float64(r.NsPerOp()),
+			BytesPerOp:     r.AllocedBytesPerOp(),
+			AllocsPerOp:    r.AllocsPerOp(),
+		})
+	}
+}
+
+// benchMechanisms runs every registered release mechanism end to end over
+// the preprocessed corpus at a matched e^ε = 2 budget and records the
+// released row count as the gated objective. All four paths are seeded, so
+// a row-count drift on any machine means a release path changed behaviour —
+// the same invariant the server's ledger identity depends on. The aggregate
+// calibration matches internal/experiments: contribution bound 5 with
+// δ̂ = 10⁻³ for laplace, δ = 0.5 for zealous, and localdp's pure-ε defaults
+// (bound 1: its per-bit budget ε/2B would vanish at bound 5).
+func benchMechanisms(traj *trajectory, profile string, pre *searchlog.Log, seed uint64) {
+	ctx := context.Background()
+	for _, name := range mechanism.Names() {
+		m, err := mechanism.Get(name)
+		if err != nil {
+			fatal(err)
+		}
+		opts := mechanism.Options{Mechanism: name, Epsilon: math.Log(2), Seed: seed}
+		switch name {
+		case "ump":
+			opts.Delta = 0.5
+		case "laplace":
+			opts.Delta, opts.D = 1e-3, 5
+		case "zealous":
+			opts.Delta, opts.D = 0.5, 5
+		}
+		rel, err := m.Sanitize(ctx, pre, opts)
+		if err != nil {
+			fatal(fmt.Errorf("%s/mechanism/%s: %w", profile, name, err))
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Sanitize(ctx, pre, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		addRow(traj, benchResult{
+			Name:           fmt.Sprintf("%s/mechanism/%s", profile, name),
+			Profile:        profile,
+			Objective:      "mechanism",
+			Mode:           name,
+			Parallelism:    1,
+			Components:     1,
+			Pairs:          pre.NumPairs(),
+			Users:          pre.NumUsers(),
+			ObjectiveValue: float64(rel.Rows()),
 			N:              r.N,
 			NsPerOp:        float64(r.NsPerOp()),
 			BytesPerOp:     r.AllocedBytesPerOp(),

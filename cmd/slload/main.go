@@ -37,14 +37,15 @@
 //
 //	slload -record FILE [-profile tiny] [-gen-seed 1] [-rps 40]
 //	       [-duration 5s] [-load-seed 7] [-eexp 2] [-delta 0.25]
-//	       [-distinct 4] [-corpus-distinct 3] [-storm-429 25]
+//	       [-distinct 4] [-corpus-distinct 2] [-storm-429 25]
 //	       [-corpus replay]
 //
 // Synthesizes a deterministic mixed trace — chunked ingest PUTs, sync and
-// async sanitize, corpus-referencing sanitize, budget and stats queries,
-// and a deliberate over-budget 429 storm — Poisson-paced at -rps for
-// -duration. The same flags always produce the same trace, so a replayed
-// run can be gated against a committed per-class count baseline.
+// async sanitize, corpus-referencing sanitize (UMP plus alternating
+// zealous/localdp mechanism releases), budget and stats queries, and a
+// deliberate over-budget 429 storm — Poisson-paced at -rps for -duration.
+// The same flags always produce the same trace, so a replayed run can be
+// gated against a committed per-class count baseline.
 //
 // Trace replay with SLO gates:
 //
@@ -138,7 +139,7 @@ func parseFlags() *flags {
 		traceOut:   flag.String("trace-out", "", "capture the run as a replayable ndjson trace at this path"),
 
 		record:         flag.String("record", "", "synthesize a mixed-traffic trace to this path and exit (no server contacted)"),
-		corpusDistinct: flag.Int("corpus-distinct", 3, "-record: distinct corpus-release seeds; each spends (ln eexp, delta) of the per-corpus budget once"),
+		corpusDistinct: flag.Int("corpus-distinct", 2, "-record: distinct corpus-release seeds; each spends (ln eexp, delta) of the per-corpus budget once, on top of the mech_sanitize class's two mechanism releases"),
 		storm429:       flag.Int("storm-429", 25, "-record: deliberate over-budget requests appended as a burst, each expecting 429"),
 
 		replayFile: flag.String("replay", "", "replay the ndjson trace at this path against -url"),

@@ -8,9 +8,14 @@
 //	slserve [-addr :8080] [-ops-addr ADDR] [-workers N] [-queue N] [-cache N]
 //	        [-max-jobs N] [-max-body BYTES] [-solve-parallelism N]
 //	        [-data-dir DIR] [-budget-eexp X | -budget-epsilon X]
-//	        [-budget-delta X] [-ingest-shards N] [-ingest-chunk BYTES]
-//	        [-max-ingest-bytes BYTES] [-max-corpus-bytes BYTES]
-//	        [-trace-buffer N] [-quiet]
+//	        [-budget-delta X] [-mechanisms LIST] [-ingest-shards N]
+//	        [-ingest-chunk BYTES] [-max-ingest-bytes BYTES]
+//	        [-max-corpus-bytes BYTES] [-trace-buffer N] [-quiet]
+//
+// The sanitize endpoints dispatch on ?mechanism= (or the JSON "mechanism"
+// option): ump (the paper's pipeline, default), laplace, zealous, localdp.
+// -mechanisms restricts which of them this deployment will run (comma-
+// separated wire names; empty allows all).
 //
 // Observability: every API request runs under a trace whose ID is echoed in
 // the X-Trace-Id response header and logged as one structured JSON line on
@@ -51,6 +56,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"slices"
+	"strings"
 	"syscall"
 	"time"
 
@@ -73,6 +80,7 @@ func main() {
 	budgetEExp := flag.Float64("budget-eexp", 0, "per-corpus privacy budget as e^ε (overrides -budget-epsilon; 0 = default ln 16)")
 	budgetEps := flag.Float64("budget-epsilon", 0, "per-corpus privacy budget ε (0 = default ln 16)")
 	budgetDelta := flag.Float64("budget-delta", 0, "per-corpus privacy budget δ (0 = default 1.0)")
+	mechanisms := flag.String("mechanisms", "", "comma-separated mechanism allowlist (ump, laplace, zealous, localdp; empty = all)")
 	ingestShards := flag.Int("ingest-shards", 0, "fold workers per streaming corpus upload (0 = GOMAXPROCS)")
 	ingestChunk := flag.Int("ingest-chunk", 0, "streaming reader chunk size in bytes (0 = 256 KiB)")
 	maxIngest := flag.Int64("max-ingest-bytes", 0, "declared bytes of concurrent corpus uploads admitted at once (0 = 256 MiB, negative = unguarded)")
@@ -87,6 +95,19 @@ func main() {
 	if !*quiet {
 		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	}
+	var allowed []string
+	if *mechanisms != "" {
+		for _, name := range strings.Split(*mechanisms, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if !slices.Contains(dpslog.Mechanisms(), name) {
+				fatal(fmt.Errorf("-mechanisms: unknown mechanism %q (valid: %s)", name, strings.Join(dpslog.Mechanisms(), ", ")))
+			}
+			allowed = append(allowed, name)
+		}
+	}
 	srv, err := server.New(server.Config{
 		Workers:          *workers,
 		Queue:            *queue,
@@ -96,6 +117,7 @@ func main() {
 		SolveParallelism: *solvePar,
 		DataDir:          *dataDir,
 		Budget:           budget,
+		Mechanisms:       allowed,
 		IngestShards:     *ingestShards,
 		IngestChunkBytes: *ingestChunk,
 		MaxIngestBytes:   *maxIngest,

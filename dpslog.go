@@ -21,6 +21,14 @@
 // binary-program solvers) is implemented in this repository with no
 // dependencies outside the Go standard library.
 //
+// Beyond the paper's pipeline, Mechanisms lists the registered release
+// mechanisms (internal/mechanism): "ump" plus the aggregate baselines it is
+// compared against — "laplace" (Korolova-style noised histogram), "zealous"
+// (Götz et al. two-threshold) and "localdp" (per-user randomized response,
+// debiased server-side). SanitizeMechanism runs any of them by name and
+// MechanismCost reports the (ε, δ) a release charges; Options.Mechanism
+// selects one on the wire.
+//
 // # Quick start
 //
 //	in, _ := dpslog.Generate("tiny", 1) // or dpslog.ReadTSV(file)

@@ -129,6 +129,7 @@ func TestBudgetArith(t *testing.T) {
 		"budgetarith/bad",
 		"budgetarith/internal/ledger",
 		"budgetarith/internal/dp",
+		"budgetarith/internal/mechanism",
 	)
 }
 

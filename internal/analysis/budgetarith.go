@@ -7,9 +7,11 @@ import (
 
 // budgetAllowedPkgs may perform raw ε/δ arithmetic: internal/ledger owns
 // sequential-composition accounting, internal/dp owns mechanism calibration
-// (ε′ = ε/d, constraint coefficients), and internal/baseline owns the
-// competitor mechanisms' own threshold calibration (ZEALOUS τ₁/τ₂).
-var budgetAllowedPkgs = []string{"internal/ledger", "internal/dp", "internal/baseline"}
+// (ε′ = ε/d, constraint coefficients), internal/baseline owns the
+// competitor mechanisms' own threshold calibration (ZEALOUS τ₁/τ₂), and
+// internal/mechanism owns each mechanism's declared release cost and the
+// localdp randomized-response probability (e^(ε/2B) per bit).
+var budgetAllowedPkgs = []string{"internal/ledger", "internal/dp", "internal/baseline", "internal/mechanism"}
 
 // epsFieldNames are the field names treated as privacy parameters.
 var epsFieldNames = map[string]bool{

@@ -1,0 +1,32 @@
+// Package mechanism stands in for the repository's internal/mechanism:
+// per-mechanism cost declaration and randomized-response calibration are
+// allowed here. No line below may produce a finding — the package-allowlist
+// direction of the bidirectional fixture (budgetarith/bad is the other).
+package mechanism
+
+import "budgetarith/internal/ledger"
+
+type options struct {
+	Epsilon  float64
+	EpsPrime float64
+	Delta    float64
+	EndToEnd bool
+}
+
+// cost composes the two-stage budget — allowed in the mechanism package.
+func cost(o options) ledger.Budget {
+	eps := o.Epsilon
+	if o.EndToEnd {
+		eps = o.Epsilon + o.EpsPrime
+	}
+	return ledger.Budget{Epsilon: eps, Delta: o.Delta}
+}
+
+// truthProbability calibrates the per-bit randomized-response channel.
+func truthProbability(o options, bound int) float64 {
+	p := o.Epsilon / (2 * float64(bound))
+	if o.Delta != 0 {
+		return 0
+	}
+	return p
+}

@@ -53,6 +53,12 @@ type Release struct {
 	BoundedUsers int
 }
 
+// DefaultDeltaHat is the per-item failure mass δ̂ used to derive the
+// release threshold when Options.DeltaHat is zero. Every call site that
+// wants the standard calibration gets this one value; passing a different
+// δ̂ is an explicit decision, not a drifted literal.
+const DefaultDeltaHat = 1e-3
+
 // Options parameterize the baseline mechanism.
 type Options struct {
 	// Epsilon is the indistinguishability budget ε > 0.
@@ -61,8 +67,12 @@ type Options struct {
 	// a typical choice in the original evaluation.
 	D int
 	// Threshold τ filters noisy counts; 0 derives the standard
-	// τ = (2D/ε)·ln(1/(2δ̂)) with δ̂ = 1e-5.
+	// τ = (2D/ε)·ln(1/(2δ̂)) with δ̂ = DeltaHat.
 	Threshold float64
+	// DeltaHat is the per-item failure mass δ̂ ∈ (0, 0.5) behind the derived
+	// threshold; 0 means DefaultDeltaHat. Ignored when Threshold is set
+	// explicitly.
+	DeltaHat float64
 	// Seed drives the Laplace noise.
 	Seed uint64
 }
@@ -76,6 +86,9 @@ func (o Options) validate() error {
 	}
 	if o.Threshold < 0 {
 		return fmt.Errorf("baseline: threshold must be non-negative, got %g", o.Threshold)
+	}
+	if o.DeltaHat != 0 && !(o.DeltaHat > 0 && o.DeltaHat < 0.5) {
+		return fmt.Errorf("baseline: δ̂ must lie in (0, 0.5) so the derived threshold is positive, got %g", o.DeltaHat)
 	}
 	return nil
 }
@@ -101,7 +114,11 @@ func Sanitize(l *searchlog.Log, opts Options) (*Release, error) {
 	scale := 2 * float64(d) / opts.Epsilon
 	tau := opts.Threshold
 	if tau == 0 {
-		tau = Threshold(opts.Epsilon, d, 1e-5)
+		dh := opts.DeltaHat
+		if dh == 0 {
+			dh = DefaultDeltaHat
+		}
+		tau = Threshold(opts.Epsilon, d, dh)
 	}
 	g := rng.New(opts.Seed ^ 0xABCD1234)
 

@@ -70,6 +70,51 @@ func TestQueryDivDominatesSPEQueries(t *testing.T) {
 	}
 }
 
+func TestMechanismFrontierCoversRegistry(t *testing.T) {
+	r := tinyRunner(t)
+	tab, err := r.MechanismFrontier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	perMech := map[string]int{}
+	for _, row := range tab.Rows {
+		perMech[row.Label]++
+	}
+	for _, name := range []string{"ump", "laplace", "zealous", "localdp"} {
+		if perMech[name] != 4 {
+			t.Errorf("mechanism %s has %d frontier rows, want 4 (one per e^ε)", name, perMech[name])
+		}
+	}
+	// localdp declares a pure-ε cost: its δ column must be 0 on every row.
+	for _, row := range tab.Rows {
+		if row.Label == "localdp" && row.Cells[4] != "0" {
+			t.Errorf("localdp cost δ = %q, want 0", row.Cells[4])
+		}
+	}
+}
+
+func TestBaselineCompareIteratesRegistry(t *testing.T) {
+	r := tinyRunner(t)
+	tab, err := r.BaselineCompare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 budgets × (F-UMP + every registered aggregate mechanism).
+	want := 3 * 4
+	if len(tab.Rows) != want {
+		t.Fatalf("baseline-compare rows = %d, want %d", len(tab.Rows), want)
+	}
+	for _, row := range tab.Rows {
+		if strings.HasPrefix(row.Label, "F-UMP") {
+			if row.Cells[3] != "yes" {
+				t.Errorf("%s: per-user analysis = %q, want yes", row.Label, row.Cells[3])
+			}
+		} else if row.Cells[3] != "no" {
+			t.Errorf("%s: per-user analysis = %q, want no (aggregate release)", row.Label, row.Cells[3])
+		}
+	}
+}
+
 func TestRunAllWithExtensions(t *testing.T) {
 	r := tinyRunner(t)
 	tabs, err := r.RunAllWithExtensions()

@@ -809,6 +809,8 @@ func (r *Runner) Run(id string) (*Table, error) {
 		return r.QueryDiv()
 	case "baseline-compare":
 		return r.BaselineCompare()
+	case "mechanism-frontier":
+		return r.MechanismFrontier()
 	}
 	return nil, fmt.Errorf("experiments: unknown experiment %q (have %v and extensions %v)", id, Experiments(), ExtensionExperiments())
 }

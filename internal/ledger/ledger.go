@@ -59,6 +59,13 @@ type Release struct {
 	// A release with a key already in the journal reproduces known output
 	// bytes and is served free of charge.
 	Key string `json:"key"`
+	// Mechanism is the resolved wire name of the mechanism that produced
+	// the release ("ump", "laplace", "zealous", "localdp"). Informational —
+	// the identity lives in Key, whose canonical options embed the
+	// mechanism — but ops reading the journal should not have to parse the
+	// key to see which mechanism spent the budget. Empty in journals
+	// written before mechanisms existed (all of which were UMP).
+	Mechanism string `json:"mechanism,omitempty"`
 	// Epsilon and Delta are the privacy cost charged for this release
 	// (ε plus ε′ when the end-to-end mode also spends on noisy counts).
 	Epsilon float64 `json:"epsilon"`
@@ -298,12 +305,14 @@ func (l *Ledger) overLocked(digest string, eps, delta float64) error {
 // entry is appended and fsynced, and only then committed in memory. On an
 // *OverBudgetError nothing is spent and the release must be withheld.
 func (l *Ledger) Charge(corpus, digest, key string, eps, delta float64) (Release, bool, error) {
-	return l.ChargeCtx(context.Background(), corpus, digest, key, eps, delta)
+	return l.ChargeCtx(context.Background(), corpus, digest, key, "", eps, delta)
 }
 
 // ChargeCtx is Charge with a "ledger.charge" span (and child spans around
-// the journal append and fsync) when ctx carries an active obs trace.
-func (l *Ledger) ChargeCtx(ctx context.Context, corpus, digest, key string, eps, delta float64) (Release, bool, error) {
+// the journal append and fsync) when ctx carries an active obs trace, and
+// with the producing mechanism's resolved name recorded on the journal
+// entry.
+func (l *Ledger) ChargeCtx(ctx context.Context, corpus, digest, key, mech string, eps, delta float64) (Release, bool, error) {
 	ctx, sp := obs.Start(ctx, "ledger.charge")
 	defer sp.End()
 	l.mu.Lock()
@@ -317,13 +326,14 @@ func (l *Ledger) ChargeCtx(ctx context.Context, corpus, digest, key string, eps,
 		return Release{}, false, err
 	}
 	rel := Release{
-		Seq:     l.seq + 1,
-		Corpus:  corpus,
-		Digest:  digest,
-		Key:     key,
-		Epsilon: eps,
-		Delta:   delta,
-		Time:    l.now().UTC(),
+		Seq:       l.seq + 1,
+		Corpus:    corpus,
+		Digest:    digest,
+		Key:       key,
+		Mechanism: mech,
+		Epsilon:   eps,
+		Delta:     delta,
+		Time:      l.now().UTC(),
 	}
 	line, err := json.Marshal(rel)
 	if err != nil {

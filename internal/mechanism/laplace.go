@@ -1,0 +1,63 @@
+package mechanism
+
+import (
+	"context"
+	"fmt"
+
+	"dpslog/internal/baseline"
+	"dpslog/internal/ledger"
+	"dpslog/internal/obs"
+	"dpslog/internal/searchlog"
+)
+
+// laplaceMechanism adapts the Korolova-style baseline (internal/baseline,
+// §2.1): bound each user to their D heaviest pairs, add Lap(2D/ε) noise to
+// the aggregate counts, and release the pairs whose noisy count clears the
+// threshold τ = (2D/ε)·ln(1/(2δ̂)).
+type laplaceMechanism struct{}
+
+func (laplaceMechanism) Name() string { return "laplace" }
+
+// Validate reads Delta as the per-item failure mass δ̂ behind the derived
+// threshold; the same (0, 0.5) constraint internal/baseline enforces.
+func (laplaceMechanism) Validate(opts Options) error {
+	if !(opts.Epsilon > 0) {
+		return fmt.Errorf("dpslog: laplace requires Epsilon > 0, got %g", opts.Epsilon)
+	}
+	if !(opts.Delta > 0 && opts.Delta < 0.5) {
+		return fmt.Errorf("dpslog: laplace reads Delta as the threshold failure mass δ̂, which must lie in (0, 0.5), got %g", opts.Delta)
+	}
+	if opts.D < 0 {
+		return fmt.Errorf("dpslog: laplace contribution bound D must be non-negative, got %d", opts.D)
+	}
+	return nil
+}
+
+func (laplaceMechanism) Canonical(opts Options) Options {
+	return aggCanonical(opts, "laplace", true, 20)
+}
+
+// Cost declares (ε, δ̂): the release is (ε, δ)-indistinguishable with the
+// disclosure mass governed by the threshold's δ̂, which is what the wire
+// Delta carries for this mechanism.
+func (laplaceMechanism) Cost(opts Options) ledger.Budget {
+	return ledger.Budget{Epsilon: opts.Epsilon, Delta: opts.Delta}
+}
+
+func (laplaceMechanism) Sanitize(ctx context.Context, in *searchlog.Log, opts Options) (*Release, error) {
+	_, sp := obs.Start(ctx, "laplace")
+	rel, err := baseline.Sanitize(in, baseline.Options{
+		Epsilon:  opts.Epsilon,
+		D:        opts.D,
+		DeltaHat: opts.Delta,
+		Seed:     opts.Seed,
+	})
+	if err != nil {
+		sp.End()
+		return nil, err
+	}
+	sp.SetAttr("pairs", len(rel.Pairs))
+	sp.SetAttr("bounded_users", rel.BoundedUsers)
+	sp.End()
+	return &Release{Mechanism: "laplace", Pairs: rel.Pairs, BoundedUsers: rel.BoundedUsers}, nil
+}

@@ -1,0 +1,167 @@
+package mechanism
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"dpslog/internal/baseline"
+	"dpslog/internal/ledger"
+	"dpslog/internal/searchlog"
+)
+
+// Mechanism is one sanitization mechanism behind the pluggable API. All
+// implementations are deterministic in Options.Seed and must not mutate
+// the input log.
+type Mechanism interface {
+	// Name is the wire name of the mechanism (the ?mechanism= value and
+	// the registry key).
+	Name() string
+	// Validate rejects option combinations the mechanism cannot run.
+	Validate(opts Options) error
+	// Canonical zeroes the fields the mechanism ignores and materializes
+	// its defaults, producing the identity the plan cache and the release
+	// ledger key on. Two option values with equal canonical forms must
+	// produce byte-identical releases.
+	Canonical(opts Options) Options
+	// Cost declares the (ε, δ) this mechanism charges a corpus budget per
+	// release under sequential composition. It is a pure function of the
+	// options: the ledger pre-checks it before any work is done.
+	Cost(opts Options) ledger.Budget
+	// Sanitize runs the mechanism over the input log.
+	Sanitize(ctx context.Context, in *searchlog.Log, opts Options) (*Release, error)
+}
+
+// PairCount is one released aggregate row: a query-url pair and its noisy
+// count (no user-ID — the schema loss the paper's mechanism avoids).
+type PairCount = baseline.PairCount
+
+// Release is the output of one mechanism run. Exactly one of Output
+// (schema-preserving mechanisms: a sanitized log with user-IDs) and Pairs
+// (aggregate mechanisms: noisy pair counts) is populated.
+type Release struct {
+	// Mechanism is the producing mechanism's Name.
+	Mechanism string
+	// Output is the sanitized log for schema-preserving mechanisms (UMP).
+	Output *searchlog.Log
+	// Result carries the full UMP pipeline outcome (plan, preprocessing
+	// stats) when Output is set.
+	Result *Result
+	// Pairs is the aggregate release for the histogram mechanisms.
+	Pairs []PairCount
+	// BoundedUsers counts users truncated by a contribution bound.
+	BoundedUsers int
+}
+
+// Rows is the released row count: output tuples for a schema-preserving
+// release, histogram rows for an aggregate one.
+func (r *Release) Rows() int {
+	if r.Output != nil {
+		return r.Output.Size()
+	}
+	return len(r.Pairs)
+}
+
+// SupportsUserAnalysis reports whether per-user analyses (query
+// association, session studies) are possible on this release — true only
+// for the schema-preserving mechanisms.
+func (r *Release) SupportsUserAnalysis() bool { return r.Output != nil }
+
+// Digest is a stable content hash of the release: the output log's digest
+// for schema-preserving releases, a sha256 over the sorted pair rows for
+// aggregate ones. Equal seeds and options must yield equal digests; the
+// HTTP tests pin determinism on this.
+func (r *Release) Digest() string {
+	if r.Output != nil {
+		return r.Output.Digest()
+	}
+	h := sha256.New()
+	for _, pc := range r.Pairs {
+		h.Write([]byte(pc.Query))
+		h.Write([]byte{'\t'})
+		h.Write([]byte(pc.URL))
+		h.Write([]byte{'\t'})
+		h.Write([]byte(strconv.FormatFloat(pc.Count, 'g', -1, 64)))
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// FrequentRecall evaluates Equation 9's Recall of the release against the
+// input's frequent pairs at minimum support s, uniformly across release
+// shapes: plan supports for a schema-preserving release, noisy-mass shares
+// for an aggregate one.
+func (r *Release) FrequentRecall(in *searchlog.Log, s float64) float64 {
+	if r.Output == nil {
+		agg := baseline.Release{Pairs: r.Pairs}
+		return agg.FrequentRecall(in, s)
+	}
+	pre := r.Result.Preprocessed
+	plan := r.Result.Plan
+	inFreq := map[searchlog.PairKey]bool{}
+	inSize := in.Size()
+	for i := 0; i < in.NumPairs(); i++ {
+		p := in.Pair(i)
+		if float64(p.Total)/float64(inSize) >= s {
+			inFreq[p.Key()] = true
+		}
+	}
+	if len(inFreq) == 0 {
+		return 1
+	}
+	hit := 0
+	for i := 0; i < pre.NumPairs(); i++ {
+		if plan.OutputSize == 0 || plan.Counts[i] == 0 {
+			continue
+		}
+		if float64(plan.Counts[i])/float64(plan.OutputSize) >= s && inFreq[pre.Pair(i).Key()] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(inFreq))
+}
+
+// registry maps wire names to mechanisms. Registration happens in this
+// package's init only, so reads need no locking.
+var registry = map[string]Mechanism{}
+
+func register(m Mechanism) {
+	if _, dup := registry[m.Name()]; dup {
+		panic(fmt.Sprintf("mechanism: duplicate registration of %q", m.Name()))
+	}
+	registry[m.Name()] = m
+}
+
+func init() {
+	register(umpMechanism{})
+	register(laplaceMechanism{})
+	register(zealousMechanism{})
+	register(localDPMechanism{})
+}
+
+// Get resolves a wire name to its mechanism. The empty string and "ump"
+// both resolve to the paper's UMP pipeline, the default.
+func Get(name string) (Mechanism, error) {
+	if name == "" {
+		name = "ump"
+	}
+	m, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("dpslog: unknown mechanism %q (valid: %s)", name, strings.Join(Names(), ", "))
+	}
+	return m, nil
+}
+
+// Names lists the registered mechanism names in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,60 @@
+package mechanism
+
+import (
+	"context"
+	"fmt"
+
+	"dpslog/internal/baseline"
+	"dpslog/internal/ledger"
+	"dpslog/internal/obs"
+	"dpslog/internal/searchlog"
+)
+
+// zealousMechanism adapts ZEALOUS (Götz et al., internal/baseline): bound
+// each user to M pairs, pre-threshold the bounded counts at τ₁, add
+// Lap(2M/ε) noise, post-threshold at τ₂. Options.D carries M; the derived
+// τ₁/τ₂ defaults follow the original analysis.
+type zealousMechanism struct{}
+
+func (zealousMechanism) Name() string { return "zealous" }
+
+func (zealousMechanism) Validate(opts Options) error {
+	if !(opts.Epsilon > 0) {
+		return fmt.Errorf("dpslog: zealous requires Epsilon > 0, got %g", opts.Epsilon)
+	}
+	if !(opts.Delta > 0 && opts.Delta < 1) {
+		return fmt.Errorf("dpslog: zealous requires Delta in (0, 1), got %g", opts.Delta)
+	}
+	if opts.D < 0 {
+		return fmt.Errorf("dpslog: zealous contribution bound D must be non-negative, got %d", opts.D)
+	}
+	return nil
+}
+
+func (zealousMechanism) Canonical(opts Options) Options {
+	return aggCanonical(opts, "zealous", true, 20)
+}
+
+// Cost declares (ε, δ): ZEALOUS natively satisfies the paper's Definition 2
+// notion of (ε, δ)-probabilistic differential privacy.
+func (zealousMechanism) Cost(opts Options) ledger.Budget {
+	return ledger.Budget{Epsilon: opts.Epsilon, Delta: opts.Delta}
+}
+
+func (zealousMechanism) Sanitize(ctx context.Context, in *searchlog.Log, opts Options) (*Release, error) {
+	_, sp := obs.Start(ctx, "zealous")
+	rel, err := baseline.SanitizeZealous(in, baseline.ZealousOptions{
+		Epsilon: opts.Epsilon,
+		Delta:   opts.Delta,
+		M:       opts.D,
+		Seed:    opts.Seed,
+	})
+	if err != nil {
+		sp.End()
+		return nil, err
+	}
+	sp.SetAttr("pairs", len(rel.Pairs))
+	sp.SetAttr("bounded_users", rel.BoundedUsers)
+	sp.End()
+	return &Release{Mechanism: "zealous", Pairs: rel.Pairs, BoundedUsers: rel.BoundedUsers}, nil
+}

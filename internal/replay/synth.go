@@ -28,15 +28,19 @@ type SynthConfig struct {
 	Seed     uint64
 	// EExp and Delta are the privacy parameters of sanitize requests.
 	// Corpus-referencing releases spend (ln EExp, Delta) of the server's
-	// per-corpus budget per distinct seed; with CorpusDistinct distinct
-	// seeds the trace stays replayable as long as
-	// CorpusDistinct·(ln EExp, Delta) fits the budget — repeats of a seed
-	// are idempotent releases and charge nothing.
+	// per-corpus budget per distinct seed, and the mech_sanitize class adds
+	// two more distinct releases — one zealous at (ln EExp, Delta), one
+	// localdp at (ln EExp, 0) — so the trace stays replayable as long as
+	// (CorpusDistinct+2)·ln EExp and (CorpusDistinct+1)·Delta fit the
+	// budget; repeats of a (mechanism, seed) pair are idempotent releases
+	// and charge nothing. At the defaults (EExp 2, Delta 0.25,
+	// CorpusDistinct 2) the spend is (4·ln 2, 0.75) — exactly the server's
+	// default ε = ln 16 ceiling and within its δ = 1.
 	EExp, Delta float64
 	Objective   string
 	// Distinct rotates stateless sanitize seeds (plan-cache mix);
 	// CorpusDistinct bounds the distinct corpus-release seeds (budget
-	// spend). Defaults 4 and 3.
+	// spend). Defaults 4 and 2.
 	Distinct, CorpusDistinct int
 	// Storm429 appends a deliberate over-budget burst: requests whose ε
 	// alone exceeds any sane corpus budget, each expecting a 429. Fired
@@ -50,14 +54,16 @@ type SynthConfig struct {
 }
 
 // The mixed-traffic classes and their weights: mostly solves (stateless
-// and corpus-referencing, sync and async), a steady trickle of corpus
-// re-uploads, and cheap budget/stats probes.
+// and corpus-referencing, sync and async), a slice of non-UMP mechanism
+// releases, a steady trickle of corpus re-uploads, and cheap budget/stats
+// probes.
 var synthMix = []struct {
 	class  string
 	weight float64
 }{
 	{"sanitize", 0.30},
-	{"corpus_sanitize", 0.25},
+	{"corpus_sanitize", 0.15},
+	{"mech_sanitize", 0.10},
 	{"sanitize_async", 0.10},
 	{"ingest_put", 0.05},
 	{"budget", 0.15},
@@ -93,7 +99,7 @@ func Synthesize(cfg SynthConfig) (*Trace, error) {
 		cfg.Distinct = 4
 	}
 	if cfg.CorpusDistinct <= 0 {
-		cfg.CorpusDistinct = 3
+		cfg.CorpusDistinct = 2
 	}
 	if cfg.CorpusName == "" {
 		cfg.CorpusName = "replay"
@@ -140,6 +146,17 @@ func Synthesize(cfg SynthConfig) (*Trace, error) {
 		}{opts})
 		return string(env)
 	}
+	// Non-UMP mechanism releases pin seed 1: the class exercises the
+	// dispatch and per-mechanism charging paths, and a single (mechanism,
+	// seed) identity per mechanism keeps its budget spend flat however many
+	// requests the mix deals it.
+	mechBody := func(mech string, delta float64) string {
+		opts := dpslog.Options{Mechanism: mech, Epsilon: math.Log(cfg.EExp), Delta: delta, Seed: 1}
+		env, _ := json.Marshal(struct {
+			Options dpslog.Options `json:"options"`
+		}{opts})
+		return string(env)
+	}
 
 	g := rng.New(cfg.Seed)
 	var t time.Duration
@@ -178,6 +195,15 @@ func Synthesize(cfg SynthConfig) (*Trace, error) {
 			rec.Path = "/v1/corpora/" + cfg.CorpusName + "/sanitize"
 			rec.ContentType = "application/json"
 			rec.Body = corpusBody(uint64(i%cfg.CorpusDistinct+1), math.Log(cfg.EExp), cfg.Delta)
+		case "mech_sanitize":
+			rec.Method = "POST"
+			rec.Path = "/v1/corpora/" + cfg.CorpusName + "/sanitize"
+			rec.ContentType = "application/json"
+			if i%2 == 0 {
+				rec.Body = mechBody("zealous", cfg.Delta)
+			} else {
+				rec.Body = mechBody("localdp", 0)
+			}
 		case "ingest_put":
 			rec.Method = "PUT"
 			rec.Path = "/v1/corpora/" + cfg.CorpusName

@@ -265,23 +265,15 @@ func (s *Server) handleCorpusReleases(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// releaseCost is the (ε, δ) charged for one sanitization under sequential
-// composition. End-to-end mode additionally spends ε′ on the noisy count
-// computation (§4.2), so it composes in.
-func releaseCost(opts dpslog.Options) (eps, delta float64) {
-	eps = opts.Epsilon
-	if opts.EndToEnd {
-		eps += opts.EpsPrime
-	}
-	return eps, opts.Delta
-}
-
-// handleCorpusSanitize releases a sanitization of a stored corpus. The
-// release is charged against the corpus budget *after* the solve succeeds
-// but *before* any output byte reaches the client; identical releases
-// (same digest, canonical options and seed — byte-identical output) are
-// idempotent and free. Requests the remaining budget cannot cover get a
-// structured 429 carrying the remaining (ε, δ).
+// handleCorpusSanitize releases a sanitization of a stored corpus through
+// the mechanism the options name. Each mechanism declares its own (ε, δ)
+// release cost (internal/mechanism), which is what the ledger pre-checks
+// and charges under sequential composition. The release is charged against
+// the corpus budget *after* the solve succeeds but *before* any output byte
+// reaches the client; identical releases (same digest, canonical options
+// and seed — byte-identical output) are idempotent and free. Requests the
+// remaining budget cannot cover get a structured 429 carrying the remaining
+// (ε, δ).
 func (s *Server) handleCorpusSanitize(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	// Capture the (log, digest) pair once, atomically: the Log is immutable,
@@ -305,13 +297,19 @@ func (s *Server) handleCorpusSanitize(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	mech, err := s.resolveMechanism(opts)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	// Resolve the deterministic seed now so the release identity is fixed
 	// before any work happens.
 	if opts.Seed == 0 {
 		opts.Seed = seedFromDigest(m.Digest)
 	}
 	key := cacheKey(m.Digest, opts)
-	eps, delta := releaseCost(opts)
+	cost := mech.Cost(opts)
+	eps, delta := cost.Epsilon, cost.Delta
 
 	// Non-binding pre-check: refuse obviously over-budget requests before
 	// paying for a solve. The binding decision is the post-solve Charge.
@@ -331,7 +329,7 @@ func (s *Server) handleCorpusSanitize(w http.ResponseWriter, r *http.Request) {
 	)
 	ctx := r.Context()
 	_, qsp := obs.Start(ctx, "queue.wait")
-	err := s.pool.Do(ctx, func() {
+	err = s.pool.Do(ctx, func() {
 		qsp.End()
 		resp, runErr = s.runSanitize(ctx, l, opts, m.Digest)
 	})
@@ -356,7 +354,7 @@ func (s *Server) handleCorpusSanitize(w http.ResponseWriter, r *http.Request) {
 	// output byte leaves the server. A race with concurrent releases can
 	// still exhaust the budget here; the solve is then discarded — compute
 	// is wasted, privacy is not.
-	rel, _, err := s.budgets.ChargeCtx(ctx, m.Name, m.Digest, key, eps, delta)
+	rel, _, err := s.budgets.ChargeCtx(ctx, m.Name, m.Digest, key, mech.Name(), eps, delta)
 	if err != nil {
 		var over *dpslog.OverBudgetError
 		if errors.As(err, &over) {

@@ -25,6 +25,9 @@ type Metrics struct {
 	stages     map[string]*histogram
 	solver     solverMetrics
 	ingest     ingestMetrics
+	// mechanisms counts completed sanitizations (cached and solved alike)
+	// by release mechanism wire name.
+	mechanisms map[string]int64
 }
 
 // solverMetrics accumulates the LP-engine depth counters surfaced by
@@ -85,6 +88,7 @@ func NewMetrics() *Metrics {
 		latency:    make(map[string]*histogram),
 		components: &histogram{counts: make([]int64, len(componentBuckets))},
 		stages:     make(map[string]*histogram),
+		mechanisms: make(map[string]int64),
 	}
 }
 
@@ -122,6 +126,14 @@ func (m *Metrics) ObserveSolver(iterations int, st dpslog.SolveStats) {
 	m.solver.presolveCols += int64(st.PresolveCols)
 	m.solver.warmHits += int64(st.WarmHits)
 	m.solver.warmMisses += int64(st.WarmMisses)
+}
+
+// ObserveSanitizeMechanism records one completed sanitization under its
+// release mechanism's wire name, whether it was solved or cache-served.
+func (m *Metrics) ObserveSanitizeMechanism(name string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.mechanisms[name]++
 }
 
 // ObserveSolveComponents records the connected-component count of one
@@ -298,6 +310,17 @@ func (m *Metrics) WriteTo(w io.Writer, g Gauges) {
 	fmt.Fprintln(w, "# TYPE slserve_solver_warm_starts_total counter")
 	fmt.Fprintf(w, "slserve_solver_warm_starts_total{result=\"hit\"} %d\n", m.solver.warmHits)
 	fmt.Fprintf(w, "slserve_solver_warm_starts_total{result=\"miss\"} %d\n", m.solver.warmMisses)
+
+	fmt.Fprintln(w, "# HELP slserve_sanitize_mechanism_total Completed sanitizations by release mechanism (cached and solved alike).")
+	fmt.Fprintln(w, "# TYPE slserve_sanitize_mechanism_total counter")
+	mechNames := make([]string, 0, len(m.mechanisms))
+	for name := range m.mechanisms {
+		mechNames = append(mechNames, name)
+	}
+	sort.Strings(mechNames)
+	for _, name := range mechNames {
+		fmt.Fprintf(w, "slserve_sanitize_mechanism_total{mechanism=%q} %d\n", name, m.mechanisms[name])
+	}
 
 	fmt.Fprintln(w, "# HELP slserve_build_info Build metadata; the value is always 1.")
 	fmt.Fprintln(w, "# TYPE slserve_build_info gauge")

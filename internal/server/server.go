@@ -33,11 +33,17 @@
 //
 // A JSON body carries {"options": {...}, "records": [...]} or {"options":
 // {...}, "tsv": "..."}; any other content type is read as a raw canonical
-// TSV log with the options taken from query parameters (eexp or epsilon,
-// delta, objective, support, size, solver, seed, parallelism). When the
-// request omits a
+// TSV log with the options taken from query parameters (mechanism, eexp or
+// epsilon, delta, objective, support, size, solver, seed, parallelism, d).
+// When the request omits a
 // seed, the server derives one deterministically from the corpus digest, so
 // identical requests produce identical outputs (and cache cleanly).
+//
+// Both sanitize endpoints dispatch on ?mechanism= (or the JSON "mechanism"
+// option) through internal/mechanism's registry: "ump" (default), "laplace",
+// "zealous" and "localdp". The aggregate mechanisms release noisy pair
+// counts ("pairs") instead of user-attributed records, and each release is
+// charged at the mechanism's own declared (ε, δ) cost.
 package server
 
 import (
@@ -52,6 +58,7 @@ import (
 	"net/http"
 	"path/filepath"
 	"runtime"
+	"slices"
 	"strconv"
 	"strings"
 	"time"
@@ -59,6 +66,7 @@ import (
 	"dpslog"
 	"dpslog/internal/corpus"
 	"dpslog/internal/ledger"
+	"dpslog/internal/mechanism"
 	"dpslog/internal/obs"
 )
 
@@ -120,6 +128,13 @@ type Config struct {
 	// δ = 1 — four (e^ε = 2, δ = 0.25) releases — a demo-sized allowance;
 	// production deployments should set it deliberately.
 	Budget dpslog.Budget
+	// Mechanisms restricts the release mechanisms this server will run
+	// (wire names: "ump", "laplace", "zealous", "localdp"). Empty allows
+	// every registered mechanism. A request naming a mechanism outside the
+	// allowlist gets a structured 400 — the option is a deployment policy,
+	// not a privacy control: disabled mechanisms charge nothing because they
+	// never run.
+	Mechanisms []string
 	// TraceBuffer is the ring capacity of retained request traces served by
 	// GET /v1/debug/traces (default 128).
 	TraceBuffer int
@@ -399,6 +414,14 @@ type planJSON struct {
 	Counts []int `json:"counts"`
 }
 
+// pairJSON is the wire form of one aggregate release row: a query-url pair
+// and its noisy count, with no user attribution.
+type pairJSON struct {
+	Query string  `json:"query"`
+	URL   string  `json:"url"`
+	Count float64 `json:"count"`
+}
+
 // sanitizeResponse is the wire form of a completed sanitization. Cached and
 // ElapsedMS are per-request and overwritten on each response; everything
 // else is immutable once computed and shared via the plan cache.
@@ -411,8 +434,20 @@ type sanitizeResponse struct {
 	DroppedUsers     []string               `json:"dropped_users,omitempty"`
 	Plan             planJSON               `json:"plan"`
 	Records          []Record               `json:"records"`
-	Cached           bool                   `json:"cached"`
-	ElapsedMS        float64                `json:"elapsed_ms"`
+	// Mechanism is the resolved release mechanism name ("ump" for the
+	// paper's pipeline). Aggregate mechanisms populate Pairs instead of
+	// Records.
+	Mechanism string `json:"mechanism,omitempty"`
+	// Pairs is the aggregate release of the histogram mechanisms
+	// (laplace, zealous, localdp).
+	Pairs []pairJSON `json:"pairs,omitempty"`
+	// ReleaseDigest is the content hash of the released data — the output
+	// log digest for ump, a hash over the released pair rows for aggregate
+	// mechanisms. Identical seeds and canonical options yield identical
+	// release digests.
+	ReleaseDigest string  `json:"release_digest,omitempty"`
+	Cached        bool    `json:"cached"`
+	ElapsedMS     float64 `json:"elapsed_ms"`
 	// Trace is the request's span tree, stamped on the per-request response
 	// copy when the client asked for ?debug=trace (never cached).
 	Trace *obs.SpanJSON `json:"trace,omitempty"`
@@ -514,11 +549,12 @@ func decodeSanitizeRequest(r *http.Request) (*dpslog.Log, dpslog.Options, error)
 	return l, opts, nil
 }
 
-// optionsFromQuery parses the TSV-body option surface: eexp or epsilon,
-// delta, objective, support, size, solver, seed.
+// optionsFromQuery parses the TSV-body option surface: mechanism, eexp or
+// epsilon, delta, objective, support, size, solver, seed, d.
 func optionsFromQuery(r *http.Request) (dpslog.Options, error) {
 	q := r.URL.Query()
 	var opts dpslog.Options
+	opts.Mechanism = q.Get("mechanism")
 	getF := func(name string, dst *float64) error {
 		if v := q.Get(name); v != "" {
 			f, err := strconv.ParseFloat(v, 64)
@@ -572,7 +608,29 @@ func optionsFromQuery(r *http.Request) (dpslog.Options, error) {
 		}
 		opts.Parallelism = n
 	}
+	if v := q.Get("d"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return opts, fmt.Errorf("bad query parameter d=%q: %v", v, err)
+		}
+		opts.D = n
+	}
 	return opts, nil
+}
+
+// resolveMechanism maps the request's mechanism selection to its registered
+// implementation and enforces the configured allowlist. Errors are client
+// errors (400): an unknown or disabled mechanism name.
+func (s *Server) resolveMechanism(opts dpslog.Options) (mechanism.Mechanism, error) {
+	m, err := mechanism.Get(opts.Mechanism)
+	if err != nil {
+		return nil, err
+	}
+	if len(s.cfg.Mechanisms) > 0 && !slices.Contains(s.cfg.Mechanisms, m.Name()) {
+		return nil, fmt.Errorf("mechanism %q is disabled on this server (enabled: %s)",
+			m.Name(), strings.Join(s.cfg.Mechanisms, ", "))
+	}
+	return m, nil
 }
 
 // seedFromDigest derives the deterministic default seed for requests that
@@ -597,11 +655,17 @@ func cacheKey(digest string, opts dpslog.Options) string {
 
 // --- Sanitization core ---------------------------------------------------
 
-// runSanitize executes (or cache-serves) one sanitization. It is called on
-// a pool worker for sync requests, async jobs, and corpus releases. digest
-// is the precomputed corpus identity — corpus requests pass the stored
-// digest so referencing a corpus never re-hashes it.
+// runSanitize executes (or cache-serves) one sanitization, dispatching on
+// the options' mechanism. It is called on a pool worker for sync requests,
+// async jobs, and corpus releases. digest is the precomputed corpus
+// identity — corpus requests pass the stored digest so referencing a corpus
+// never re-hashes it.
 func (s *Server) runSanitize(ctx context.Context, l *dpslog.Log, opts dpslog.Options, digest string) (*sanitizeResponse, error) {
+	mech, err := mechanism.Get(opts.Mechanism)
+	if err != nil {
+		return nil, err
+	}
+	obs.FromContext(ctx).SetAttr("mechanism", mech.Name())
 	if opts.Seed == 0 {
 		opts.Seed = seedFromDigest(digest)
 	}
@@ -619,9 +683,35 @@ func (s *Server) runSanitize(ctx context.Context, l *dpslog.Log, opts dpslog.Opt
 	csp.SetAttr("hit", ok)
 	csp.End()
 	if ok {
+		s.metrics.ObserveSanitizeMechanism(mech.Name())
 		hit := *resp
 		hit.Cached = true
 		return &hit, nil
+	}
+	if mech.Name() != "ump" {
+		// Aggregate mechanisms: no plan, no preprocessing stats — the
+		// release is the noisy pair histogram.
+		rel, err := mech.Sanitize(ctx, l, opts)
+		if err != nil {
+			return nil, err
+		}
+		pairs := make([]pairJSON, len(rel.Pairs))
+		for i, pc := range rel.Pairs {
+			pairs[i] = pairJSON{Query: pc.Query, URL: pc.URL, Count: pc.Count}
+		}
+		resp = &sanitizeResponse{
+			Digest:        digest,
+			Seed:          opts.Seed,
+			InputSize:     l.Size(),
+			Records:       []Record{},
+			Mechanism:     mech.Name(),
+			Pairs:         pairs,
+			ReleaseDigest: rel.Digest(),
+		}
+		s.metrics.ObserveSanitizeMechanism(mech.Name())
+		s.cache.Put(key, resp)
+		own := *resp
+		return &own, nil
 	}
 	san, err := dpslog.New(opts)
 	if err != nil {
@@ -664,8 +754,11 @@ func (s *Server) runSanitize(ctx context.Context, l *dpslog.Log, opts dpslog.Opt
 			NoiseApplied:        res.Plan.NoiseApplied,
 			Counts:              res.Plan.Counts,
 		},
-		Records: out,
+		Records:       out,
+		Mechanism:     "ump",
+		ReleaseDigest: res.Output.Digest(),
 	}
+	s.metrics.ObserveSanitizeMechanism("ump")
 	s.metrics.ObserveSolveComponents(res.Plan.Components)
 	s.metrics.ObserveSolver(res.Plan.Iterations, res.Plan.Solver)
 	s.cache.Put(key, resp)
@@ -830,6 +923,10 @@ func (s *Server) handleSanitize(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if _, err := s.resolveMechanism(opts); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	_, hsp := obs.Start(ctx, "digest")
 	digest := dpslog.Digest(l)
 	hsp.End()
@@ -880,6 +977,10 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := opts.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if _, err := s.resolveMechanism(opts); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}

@@ -3,283 +3,73 @@ package dpslog
 import (
 	"context"
 	"fmt"
-	"slices"
-	"strings"
 
 	"dpslog/internal/bip"
 	"dpslog/internal/dp"
-	"dpslog/internal/obs"
-	"dpslog/internal/rng"
-	"dpslog/internal/sampling"
+	"dpslog/internal/mechanism"
 	"dpslog/internal/ump"
 )
 
+// The sanitization core lives in internal/mechanism behind the pluggable
+// Mechanism interface (PR 9); this file re-exports the UMP vocabulary so
+// the public API is unchanged, and keeps the library-level conveniences
+// (Sanitizer, Lambda, MinBudget) that predate the interface.
+
 // Objective selects the utility-maximizing problem the sanitizer solves.
-type Objective int
+type Objective = mechanism.Objective
 
 const (
 	// ObjectiveOutputSize maximizes the output size Σ x_ij (O-UMP, §5.1).
-	ObjectiveOutputSize Objective = iota
+	ObjectiveOutputSize = mechanism.ObjectiveOutputSize
 	// ObjectiveFrequent minimizes the frequent-pair support distances at a
 	// fixed output size (F-UMP, §5.2). Requires MinSupport; OutputSize
 	// defaults to λ/2.
-	ObjectiveFrequent
+	ObjectiveFrequent = mechanism.ObjectiveFrequent
 	// ObjectiveDiversity maximizes the number of distinct retained pairs
 	// (D-UMP, §5.3) using the configured BIP solver (default: the paper's
 	// SPE heuristic).
-	ObjectiveDiversity
+	ObjectiveDiversity = mechanism.ObjectiveDiversity
 	// ObjectiveCombined is the paper's §7 "joint objective" extension: a
 	// single LP trading output size against frequent-pair support fidelity
 	// with no fixed |O|. Requires MinSupport; weighted by SizeWeight and
 	// DistanceWeight (both default to 1 when zero).
-	ObjectiveCombined
+	ObjectiveCombined = mechanism.ObjectiveCombined
 	// ObjectiveQueryDiversity maximizes the number of distinct *queries*
 	// retained — the query-level variant §5.3 sketches.
-	ObjectiveQueryDiversity
+	ObjectiveQueryDiversity = mechanism.ObjectiveQueryDiversity
 )
-
-func (o Objective) String() string {
-	switch o {
-	case ObjectiveOutputSize:
-		return "output-size"
-	case ObjectiveFrequent:
-		return "frequent-pairs"
-	case ObjectiveDiversity:
-		return "diversity"
-	case ObjectiveCombined:
-		return "combined"
-	case ObjectiveQueryDiversity:
-		return "query-diversity"
-	}
-	return fmt.Sprintf("Objective(%d)", int(o))
-}
 
 // ParseObjective maps a name to an Objective. Both the canonical String
 // forms ("output-size", "frequent-pairs", …) and the short CLI forms
 // ("size", "frequent") are accepted; the empty string is ObjectiveOutputSize.
-func ParseObjective(s string) (Objective, error) {
-	switch s {
-	case "", "size", "output-size":
-		return ObjectiveOutputSize, nil
-	case "frequent", "frequent-pairs":
-		return ObjectiveFrequent, nil
-	case "diversity":
-		return ObjectiveDiversity, nil
-	case "combined":
-		return ObjectiveCombined, nil
-	case "query-diversity":
-		return ObjectiveQueryDiversity, nil
-	}
-	return 0, fmt.Errorf("dpslog: unknown objective %q (valid: size, frequent, diversity, combined, query-diversity)", s)
-}
-
-// MarshalText renders the objective by its canonical name, so Options
-// round-trip through JSON with readable objective values.
-func (o Objective) MarshalText() ([]byte, error) { return []byte(o.String()), nil }
-
-// UnmarshalText parses any name ParseObjective accepts.
-func (o *Objective) UnmarshalText(b []byte) error {
-	v, err := ParseObjective(string(b))
-	if err != nil {
-		return err
-	}
-	*o = v
-	return nil
-}
+func ParseObjective(s string) (Objective, error) { return mechanism.ParseObjective(s) }
 
 // SolverNames lists the registered D-UMP BIP solver names in sorted order.
 func SolverNames() []string { return bip.Names() }
 
-// Options configure a Sanitizer. The JSON field names are the wire format
-// of the slserve HTTP API (see internal/server).
-type Options struct {
-	// Epsilon is ε > 0. The paper parameterizes experiments by e^ε; use
-	// math.Log to convert.
-	Epsilon float64 `json:"epsilon"`
-	// Delta is δ ∈ (0, 1), the bound on the probability of producing an
-	// output that breaches ε-differential privacy (Definition 2).
-	Delta float64 `json:"delta"`
-	// Objective selects the utility-maximizing problem (default
-	// ObjectiveOutputSize). In JSON it is a name: "output-size",
-	// "frequent-pairs", "diversity", "combined" or "query-diversity".
-	Objective Objective `json:"objective,omitzero"`
-	// MinSupport is the frequent-pair threshold s for ObjectiveFrequent
-	// (pair is frequent when c_ij/|D| ≥ s).
-	MinSupport float64 `json:"min_support,omitzero"`
-	// OutputSize is the fixed |O| for ObjectiveFrequent; 0 picks λ/2 where λ
-	// is the O-UMP maximum for the same parameters.
-	OutputSize int `json:"output_size,omitzero"`
-	// Solver names the D-UMP BIP solver: spe (default), spe-violated,
-	// branchbound, feaspump, rounding or greedy.
-	Solver string `json:"solver,omitzero"`
-	// SizeWeight and DistanceWeight balance ObjectiveCombined's joint
-	// objective; both default to 1 when left zero.
-	SizeWeight     float64 `json:"size_weight,omitzero"`
-	DistanceWeight float64 `json:"distance_weight,omitzero"`
-	// Seed drives the multinomial sampling (and the Laplace noise when
-	// end-to-end mode is on). Runs are deterministic in the seed.
-	Seed uint64 `json:"seed,omitzero"`
-	// Parallelism bounds the concurrent connected-component solves of the
-	// optimization step (0 = GOMAXPROCS, 1 = sequential). The sanitized
-	// output is invariant in it — components of the user–pair graph are
-	// solved independently and stitched deterministically — so it tunes
-	// wall-clock only. See DESIGN.md §6.
-	Parallelism int `json:"parallelism,omitzero"`
-
-	// EndToEnd enables §4.2: Laplace noise Lap(D/EpsPrime) is added to the
-	// optimal counts (making the count computation itself differentially
-	// private) and the noisy plan is projected back into the Theorem-1
-	// polytope.
-	EndToEnd bool `json:"end_to_end,omitzero"`
-	// D is the §4.2 count sensitivity bound (required > 0 when EndToEnd).
-	D int `json:"d,omitzero"`
-	// EpsPrime is the §4.2 privacy budget ε′ of the count-computation step
-	// (required > 0 when EndToEnd).
-	EpsPrime float64 `json:"eps_prime,omitzero"`
-	// BoundSensitivity additionally runs §4.2's preprocessing procedure
-	// before optimizing (EndToEnd only): every user log whose removal would
-	// shift any pair's optimal count by more than D is dropped, enforcing
-	// the sensitivity bound the Laplace scale assumes. Costs one solve per
-	// user log — quadratic; intended for small corpora, exactly as the
-	// paper treats it.
-	BoundSensitivity bool `json:"bound_sensitivity,omitzero"`
-
-	// NoBoxConstraint drops the x_ij ≤ c_ij cap (ablation benchmarks only;
-	// see DESIGN.md §2).
-	NoBoxConstraint bool `json:"no_box_constraint,omitzero"`
-}
-
-// Canonical returns the options with irrelevant fields zeroed and defaults
-// made explicit, so that configurations which run identically compare (and
-// hash) identically: the Solver default materializes for the diversity
-// objectives and is cleared elsewhere, F-UMP thresholds are cleared outside
-// ObjectiveFrequent/ObjectiveCombined, the combined weights default to 1,
-// and the §4.2 fields are cleared unless EndToEnd is set. The server's plan
-// cache keys on the canonical form.
-func (o Options) Canonical() Options {
-	switch o.Objective {
-	case ObjectiveDiversity, ObjectiveQueryDiversity:
-		if o.Solver == "" {
-			o.Solver = "spe"
-		}
-	default:
-		o.Solver = ""
-	}
-	switch o.Objective {
-	case ObjectiveFrequent:
-	case ObjectiveCombined:
-		o.SizeWeight, o.DistanceWeight = o.combinedWeights()
-		o.OutputSize = 0
-	default:
-		o.MinSupport, o.OutputSize = 0, 0
-	}
-	if o.Objective != ObjectiveCombined {
-		o.SizeWeight, o.DistanceWeight = 0, 0
-	}
-	if !o.EndToEnd {
-		o.D, o.EpsPrime, o.BoundSensitivity = 0, 0, false
-	}
-	// Plans (and therefore outputs) are parallelism-invariant, so the
-	// canonical form — and the server's plan cache key — ignores it:
-	// identical corpora solved at different parallelism levels share one
-	// cache entry.
-	o.Parallelism = 0
-	return o
-}
-
-func (o Options) validate() error {
-	p := dp.Params{Eps: o.Epsilon, Delta: o.Delta}
-	if err := p.Validate(); err != nil {
-		return err
-	}
-	switch o.Objective {
-	case ObjectiveOutputSize, ObjectiveDiversity, ObjectiveQueryDiversity:
-	case ObjectiveFrequent, ObjectiveCombined:
-		if !(o.MinSupport > 0 && o.MinSupport <= 1) {
-			return fmt.Errorf("dpslog: %v requires MinSupport in (0, 1], got %g", o.Objective, o.MinSupport)
-		}
-		if o.OutputSize < 0 {
-			return fmt.Errorf("dpslog: OutputSize must be non-negative, got %d", o.OutputSize)
-		}
-		if o.SizeWeight < 0 || o.DistanceWeight < 0 {
-			return fmt.Errorf("dpslog: objective weights must be non-negative")
-		}
-	default:
-		return fmt.Errorf("dpslog: unknown objective %v", o.Objective)
-	}
-	if o.Parallelism < 0 {
-		return fmt.Errorf("dpslog: Parallelism must be non-negative (0 = GOMAXPROCS), got %d", o.Parallelism)
-	}
-	// Fail fast on a bad solver name here rather than deep inside a D-UMP
-	// solve. The empty string means the default ("spe").
-	if o.Solver != "" && !slices.Contains(bip.Names(), o.Solver) {
-		return fmt.Errorf("dpslog: unknown solver %q (valid: %s)", o.Solver, strings.Join(bip.Names(), ", "))
-	}
-	if o.EndToEnd {
-		if o.D <= 0 {
-			return fmt.Errorf("dpslog: EndToEnd requires sensitivity bound D > 0, got %d", o.D)
-		}
-		if !(o.EpsPrime > 0) {
-			return fmt.Errorf("dpslog: EndToEnd requires EpsPrime > 0, got %g", o.EpsPrime)
-		}
-	} else if o.BoundSensitivity {
-		return fmt.Errorf("dpslog: BoundSensitivity requires EndToEnd")
-	}
-	return nil
-}
+// Options configure a Sanitizer (and, through the mechanism field, any
+// registered release mechanism). The JSON field names are the wire format
+// of the slserve HTTP API (see internal/server). Canonical and Validate
+// dispatch on the mechanism name; see internal/mechanism.
+type Options = mechanism.Options
 
 // Plan summarizes the optimization step of a sanitization run.
-type Plan struct {
-	// Kind is "O-UMP", "F-UMP" or "D-UMP".
-	Kind string
-	// Counts are the integral per-pair output counts, aligned with the pair
-	// indices of Result.Preprocessed.
-	Counts []int
-	// OutputSize is Σ Counts.
-	OutputSize int
-	// Objective is the problem objective at the integral plan (size,
-	// distance sum, or retained pairs).
-	Objective float64
-	// RelaxationObjective is the fractional optimum of the underlying LP
-	// (or the BIP objective for D-UMP).
-	RelaxationObjective float64
-	// Lambda is the O-UMP maximum output size computed for ObjectiveFrequent
-	// runs (0 otherwise).
-	Lambda int
-	// Iterations counts simplex iterations or BIP solver nodes (summed over
-	// components for a decomposed solve).
-	Iterations int
-	// Components is the number of connected components of the user–pair
-	// incidence graph the solve decomposed into (1 for a connected corpus).
-	Components int
-	// NoiseApplied reports that §4.2 end-to-end noise perturbed the counts.
-	NoiseApplied bool
-	// Solver aggregates the solver-depth counters (LP solves, simplex
-	// refactorizations, presolve eliminations, eta-file peak, warm-start
-	// hits vs cold fallbacks) across every LP behind the plan.
-	Solver SolveStats
-}
+type Plan = mechanism.Plan
 
 // SolveStats aggregates solver-depth counters across the LPs behind one
 // plan; see ump.SolveStats for field semantics.
 type SolveStats = ump.SolveStats
 
 // Result is a completed sanitization.
-type Result struct {
-	// Output is the sanitized log, schema-identical to the input.
-	Output *Log
-	// Preprocessed is the input after unique-pair removal (and, when
-	// Options.BoundSensitivity is set, after §4.2 user-log dropping);
-	// Plan.Counts is indexed by its pairs.
-	Preprocessed *Log
-	// PreStats reports what preprocessing removed.
-	PreStats PreprocessStats
-	// DroppedUsers lists external user IDs removed by §4.2 sensitivity
-	// bounding (empty unless Options.BoundSensitivity).
-	DroppedUsers []string
-	// Plan is the audited optimization outcome that drove the sampling.
-	Plan Plan
-}
+type Result = mechanism.Result
+
+// WarmCache shares simplex basis snapshots across repeated solves of the
+// same corpus; see internal/mechanism for the reproducibility contract.
+type WarmCache = mechanism.WarmCache
+
+// NewWarmCache creates an empty warm-start cache with rolling (latest
+// basis wins) semantics, the right default for sequential re-solves.
+func NewWarmCache() *WarmCache { return mechanism.NewWarmCache() }
 
 // Sanitizer runs the paper's Algorithm 1 with a fixed configuration.
 type Sanitizer struct {
@@ -287,58 +77,30 @@ type Sanitizer struct {
 	warm *WarmCache
 }
 
-// WarmCache shares simplex basis snapshots across repeated solves of the
-// same corpus (PR 3): a server re-solving after a plan-cache eviction, or
-// a sweep over privacy budgets, warm-starts each LP from the previous
-// optimal basis instead of re-deriving it from scratch. Snapshots are
-// validated before use — a stale or mismatched basis falls back to a cold
-// start — so warm starts never compromise feasibility or optimality.
-// Callers that need bit-reproducible releases must scope a cache to one
-// (corpus, configuration) pair, as internal/server does: re-solving the
-// *same* problem from its own optimal basis reproduces that basis, while
-// seeding from a different budget's basis may legitimately select a
-// different optimal vertex when the LP has alternate optima.
-type WarmCache struct {
-	pool *ump.WarmStarts
-}
-
-// NewWarmCache creates an empty warm-start cache with rolling (latest
-// basis wins) semantics, the right default for sequential re-solves.
-func NewWarmCache() *WarmCache {
-	return &WarmCache{pool: ump.NewWarmStarts(false)}
-}
-
-// SetWarmCache attaches a warm-start cache to the sanitizer. Pass nil to
-// detach. The cache is corpus-scoped: callers multiplexing corpora must
-// keep one cache per corpus (keyed by Digest, as internal/server does).
-func (s *Sanitizer) SetWarmCache(w *WarmCache) { s.warm = w }
-
-// Validate checks the options without constructing a Sanitizer — the same
-// checks New performs, exposed for callers (like the HTTP handlers) that
-// want to reject bad configurations before committing resources.
-func (o Options) Validate() error { return o.validate() }
-
-// combinedWeights returns the effective ObjectiveCombined weights: the
-// configured values, or (1, 1) when both are left zero. Canonical, the
-// solve dispatch and the noisy-objective recompute must all agree on this
-// defaulting, so it lives in exactly one place.
-func (o Options) combinedWeights() (sizeWeight, distanceWeight float64) {
-	if o.SizeWeight == 0 && o.DistanceWeight == 0 {
-		return 1, 1
-	}
-	return o.SizeWeight, o.DistanceWeight
-}
-
-// New validates the options and returns a Sanitizer.
+// New validates the options and returns a Sanitizer. The Sanitizer is the
+// UMP pipeline's schema-preserving interface; options naming an aggregate
+// mechanism are rejected here — use SanitizeMechanism for those.
 func New(opts Options) (*Sanitizer, error) {
-	if err := opts.validate(); err != nil {
+	m, err := mechanism.Get(opts.Mechanism)
+	if err != nil {
 		return nil, err
+	}
+	if err := m.Validate(opts); err != nil {
+		return nil, err
+	}
+	if m.Name() != "ump" {
+		return nil, errNotSchemaPreserving(m.Name())
 	}
 	return &Sanitizer{opts: opts}, nil
 }
 
 // Options returns the sanitizer's configuration.
 func (s *Sanitizer) Options() Options { return s.opts }
+
+// SetWarmCache attaches a warm-start cache to the sanitizer. Pass nil to
+// detach. The cache is corpus-scoped: callers multiplexing corpora must
+// keep one cache per corpus (keyed by Digest, as internal/server does).
+func (s *Sanitizer) SetWarmCache(w *WarmCache) { s.warm = w }
 
 // Sanitize runs the full pipeline on the input log: preprocess (Theorem 1
 // Condition 1), solve the configured utility-maximizing problem (Conditions
@@ -355,229 +117,8 @@ func (s *Sanitizer) Sanitize(in *Log) (*Result, error) {
 // the output; a context without a span makes every recording call a no-op.
 func (s *Sanitizer) SanitizeContext(ctx context.Context, in *Log) (*Result, error) {
 	opts := s.opts
-	_, psp := obs.Start(ctx, "preprocess")
-	pre, preStats := Preprocess(in)
-	psp.SetAttr("pairs", pre.NumPairs())
-	psp.SetAttr("users", pre.NumUsers())
-	psp.SetAttr("removed_pairs", preStats.RemovedPairs)
-	psp.End()
-	params := dp.Params{Eps: opts.Epsilon, Delta: opts.Delta}
-	uopts := ump.Options{NoBoxConstraint: opts.NoBoxConstraint, Solver: opts.Solver, Parallelism: opts.Parallelism}
-	if s.warm != nil {
-		uopts.Warm = s.warm.pool
-	}
-
-	// §4.2 sensitivity-bounding preprocessing: drop user logs whose removal
-	// shifts any optimal count by more than D, so the Lap(D/ε′) scale below
-	// actually covers the count computation's sensitivity.
-	var droppedUsers []string
-	if opts.BoundSensitivity {
-		solve := func(l *Log) (map[PairKey]int, error) {
-			p, _ := Preprocess(l)
-			plan, err := s.solveObjective(p, params, uopts)
-			if err != nil {
-				return nil, err
-			}
-			out := make(map[PairKey]int, p.NumPairs())
-			for i, x := range plan.Counts {
-				if x > 0 {
-					out[p.Pair(i).Key()] = x
-				}
-			}
-			return out, nil
-		}
-		_, bsp := obs.Start(ctx, "sensitivity_bound")
-		bounded, dropped, err := dp.BoundSensitivity(pre, opts.D, solve)
-		bsp.SetAttr("dropped_users", len(dropped))
-		bsp.End()
-		if err != nil {
-			return nil, fmt.Errorf("dpslog: sensitivity bounding: %w", err)
-		}
-		droppedUsers = dropped
-		if len(dropped) > 0 {
-			// Dropping users can orphan pairs into uniqueness; re-preprocess.
-			bounded, _ = Preprocess(bounded)
-		}
-		pre = bounded
-	}
-
-	solveCtx, ssp := obs.Start(ctx, "solve")
-	uopts.Ctx = solveCtx
-	plan, lambda, err := s.solveObjectiveWithLambda(pre, params, uopts)
-	if ssp != nil && plan != nil {
-		ssp.SetAttr("kind", string(plan.Kind))
-		ssp.SetAttr("components", plan.Components)
-		ssp.SetAttr("iterations", plan.Iterations)
-		ssp.SetAttr("lp_solves", plan.Stats.LPSolves)
-		ssp.SetAttr("warm_hits", plan.Stats.WarmHits)
-		ssp.SetAttr("warm_misses", plan.Stats.WarmMisses)
-	}
-	ssp.End()
-	if err != nil {
-		return nil, err
-	}
-
-	counts := plan.Counts
-	noised := false
-	if opts.EndToEnd {
-		_, nsp := obs.Start(ctx, "noise")
-		g := rng.New(opts.Seed ^ 0x9e3779b97f4a7c15)
-		noisy, err := dp.NoisyCounts(g, counts, opts.D, opts.EpsPrime)
-		if err != nil {
-			nsp.End()
-			return nil, err
-		}
-		// Respect the box and Condition 1 invariants, then re-project into
-		// the Theorem-1 polytope.
-		for i := range noisy {
-			if c := pre.PairCount(i); !opts.NoBoxConstraint && noisy[i] > c {
-				noisy[i] = c
-			}
-		}
-		cons, err := dp.Build(pre, params)
-		if err != nil {
-			nsp.End()
-			return nil, err
-		}
-		counts = dp.ProjectFeasible(cons, noisy)
-		noised = true
-		nsp.SetAttr("d", opts.D)
-		nsp.SetAttr("eps_prime", opts.EpsPrime)
-		nsp.End()
-	}
-
-	// Invariant: every released plan satisfies Theorem 1 exactly.
-	_, asp := obs.Start(ctx, "audit")
-	err = dp.VerifyLog(pre, params, counts)
-	asp.End()
-	if err != nil {
-		return nil, fmt.Errorf("dpslog: internal error: plan failed audit: %w", err)
-	}
-
-	_, smp := obs.Start(ctx, "sample")
-	out, err := sampling.Output(rng.New(opts.Seed), pre, counts)
-	smp.End()
-	if err != nil {
-		return nil, err
-	}
-	outSize := 0
-	for _, c := range counts {
-		outSize += c
-	}
-	objective := plan.Objective
-	if noised {
-		// Recompute every objective on the noisy counts: the plan the
-		// release realizes is the noisy one, and the solver's objective no
-		// longer describes it.
-		switch opts.Objective {
-		case ObjectiveOutputSize:
-			objective = float64(outSize)
-		case ObjectiveDiversity:
-			// Distinct retained pairs: noise and re-projection can push a
-			// pair's count past one, so output size over-counts diversity.
-			objective = float64(countPositive(counts))
-		case ObjectiveQueryDiversity:
-			objective = float64(distinctQueries(pre, counts))
-		case ObjectiveFrequent:
-			// The realized support-distance sum (previously NaN, which also
-			// broke JSON encoding of the server's sync response).
-			objective = ump.SupportDistance(pre, opts.MinSupport, counts)
-		case ObjectiveCombined:
-			ws, wd := opts.combinedWeights()
-			dist := ump.SupportDistance(pre, opts.MinSupport, counts)
-			objective = ws*float64(outSize)/float64(pre.Size()) - wd*dist
-		}
-	}
-	return &Result{
-		Output:       out,
-		Preprocessed: pre,
-		PreStats:     preStats,
-		DroppedUsers: droppedUsers,
-		Plan: Plan{
-			Kind:                string(plan.Kind),
-			Counts:              counts,
-			OutputSize:          outSize,
-			Objective:           objective,
-			RelaxationObjective: plan.RelaxationObjective,
-			Lambda:              lambda,
-			Iterations:          plan.Iterations,
-			Components:          plan.Components,
-			NoiseApplied:        noised,
-			Solver:              plan.Stats,
-		},
-	}, nil
-}
-
-// countPositive counts the pairs with a positive planned count.
-func countPositive(counts []int) int {
-	n := 0
-	for _, c := range counts {
-		if c > 0 {
-			n++
-		}
-	}
-	return n
-}
-
-// distinctQueries counts the distinct queries among pairs with a positive
-// planned count.
-func distinctQueries(l *Log, counts []int) int {
-	seen := make(map[string]struct{})
-	for i, c := range counts {
-		if c > 0 {
-			seen[l.Pair(i).Query] = struct{}{}
-		}
-	}
-	return len(seen)
-}
-
-// solveObjective dispatches to the configured utility-maximizing problem.
-func (s *Sanitizer) solveObjective(pre *Log, params dp.Params, uopts ump.Options) (*ump.Plan, error) {
-	plan, _, err := s.solveObjectiveWithLambda(pre, params, uopts)
-	return plan, err
-}
-
-// solveObjectiveWithLambda additionally reports the O-UMP λ computed for
-// ObjectiveFrequent runs (0 for the other objectives).
-func (s *Sanitizer) solveObjectiveWithLambda(pre *Log, params dp.Params, uopts ump.Options) (*ump.Plan, int, error) {
-	opts := s.opts
-	switch opts.Objective {
-	case ObjectiveOutputSize:
-		plan, err := ump.MaxOutputSize(pre, params, uopts)
-		return plan, 0, err
-	case ObjectiveFrequent:
-		lp, err := ump.MaxOutputSize(pre, params, uopts)
-		if err != nil {
-			return nil, 0, err
-		}
-		lambda := lp.OutputSize
-		outSize := opts.OutputSize
-		if outSize == 0 {
-			outSize = lambda / 2
-		}
-		if outSize > lambda {
-			return nil, 0, fmt.Errorf("dpslog: OutputSize %d exceeds λ = %d for ε=%g δ=%g",
-				outSize, lambda, opts.Epsilon, opts.Delta)
-		}
-		if outSize == 0 {
-			// Degenerate budget: fall back to the (empty) O-UMP plan.
-			return lp, lambda, nil
-		}
-		plan, err := ump.FrequentSupport(pre, params, opts.MinSupport, outSize, uopts)
-		return plan, lambda, err
-	case ObjectiveDiversity:
-		plan, err := ump.Diversity(pre, params, uopts)
-		return plan, 0, err
-	case ObjectiveCombined:
-		var w ump.CombinedWeights
-		w.SizeWeight, w.DistanceWeight = opts.combinedWeights()
-		plan, err := ump.Combined(pre, params, opts.MinSupport, w, uopts)
-		return plan, 0, err
-	case ObjectiveQueryDiversity:
-		plan, err := ump.QueryDiversity(pre, params, uopts)
-		return plan, 0, err
-	}
-	return nil, 0, fmt.Errorf("dpslog: unknown objective %v", opts.Objective)
+	opts.Warm = s.warm
+	return mechanism.RunUMP(ctx, in, opts)
 }
 
 // Lambda computes the maximum differentially private output size λ (the
