@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	slgen [-profile tiny|small|paper|tiny-sharded|small-sharded] [-seed N] [-o file] [-preprocess]
+//	slgen [-profile tiny|small|paper|tiny-sharded|small-sharded|paper-sharded] [-seed N] [-o file] [-preprocess]
 package main
 
 import (
@@ -15,7 +15,7 @@ import (
 )
 
 func main() {
-	profile := flag.String("profile", "small", "corpus profile: tiny, small, paper, tiny-sharded or small-sharded")
+	profile := flag.String("profile", "small", "corpus profile: tiny, small, paper, tiny-sharded, small-sharded or paper-sharded")
 	seed := flag.Uint64("seed", 1, "generation seed")
 	out := flag.String("o", "", "output file (default stdout)")
 	pre := flag.Bool("preprocess", false, "remove unique query-url pairs before writing")

@@ -34,10 +34,17 @@ var ErrNotFound = errors.New("corpus: not found")
 // be possible to traverse out of the store directory via a crafted name.
 var nameRE = regexp.MustCompile(`^[a-zA-Z0-9][a-zA-Z0-9._-]{0,63}$`)
 
+// deltaNameRE matches the stem of an append delta file (name.d<seq>.tsv),
+// which the store-directory scan must not mistake for a corpus of its own.
+// The ".d<seq>" suffix is consequently reserved: ValidName refuses it.
+var deltaNameRE = regexp.MustCompile(`\.d[0-9]+$`)
+
 // ValidName reports whether name is an acceptable corpus name: 1–64 chars,
-// alphanumeric plus ._-, starting alphanumeric.
+// alphanumeric plus ._-, starting alphanumeric, and not ending in the
+// ".d<seq>" suffix reserved for append delta files.
 func ValidName(name string) bool {
-	return nameRE.MatchString(name) && !strings.Contains(name, "..")
+	return nameRE.MatchString(name) && !strings.Contains(name, "..") &&
+		!deltaNameRE.MatchString(name)
 }
 
 // Meta describes one stored corpus.
@@ -55,10 +62,12 @@ type Meta struct {
 
 // Store is the corpus registry. All methods are safe for concurrent use.
 type Store struct {
-	mu    sync.Mutex
-	dir   string
-	metas map[string]Meta
-	logs  map[string]*searchlog.Log
+	mu       sync.Mutex
+	dir      string
+	metas    map[string]Meta
+	logs     map[string]*searchlog.Log // latest version of each corpus
+	versions map[string][]Version      // append-only chain, base first
+	oldLogs  map[string]*searchlog.Log // materialized non-latest versions
 }
 
 // Open creates (if needed) and loads the store directory, parsing every
@@ -68,9 +77,11 @@ func Open(dir string) (*Store, error) {
 		return nil, fmt.Errorf("corpus: create store dir: %w", err)
 	}
 	s := &Store{
-		dir:   dir,
-		metas: make(map[string]Meta),
-		logs:  make(map[string]*searchlog.Log),
+		dir:      dir,
+		metas:    make(map[string]Meta),
+		logs:     make(map[string]*searchlog.Log),
+		versions: make(map[string][]Version),
+		oldLogs:  make(map[string]*searchlog.Log),
 	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -79,7 +90,9 @@ func Open(dir string) (*Store, error) {
 	for _, e := range entries {
 		name, ok := strings.CutSuffix(e.Name(), ".tsv")
 		if e.IsDir() || !ok || !ValidName(name) {
-			continue // leftovers (e.g. temp files) are not corpora
+			// Leftovers are not corpora: temp files, chain metadata, and
+			// append delta files (whose ".d<seq>" stem ValidName refuses).
+			continue
 		}
 		if err := s.load(name, e); err != nil {
 			return nil, err
@@ -108,8 +121,15 @@ func (s *Store) load(name string, e os.DirEntry) error {
 	if err != nil {
 		return fmt.Errorf("corpus: stat %s: %w", path, err)
 	}
-	s.metas[name] = metaOf(name, l, hex.EncodeToString(h.Sum(nil)), info.Size(), info.ModTime())
-	s.logs[name] = l
+	// Align content with the recorded version chain (heal a crashed append,
+	// or synthesize the single-version chain of a legacy corpus).
+	vs, latest, digest, bytes, err := s.reconcile(name, l, hex.EncodeToString(h.Sum(nil)), info.Size(), info.ModTime())
+	if err != nil {
+		return err
+	}
+	s.metas[name] = metaOf(name, latest, digest, bytes, vs[len(vs)-1].Created)
+	s.logs[name] = latest
+	s.versions[name] = vs
 	return nil
 }
 
@@ -171,8 +191,18 @@ func (s *Store) Put(name string, l *searchlog.Log) (Meta, error) {
 	}
 	syncDir(s.dir)
 	m := metaOf(name, l, hex.EncodeToString(h.Sum(nil)), info.Size(), time.Now())
+	// A PUT is a full replacement, not an append: the version chain resets
+	// to a single base version and any prior deltas are orphaned. (Budget
+	// accounting is digest-keyed in the ledger and survives untouched.)
+	s.removeChainFiles(name, s.versions[name])
+	vs := []Version{baseVersion(l, m.Digest, m.Uploaded)}
+	if err := s.writeVersions(name, vs); err != nil {
+		return Meta{}, err
+	}
+	s.dropOld(name)
 	s.metas[name] = m
 	s.logs[name] = l
+	s.versions[name] = vs
 	return m, nil
 }
 
@@ -217,8 +247,11 @@ func (s *Store) Delete(name string) error {
 	if err := os.Remove(s.path(name)); err != nil && !errors.Is(err, os.ErrNotExist) {
 		return fmt.Errorf("corpus: delete %s: %w", name, err)
 	}
+	s.removeChainFiles(name, s.versions[name])
+	s.dropOld(name)
 	delete(s.metas, name)
 	delete(s.logs, name)
+	delete(s.versions, name)
 	return nil
 }
 

@@ -122,12 +122,12 @@ func TestPutOverwriteAndAtomicity(t *testing.T) {
 	if m.Digest != lb.Digest() {
 		t.Fatal("overwrite kept the old digest")
 	}
-	// No temp litter, exactly one published file.
+	// No temp litter: exactly the published TSV and its version chain.
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(entries) != 1 || entries[0].Name() != "c.tsv" {
+	if len(entries) != 2 || entries[0].Name() != "c.tsv" || entries[1].Name() != "c.versions.json" {
 		names := []string{}
 		for _, e := range entries {
 			names = append(names, e.Name())

@@ -167,6 +167,11 @@ type Options struct {
 	// state, not configuration: never serialized, cleared by Canonical, and
 	// ignored by the aggregate mechanisms.
 	Warm *WarmCache `json:"-"`
+	// Comp attaches a component-plan cache to the UMP solves, making
+	// re-solves after corpus appends incremental (only changed connected
+	// components re-solve; see CompCache). Runtime state like Warm: never
+	// serialized, cleared by Canonical, ignored by aggregate mechanisms.
+	Comp *CompCache `json:"-"`
 }
 
 // Canonical returns the options with irrelevant fields zeroed and defaults
@@ -244,6 +249,7 @@ func umpCanonical(o Options) Options {
 	// cache entry.
 	o.Parallelism = 0
 	o.Warm = nil
+	o.Comp = nil
 	return o
 }
 

@@ -38,7 +38,7 @@ func TestRecordReplayE2E(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := tr.ClassCounts()
-	if want["storm_429"] != 8 || want["setup"] != 1 {
+	if want["storm_429"] != 8 || want["setup"] != 2 {
 		t.Fatalf("synthesized shape: %v", want)
 	}
 

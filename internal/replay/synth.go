@@ -35,7 +35,11 @@ type SynthConfig struct {
 	// budget; repeats of a (mechanism, seed) pair are idempotent releases
 	// and charge nothing. At the defaults (EExp 2, Delta 0.25,
 	// CorpusDistinct 2) the spend is (4·ln 2, 0.75) — exactly the server's
-	// default ε = ln 16 ceiling and within its δ = 1.
+	// default ε = ln 16 ceiling and within its δ = 1. The append_sanitize
+	// class never interacts with that ceiling: each append creates a fresh
+	// corpus version with its own digest and untouched budget, and its
+	// sanitize pins seed 1 so at most one (ln EExp, Delta) release is ever
+	// charged per version however the open-loop requests interleave.
 	EExp, Delta float64
 	Objective   string
 	// Distinct rotates stateless sanitize seeds (plan-cache mix);
@@ -55,19 +59,20 @@ type SynthConfig struct {
 
 // The mixed-traffic classes and their weights: mostly solves (stateless
 // and corpus-referencing, sync and async), a slice of non-UMP mechanism
-// releases, a steady trickle of corpus re-uploads, and cheap budget/stats
-// probes.
+// releases, a steady trickle of corpus re-uploads and continual-release
+// append+sanitize pairs, and cheap budget/stats probes.
 var synthMix = []struct {
 	class  string
 	weight float64
 }{
-	{"sanitize", 0.30},
+	{"sanitize", 0.27},
 	{"corpus_sanitize", 0.15},
 	{"mech_sanitize", 0.10},
 	{"sanitize_async", 0.10},
 	{"ingest_put", 0.05},
-	{"budget", 0.15},
-	{"stats", 0.15},
+	{"append_sanitize", 0.05},
+	{"budget", 0.14},
+	{"stats", 0.14},
 }
 
 // Synthesize derives a mixed-scenario trace from a gen profile: one
@@ -119,17 +124,21 @@ func Synthesize(cfg SynthConfig) (*Trace, error) {
 		Payloads:  map[string]Payload{"corpus": {Profile: cfg.Profile, Seed: cfg.GenSeed}},
 	}}
 
-	// Setup: the corpus every referencing class depends on must exist
+	// Setup: the corpora the referencing classes depend on must exist
 	// before the open-loop section starts — a timed upload could lose the
-	// race against the first corpus_sanitize at high speedup.
-	tr.Records = append(tr.Records, Record{
-		Class:       "setup",
-		Setup:       true,
-		Method:      "PUT",
-		Path:        "/v1/corpora/" + cfg.CorpusName,
-		ContentType: "text/tab-separated-values",
-		BodyRef:     "corpus",
-	})
+	// race against the first corpus_sanitize at high speedup. The append
+	// class gets its own corpus so its version chain grows undisturbed by
+	// the ingest_put re-uploads of the main one.
+	for _, name := range []string{cfg.CorpusName, cfg.CorpusName + "-app"} {
+		tr.Records = append(tr.Records, Record{
+			Class:       "setup",
+			Setup:       true,
+			Method:      "PUT",
+			Path:        "/v1/corpora/" + name,
+			ContentType: "text/tab-separated-values",
+			BodyRef:     "corpus",
+		})
+	}
 
 	sanitizeQuery := func(seed int) string {
 		q := url.Values{}
@@ -209,6 +218,28 @@ func Synthesize(cfg SynthConfig) (*Trace, error) {
 			rec.Path = "/v1/corpora/" + cfg.CorpusName
 			rec.ContentType = "text/tab-separated-values"
 			rec.BodyRef = "corpus"
+		case "append_sanitize":
+			// Continual release: fold a small delta into the append corpus —
+			// two fresh users sharing one fresh pair, so the rows survive
+			// preprocessing as a new connected component — then sanitize the
+			// latest version. The sanitize is appended as a sibling record
+			// 1 ms later under the same class; with open-loop arrivals it may
+			// race the append and land on the prior version, which is equally
+			// valid traffic (seed 1 keeps any repeat idempotent).
+			rec.Method = "POST"
+			rec.Path = "/v1/corpora/" + cfg.CorpusName + "-app/append"
+			rec.ContentType = "text/tab-separated-values"
+			rec.Body = fmt.Sprintf("appA%d\tappq%d\thttp://app.example/%d\t2\nappB%d\tappq%d\thttp://app.example/%d\t1\n",
+				i, i, i, i, i, i)
+			tr.Records = append(tr.Records, rec)
+			rec = Record{
+				TMS:         rec.TMS + 1,
+				Class:       class,
+				Method:      "POST",
+				Path:        "/v1/corpora/" + cfg.CorpusName + "-app/sanitize",
+				ContentType: "application/json",
+				Body:        corpusBody(1, math.Log(cfg.EExp), cfg.Delta),
+			}
 		case "budget":
 			rec.Method = "GET"
 			rec.Path = "/v1/corpora/" + cfg.CorpusName + "/budget"

@@ -146,8 +146,8 @@ func TestSynthesizeDeterministic(t *testing.T) {
 	}
 
 	counts := a.ClassCounts()
-	if counts["setup"] != 1 {
-		t.Fatalf("want exactly one setup upload, got %d", counts["setup"])
+	if counts["setup"] != 2 {
+		t.Fatalf("want the two setup uploads (main + append corpus), got %d", counts["setup"])
 	}
 	if counts["storm_429"] != 5 {
 		t.Fatalf("want 5 storm records, got %d", counts["storm_429"])

@@ -13,11 +13,16 @@ import (
 // digest is a stable corpus identity for caching sanitization plans.
 // It streams through WriteTSV, so hashing a log never materializes the
 // record slice: the digest of a log IS the hash of its canonical TSV file.
+// The result is memoized — a Log is immutable once built — so repeated
+// digesting (every component, every incremental re-solve) hashes once.
 func (l *Log) Digest() string {
-	h := sha256.New()
-	if _, err := WriteTSV(h, l); err != nil {
-		// A hash.Hash never fails to write; keep the signature honest anyway.
-		panic(fmt.Sprintf("searchlog: digest write: %v", err))
-	}
-	return hex.EncodeToString(h.Sum(nil))
+	l.digestOnce.Do(func() {
+		h := sha256.New()
+		if _, err := WriteTSV(h, l); err != nil {
+			// A hash.Hash never fails to write; keep the signature honest anyway.
+			panic(fmt.Sprintf("searchlog: digest write: %v", err))
+		}
+		l.digest = hex.EncodeToString(h.Sum(nil))
+	})
+	return l.digest
 }

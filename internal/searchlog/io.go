@@ -2,8 +2,8 @@ package searchlog
 
 import (
 	"bufio"
-	"fmt"
 	"io"
+	"strconv"
 )
 
 // WriteTSV writes the log in the canonical 4-column tab-separated format
@@ -21,11 +21,24 @@ import (
 func WriteTSV(w io.Writer, l *Log) (int, error) {
 	bw := bufio.NewWriter(w)
 	n := 0
+	// Rows are assembled with byte appends rather than fmt — this path is
+	// also the digest path, where formatting overhead would dominate the
+	// hash itself on incremental re-solves.
+	row := make([]byte, 0, 128)
 	for k := 0; k < l.NumUsers(); k++ {
 		u := l.User(k)
 		for _, up := range u.Pairs {
 			p := l.Pair(up.Pair)
-			if _, err := fmt.Fprintf(bw, "%s\t%s\t%s\t%d\n", u.ID, p.Query, p.URL, up.Count); err != nil {
+			row = row[:0]
+			row = append(row, u.ID...)
+			row = append(row, '\t')
+			row = append(row, p.Query...)
+			row = append(row, '\t')
+			row = append(row, p.URL...)
+			row = append(row, '\t')
+			row = strconv.AppendInt(row, int64(up.Count), 10)
+			row = append(row, '\n')
+			if _, err := bw.Write(row); err != nil {
 				return n, err
 			}
 			n++

@@ -16,7 +16,14 @@ import "fmt"
 // the user's Total shrinks accordingly). Restrict panics on an out-of-range,
 // unsorted or mass-dropping selection — all are programmer errors.
 func (l *Log) Restrict(pairs, users []int) *Log {
-	userLocal := make(map[int]int, len(users))
+	// Parent→local index translation uses dense parent-sized tables rather
+	// than maps: Restrict sits on the decompose hot path, where every
+	// incremental re-solve rebuilds every component, and map lookups per
+	// entry were the dominant cost. -1 marks "outside the selection".
+	userLocal := make([]int, len(l.users))
+	for i := range userLocal {
+		userLocal[i] = -1
+	}
 	for k, pk := range users {
 		if pk < 0 || pk >= len(l.users) {
 			panic(fmt.Sprintf("searchlog: Restrict user index %d out of range [0, %d)", pk, len(l.users)))
@@ -26,7 +33,10 @@ func (l *Log) Restrict(pairs, users []int) *Log {
 		}
 		userLocal[pk] = k
 	}
-	pairLocal := make(map[int]int, len(pairs))
+	pairLocal := make([]int, len(l.pairs))
+	for i := range pairLocal {
+		pairLocal[i] = -1
+	}
 	for j, pi := range pairs {
 		if pi < 0 || pi >= len(l.pairs) {
 			panic(fmt.Sprintf("searchlog: Restrict pair index %d out of range [0, %d)", pi, len(l.pairs)))
@@ -47,8 +57,8 @@ func (l *Log) Restrict(pairs, users []int) *Log {
 		p := &l.pairs[pi]
 		entries := make([]Entry, len(p.Entries))
 		for e, en := range p.Entries {
-			lk, ok := userLocal[en.User]
-			if !ok {
+			lk := userLocal[en.User]
+			if lk < 0 {
 				panic(fmt.Sprintf("searchlog: Restrict drops user %d holding %d of pair %d (%q, %q)",
 					en.User, en.Count, pi, p.Query, p.URL))
 			}
@@ -65,8 +75,8 @@ func (l *Log) Restrict(pairs, users []int) *Log {
 		ups := make([]UserPair, 0, len(u.Pairs))
 		total := 0
 		for _, up := range u.Pairs {
-			lj, ok := pairLocal[up.Pair]
-			if !ok {
+			lj := pairLocal[up.Pair]
+			if lj < 0 {
 				continue // pair outside the selection
 			}
 			ups = append(ups, UserPair{Pair: lj, Count: up.Count})

@@ -13,6 +13,7 @@ package searchlog
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Record is a single external search log tuple: user s_k issued query q_i,
@@ -86,6 +87,13 @@ type Log struct {
 	pairIndex map[PairKey]int
 	userIndex map[string]int
 	size      int // |D| = Σ_ij c_ij
+
+	// digest memoizes Digest(): a Log is immutable once built, so its
+	// canonical-TSV hash never changes and concurrent solvers can share one
+	// computation (the incremental re-solve path digests every component on
+	// every solve).
+	digestOnce sync.Once
+	digest     string
 }
 
 // NumPairs returns the number of distinct query-url pairs.
@@ -358,6 +366,27 @@ func BuildFromUserCounts(counts map[string]map[PairKey]int) (*Log, error) {
 		}
 	}
 	return l, nil
+}
+
+// UserCounts materializes the log's user → pair → count histogram — the
+// exact shape BuildFromUserCounts consumes. It is the fold point for
+// append-only corpus versions (internal/corpus): the stored latest
+// version's histogram plus an append delta's histogram rebuilds the next
+// version via BuildFromUserCounts, and because that construction sorts
+// globally, the result is independent of which side a count arrived on.
+// The returned maps are freshly allocated; mutating them does not touch
+// the log.
+func (l *Log) UserCounts() map[string]map[PairKey]int {
+	counts := make(map[string]map[PairKey]int, len(l.users))
+	for k := range l.users {
+		u := &l.users[k]
+		m := make(map[PairKey]int, len(u.Pairs))
+		for _, up := range u.Pairs {
+			m[l.pairs[up.Pair].Key()] = up.Count
+		}
+		counts[u.ID] = m
+	}
+	return counts
 }
 
 // FromRecords builds a Log directly from external tuples.

@@ -12,6 +12,7 @@ package server
 import (
 	"errors"
 	"net/http"
+	"strings"
 	"time"
 
 	"dpslog"
@@ -22,10 +23,12 @@ import (
 )
 
 // corpusMetaJSON is the wire form of a stored corpus: its identity plus
-// its live budget accounting.
+// its live budget accounting. Versions is the append chain, base first —
+// populated on single-corpus reads, omitted from the listing.
 type corpusMetaJSON struct {
 	corpus.Meta
-	Budget budgetJSON `json:"budget"`
+	Budget   budgetJSON       `json:"budget"`
+	Versions []corpus.Version `json:"versions,omitempty"`
 }
 
 // budgetJSON is the accounting snapshot attached to corpus metadata,
@@ -44,18 +47,30 @@ type corpusSanitizeRequest struct {
 }
 
 // corpusSanitizeResponse extends a sanitization with its ledger entry and
-// the corpus's post-charge accounting.
+// the corpus's post-charge accounting. Version is the digest of the corpus
+// version the release was computed from and charged against — the latest
+// unless the request selected an ancestor with ?version=.
 type corpusSanitizeResponse struct {
 	sanitizeResponse
 	Corpus  string         `json:"corpus"`
+	Version string         `json:"version"`
 	Release dpslog.Release `json:"release"`
 	Budget  budgetJSON     `json:"budget"`
 }
 
-// overBudgetJSON is the structured 429 payload: what was asked, what is
+// corpusAppendResponse is the wire form of a completed append: the new
+// latest metadata, the chain entry it created, and the budget of the new
+// version's digest (fresh — versions compose independently).
+type corpusAppendResponse struct {
+	corpus.Meta
+	Version      corpus.Version `json:"version"`
+	TouchedUsers int            `json:"touched_users"`
+	Budget       budgetJSON     `json:"budget"`
+}
+
+// overBudgetDetail is the 429 envelope detail: what was asked, what is
 // left.
-type overBudgetJSON struct {
-	Error     string        `json:"error"`
+type overBudgetDetail struct {
 	Corpus    string        `json:"corpus"`
 	Digest    string        `json:"digest"`
 	Requested dpslog.Budget `json:"requested"`
@@ -77,11 +92,11 @@ func (s *Server) corpusEnabled(h http.HandlerFunc) http.HandlerFunc {
 			return
 		}
 		if s.openErr != nil {
-			writeError(w, http.StatusServiceUnavailable, "corpus subsystem failed to open: %v", s.openErr)
+			s.writeError(w, http.StatusServiceUnavailable, "corpus subsystem failed to open: %v", s.openErr)
 			return
 		}
 		if s.corpora == nil {
-			writeError(w, http.StatusServiceUnavailable, "corpus store not configured: start slserve with -data-dir")
+			s.writeError(w, http.StatusServiceUnavailable, "corpus store not configured: start slserve with -data-dir")
 			return
 		}
 		h(w, r)
@@ -98,60 +113,64 @@ func (s *Server) budgetStatus(digest string) budgetJSON {
 	}
 }
 
-func writeOverBudget(w http.ResponseWriter, name string, over *dpslog.OverBudgetError) {
+func (s *Server) writeOverBudget(w http.ResponseWriter, name string, over *dpslog.OverBudgetError) {
 	w.Header().Set("Retry-After", "86400") // budget does not replenish; a long hint
-	writeJSON(w, http.StatusTooManyRequests, overBudgetJSON{
-		Error:     over.Error(),
+	s.writeErrorDetail(w, http.StatusTooManyRequests, "over_budget", overBudgetDetail{
 		Corpus:    name,
 		Digest:    over.Digest,
 		Requested: over.Requested,
 		Budget:    over.Budget,
 		Spent:     over.Spent,
 		Remaining: over.Remaining,
-	})
+	}, "%s", over.Error())
 }
 
-// handleCorpusPut uploads (or replaces) a corpus. A raw body (TSV by
-// default, the historical AOL 5-column form with ?format=aol) streams
-// through the sharded ingest fold — bounded memory however large the
-// upload, with the admission gate shedding concurrent uploads that would
-// overcommit it. A JSON envelope {"records": [...]} / {"tsv": "..."} is
-// still accepted for small programmatic uploads.
-func (s *Server) handleCorpusPut(w http.ResponseWriter, r *http.Request) {
-	name := r.PathValue("name")
-	if !corpus.ValidName(name) {
-		writeError(w, http.StatusBadRequest, "invalid corpus name %q (want 1-64 chars of [a-zA-Z0-9._-], starting alphanumeric)", name)
-		return
+// uploadFormat negotiates the raw-body format of a corpus upload or append
+// from the Content-Type header:
+//
+//	text/tab-separated-values  canonical 4-column TSV (also text/plain,
+//	                           application/octet-stream, or no Content-Type)
+//	application/x-aol-log      the historical AOL 5-column form
+//
+// The legacy ?format= query parameter is still honored — it wins over the
+// header — but is deprecated in favor of Content-Type and announced as such
+// with a Deprecation response header; it will be removed one release after
+// this one. Unrecognized content types fall back to TSV rather than 415,
+// preserving the historical any-body-is-TSV behavior for curl-style
+// clients that never set a type.
+func (s *Server) uploadFormat(w http.ResponseWriter, r *http.Request) (ingest.Format, error) {
+	if v := r.URL.Query().Get("format"); v != "" {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Add("Warning", `299 - "the format query parameter is deprecated; set Content-Type instead"`)
+		return ingest.ParseFormat(v)
 	}
-	// Reserve ingest capacity before reading a byte. Chunked uploads carry
-	// no Content-Length; they reserve a quarter of the gate.
-	reserve := r.ContentLength
-	if reserve <= 0 {
-		reserve = s.cfg.MaxIngestBytes / 4
+	ct, _, _ := strings.Cut(r.Header.Get("Content-Type"), ";")
+	if strings.TrimSpace(strings.ToLower(ct)) == "application/x-aol-log" {
+		return ingest.FormatAOL, nil
 	}
-	if !s.gate.tryAcquire(reserve) {
-		inFlight, _ := s.gate.Stats()
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, "corpus ingest capacity exhausted (%d bytes in flight); retry shortly", inFlight)
-		return
-	}
-	defer s.gate.release(reserve)
-	var (
-		l   *dpslog.Log
-		err error
-	)
+	return ingest.FormatTSV, nil
+}
+
+// decodeCorpusUpload materializes the uploaded log of a PUT or append:
+// a JSON envelope {"records": [...]} / {"tsv": "..."} slurped under the
+// general body cap, or a raw body in the negotiated format streamed through
+// the sharded ingest fold — bounded memory however large the upload, with
+// the admission gate (managed by the caller) shedding uploads that would
+// overcommit it. On failure the response has been written and ok is false.
+func (s *Server) decodeCorpusUpload(w http.ResponseWriter, r *http.Request) (l *dpslog.Log, ok bool) {
+	var err error
 	if isJSONRequest(r) {
 		var req statsRequest // same {records, tsv} envelope as /v1/stats
 		if err := decodeJSON(r, &req); err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
-			return
+			s.writeError(w, http.StatusBadRequest, "%v", err)
+			return nil, false
 		}
 		l, err = buildLog(req.Records, req.TSV)
 	} else {
-		format, ferr := ingest.ParseFormat(r.URL.Query().Get("format"))
+		format, ferr := s.uploadFormat(w, r)
 		if ferr != nil {
-			writeError(w, http.StatusBadRequest, "%v", ferr)
-			return
+			s.writeError(w, http.StatusBadRequest, "%v", ferr)
+			return nil, false
 		}
 		var st ingest.Stats
 		_, isp := obs.Start(r.Context(), "ingest")
@@ -174,14 +193,53 @@ func (s *Server) handleCorpusPut(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			writeError(w, http.StatusRequestEntityTooLarge, "corpus body exceeds the %d-byte cap", tooBig.Limit)
-			return
+			s.writeError(w, http.StatusRequestEntityTooLarge, "corpus body exceeds the %d-byte cap", tooBig.Limit)
+			return nil, false
 		}
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return nil, false
+	}
+	return l, true
+}
+
+// reserveIngest acquires ingest-gate capacity for the request body (or
+// writes the 503). Chunked uploads carry no Content-Length; they reserve a
+// quarter of the gate. The caller must release the returned reservation.
+func (s *Server) reserveIngest(w http.ResponseWriter, r *http.Request) (reserve int64, ok bool) {
+	reserve = r.ContentLength
+	if reserve <= 0 {
+		reserve = s.cfg.MaxIngestBytes / 4
+	}
+	if !s.gate.tryAcquire(reserve) {
+		inFlight, _ := s.gate.Stats()
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, http.StatusServiceUnavailable, "corpus ingest capacity exhausted (%d bytes in flight); retry shortly", inFlight)
+		return 0, false
+	}
+	return reserve, true
+}
+
+// handleCorpusPut uploads (or replaces) a corpus, resetting its version
+// chain to a single base version (the privacy ledger survives either way —
+// accounting is keyed by digest, not name).
+func (s *Server) handleCorpusPut(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !corpus.ValidName(name) {
+		s.writeError(w, http.StatusBadRequest, "invalid corpus name %q (want 1-64 chars of [a-zA-Z0-9._-], starting alphanumeric, no .d<n> suffix)", name)
+		return
+	}
+	// Reserve ingest capacity before reading a byte.
+	reserve, ok := s.reserveIngest(w, r)
+	if !ok {
+		return
+	}
+	defer s.gate.release(reserve)
+	l, ok := s.decodeCorpusUpload(w, r)
+	if !ok {
 		return
 	}
 	if l.Size() == 0 {
-		writeError(w, http.StatusBadRequest, "refusing to store an empty corpus")
+		s.writeError(w, http.StatusBadRequest, "refusing to store an empty corpus")
 		return
 	}
 	_, existed := s.corpora.Meta(name)
@@ -189,7 +247,7 @@ func (s *Server) handleCorpusPut(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		// Name and emptiness were validated above; what remains is the
 		// server's own disk failing, which is not the client's fault.
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		s.writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	code := http.StatusCreated
@@ -197,6 +255,47 @@ func (s *Server) handleCorpusPut(w http.ResponseWriter, r *http.Request) {
 		code = http.StatusOK
 	}
 	writeJSON(w, code, corpusMetaJSON{Meta: m, Budget: s.budgetStatus(m.Digest)})
+}
+
+// handleCorpusAppend folds new rows into the latest version of a stored
+// corpus, producing a new immutable version (POST /v1/corpora/{name}/append).
+// The body is the same shape as a PUT — raw TSV/AOL streamed through the
+// sharded ingest fold, or a small JSON envelope. The new version has its own
+// digest, and therefore its own untouched (ε, δ) budget; releases already
+// journaled against ancestor versions stay replayable and spend-free.
+func (s *Server) handleCorpusAppend(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if _, ok := s.corpora.Meta(name); !ok {
+		s.writeError(w, http.StatusNotFound, "unknown corpus %q", name)
+		return
+	}
+	reserve, ok := s.reserveIngest(w, r)
+	if !ok {
+		return
+	}
+	defer s.gate.release(reserve)
+	l, ok := s.decodeCorpusUpload(w, r)
+	if !ok {
+		return
+	}
+	m, v, touched, err := s.corpora.Append(name, l)
+	switch {
+	case errors.Is(err, corpus.ErrEmptyDelta):
+		s.writeError(w, http.StatusBadRequest, "refusing to append an empty delta")
+		return
+	case errors.Is(err, corpus.ErrNotFound): // raced a DELETE
+		s.writeError(w, http.StatusNotFound, "unknown corpus %q", name)
+		return
+	case err != nil:
+		s.writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, corpusAppendResponse{
+		Meta:         m,
+		Version:      v,
+		TouchedUsers: len(touched),
+		Budget:       s.budgetStatus(m.Digest),
+	})
 }
 
 func (s *Server) handleCorpusList(w http.ResponseWriter, r *http.Request) {
@@ -213,7 +312,7 @@ func (s *Server) lookupCorpus(w http.ResponseWriter, r *http.Request) (corpus.Me
 	name := r.PathValue("name")
 	m, ok := s.corpora.Meta(name)
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown corpus %q", name)
+		s.writeError(w, http.StatusNotFound, "unknown corpus %q", name)
 		return corpus.Meta{}, false
 	}
 	return m, true
@@ -224,7 +323,77 @@ func (s *Server) handleCorpusGet(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	writeJSON(w, http.StatusOK, corpusMetaJSON{Meta: m, Budget: s.budgetStatus(m.Digest)})
+	vs, _ := s.corpora.Versions(m.Name)
+	writeJSON(w, http.StatusOK, corpusMetaJSON{Meta: m, Budget: s.budgetStatus(m.Digest), Versions: vs})
+}
+
+// handleCorpusVersionList serves the corpus's version chain, base first.
+func (s *Server) handleCorpusVersionList(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.lookupCorpus(w, r)
+	if !ok {
+		return
+	}
+	vs, err := s.corpora.Versions(m.Name)
+	if err != nil {
+		s.writeError(w, http.StatusNotFound, "unknown corpus %q", m.Name)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"corpus":   m.Name,
+		"latest":   m.Digest,
+		"versions": vs,
+	})
+}
+
+// handleCorpusVersionGet serves one chain entry with the budget accounting
+// of that version's digest — each version composes its releases
+// independently, so an append never launders (or inherits) spend.
+func (s *Server) handleCorpusVersionGet(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.lookupCorpus(w, r)
+	if !ok {
+		return
+	}
+	digest := r.PathValue("digest")
+	v, err := s.corpora.VersionMeta(m.Name, digest)
+	if err != nil {
+		s.writeError(w, http.StatusNotFound, "corpus %q has no version %s", m.Name, digest)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"corpus":  m.Name,
+		"version": v,
+		"latest":  v.Digest == m.Digest,
+		"budget":  s.budgetStatus(v.Digest),
+	})
+}
+
+// resolveVersion applies the ?version= query to a resolved corpus: it
+// returns the digest the request addresses (the latest when the query is
+// absent) and, when the caller needs the data (wantLog), the materialized
+// log of that version. On failure the 404 has been written and ok is false.
+func (s *Server) resolveVersion(w http.ResponseWriter, r *http.Request, m corpus.Meta, latest *dpslog.Log, wantLog bool) (*dpslog.Log, string, bool) {
+	q := r.URL.Query().Get("version")
+	if q == "" || q == m.Digest {
+		return latest, m.Digest, true
+	}
+	if !wantLog {
+		v, err := s.corpora.VersionMeta(m.Name, q)
+		if err != nil {
+			s.writeError(w, http.StatusNotFound, "corpus %q has no version %s", m.Name, q)
+			return nil, "", false
+		}
+		return nil, v.Digest, true
+	}
+	l, v, err := s.corpora.GetVersion(m.Name, q)
+	switch {
+	case errors.Is(err, corpus.ErrNotFound), errors.Is(err, corpus.ErrVersionNotFound):
+		s.writeError(w, http.StatusNotFound, "corpus %q has no version %s", m.Name, q)
+		return nil, "", false
+	case err != nil: // materialization failed: the server's own disk
+		s.writeError(w, http.StatusInternalServerError, "%v", err)
+		return nil, "", false
+	}
+	return l, v.Digest, true
 }
 
 func (s *Server) handleCorpusDelete(w http.ResponseWriter, r *http.Request) {
@@ -233,7 +402,7 @@ func (s *Server) handleCorpusDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.corpora.Delete(m.Name); err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		s.writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	// The ledger deliberately survives deletion: accounting is keyed by
@@ -246,10 +415,15 @@ func (s *Server) handleCorpusBudget(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	_, digest, ok := s.resolveVersion(w, r, m, nil, false)
+	if !ok {
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"corpus": m.Name,
-		"digest": m.Digest,
-		"budget": s.budgetStatus(m.Digest),
+		"corpus":  m.Name,
+		"digest":  digest,
+		"version": digest,
+		"budget":  s.budgetStatus(digest),
 	})
 }
 
@@ -258,10 +432,15 @@ func (s *Server) handleCorpusReleases(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	_, digest, ok := s.resolveVersion(w, r, m, nil, false)
+	if !ok {
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"corpus":   m.Name,
-		"digest":   m.Digest,
-		"releases": s.budgets.Releases(m.Digest),
+		"digest":   digest,
+		"version":  digest,
+		"releases": s.budgets.Releases(digest),
 	})
 }
 
@@ -284,42 +463,50 @@ func (s *Server) handleCorpusSanitize(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	l, m, gerr := s.corpora.Get(name)
 	if gerr != nil {
-		writeError(w, http.StatusNotFound, "unknown corpus %q", name)
+		s.writeError(w, http.StatusNotFound, "unknown corpus %q", name)
+		return
+	}
+	// ?version= selects an ancestor of the chain; the default is the latest.
+	// Everything downstream — seed, plan cache, ledger check and charge — is
+	// keyed by the resolved version's digest, so old-version releases compose
+	// against that version's own budget and replay for free forever.
+	l, digest, ok := s.resolveVersion(w, r, m, l, true)
+	if !ok {
 		return
 	}
 	var req corpusSanitizeRequest
 	if err := decodeJSON(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	opts := req.Options
 	if err := opts.Validate(); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	mech, err := s.resolveMechanism(opts)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	// Resolve the deterministic seed now so the release identity is fixed
 	// before any work happens.
 	if opts.Seed == 0 {
-		opts.Seed = seedFromDigest(m.Digest)
+		opts.Seed = seedFromDigest(digest)
 	}
-	key := cacheKey(m.Digest, opts)
+	key := cacheKey(digest, opts)
 	cost := mech.Cost(opts)
 	eps, delta := cost.Epsilon, cost.Delta
 
 	// Non-binding pre-check: refuse obviously over-budget requests before
 	// paying for a solve. The binding decision is the post-solve Charge.
-	if err := s.budgets.CheckCtx(r.Context(), m.Digest, key, eps, delta); err != nil {
+	if err := s.budgets.CheckCtx(r.Context(), digest, key, eps, delta); err != nil {
 		var over *dpslog.OverBudgetError
 		if errors.As(err, &over) {
-			writeOverBudget(w, m.Name, over)
+			s.writeOverBudget(w, m.Name, over)
 			return
 		}
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		s.writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
 
@@ -331,22 +518,22 @@ func (s *Server) handleCorpusSanitize(w http.ResponseWriter, r *http.Request) {
 	_, qsp := obs.Start(ctx, "queue.wait")
 	err = s.pool.Do(ctx, func() {
 		qsp.End()
-		resp, runErr = s.runSanitize(ctx, l, opts, m.Digest)
+		resp, runErr = s.runSanitize(ctx, l, opts, digest)
 	})
 	qsp.End()
 	switch {
 	case errors.Is(err, ErrSaturated):
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, "worker pool saturated")
+		s.writeError(w, http.StatusServiceUnavailable, "worker pool saturated")
 		return
 	case errors.Is(err, ErrClosed):
-		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		s.writeError(w, http.StatusServiceUnavailable, "server shutting down")
 		return
 	case err != nil: // client went away; the solve finishes in background
 		w.WriteHeader(statusClientClosedRequest)
 		return
 	case runErr != nil:
-		writeError(w, http.StatusUnprocessableEntity, "%v", runErr)
+		s.writeError(w, http.StatusUnprocessableEntity, "%v", runErr)
 		return
 	}
 
@@ -354,14 +541,14 @@ func (s *Server) handleCorpusSanitize(w http.ResponseWriter, r *http.Request) {
 	// output byte leaves the server. A race with concurrent releases can
 	// still exhaust the budget here; the solve is then discarded — compute
 	// is wasted, privacy is not.
-	rel, _, err := s.budgets.ChargeCtx(ctx, m.Name, m.Digest, key, mech.Name(), eps, delta)
+	rel, _, err := s.budgets.ChargeCtx(ctx, m.Name, digest, key, mech.Name(), eps, delta)
 	if err != nil {
 		var over *dpslog.OverBudgetError
 		if errors.As(err, &over) {
-			writeOverBudget(w, m.Name, over)
+			s.writeOverBudget(w, m.Name, over)
 			return
 		}
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		s.writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
@@ -371,7 +558,8 @@ func (s *Server) handleCorpusSanitize(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, corpusSanitizeResponse{
 		sanitizeResponse: *resp,
 		Corpus:           m.Name,
+		Version:          digest,
 		Release:          rel,
-		Budget:           s.budgetStatus(m.Digest),
+		Budget:           s.budgetStatus(digest),
 	})
 }

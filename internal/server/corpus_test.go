@@ -171,7 +171,17 @@ func TestCorpusSanitizeChargesAndIsIdempotent(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("over-budget status %d: %s", resp.StatusCode, raw)
 	}
-	over := decode[overBudgetJSON](t, raw)
+	type overEnvelope struct {
+		Error  string           `json:"error"`
+		Code   string           `json:"code"`
+		Status int              `json:"status"`
+		Detail overBudgetDetail `json:"detail"`
+	}
+	env := decode[overEnvelope](t, raw)
+	if env.Code != "over_budget" || env.Status != http.StatusTooManyRequests || env.Error == "" {
+		t.Fatalf("429 envelope %+v", env)
+	}
+	over := env.Detail
 	if over.Corpus != "c" || over.Remaining.Epsilon != 0 || over.Remaining.Delta != 0 {
 		t.Fatalf("429 payload %+v", over)
 	}

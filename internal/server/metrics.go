@@ -199,6 +199,10 @@ type Gauges struct {
 	Jobs                             map[JobState]int
 	CacheEntries                     int
 	CacheHits, CacheMisses           int64
+	// CompCacheEntries/Hits/Misses mirror the shared component-plan cache
+	// behind incremental post-append re-solves.
+	CompCacheEntries               int
+	CompCacheHits, CompCacheMisses int
 	// IngestInFlightBytes/IngestInFlightUploads/IngestCapacityBytes mirror
 	// the upload admission gate at scrape time.
 	IngestInFlightBytes   int64
@@ -366,6 +370,16 @@ func (m *Metrics) WriteTo(w io.Writer, g Gauges) {
 	fmt.Fprintln(w, "# HELP slserve_plan_cache_misses_total Plan cache misses.")
 	fmt.Fprintln(w, "# TYPE slserve_plan_cache_misses_total counter")
 	fmt.Fprintf(w, "slserve_plan_cache_misses_total %d\n", g.CacheMisses)
+
+	fmt.Fprintln(w, "# HELP slserve_component_cache_entries Entries in the shared component-plan cache.")
+	fmt.Fprintln(w, "# TYPE slserve_component_cache_entries gauge")
+	fmt.Fprintf(w, "slserve_component_cache_entries %d\n", g.CompCacheEntries)
+	fmt.Fprintln(w, "# HELP slserve_component_cache_hits_total Component plans reused from the cache.")
+	fmt.Fprintln(w, "# TYPE slserve_component_cache_hits_total counter")
+	fmt.Fprintf(w, "slserve_component_cache_hits_total %d\n", g.CompCacheHits)
+	fmt.Fprintln(w, "# HELP slserve_component_cache_misses_total Component solves not served from the cache.")
+	fmt.Fprintln(w, "# TYPE slserve_component_cache_misses_total counter")
+	fmt.Fprintf(w, "slserve_component_cache_misses_total %d\n", g.CompCacheMisses)
 
 	fmt.Fprintln(w, "# HELP slserve_ingest_uploads_total Completed streaming corpus uploads.")
 	fmt.Fprintln(w, "# TYPE slserve_ingest_uploads_total counter")

@@ -21,15 +21,23 @@
 // accounted against a per-corpus (ε, δ) budget (internal/corpus,
 // internal/ledger):
 //
-//	PUT    /v1/corpora/{name}           upload (or replace) a named corpus
+//	PUT    /v1/corpora/{name}           upload (or replace) a named corpus;
+//	                                    resets the version chain to one base
 //	GET    /v1/corpora                  list stored corpora
-//	GET    /v1/corpora/{name}           corpus metadata + budget status
+//	GET    /v1/corpora/{name}           corpus metadata + budget + versions[]
 //	DELETE /v1/corpora/{name}           delete a corpus (its ledger survives)
+//	POST   /v1/corpora/{name}/append    fold new rows into a new immutable
+//	                                    corpus version (continual release);
+//	                                    same body shapes as PUT
+//	GET    /v1/corpora/{name}/versions  the version chain, base first
+//	GET    /v1/corpora/{name}/versions/{digest}
+//	                                    one chain entry + that digest's budget
 //	POST   /v1/corpora/{name}/sanitize  sanitize by reference: options-only
 //	                                    body, budget-charged, 429 when the
-//	                                    remaining (ε, δ) cannot cover it
-//	GET    /v1/corpora/{name}/budget    budget, spend, remaining
-//	GET    /v1/corpora/{name}/releases  the append-only release journal
+//	                                    remaining (ε, δ) cannot cover it;
+//	                                    ?version= selects an ancestor version
+//	GET    /v1/corpora/{name}/budget    budget, spend, remaining (?version=)
+//	GET    /v1/corpora/{name}/releases  the release journal (?version=)
 //
 // A JSON body carries {"options": {...}, "records": [...]} or {"options":
 // {...}, "tsv": "..."}; any other content type is read as a raw canonical
@@ -38,6 +46,30 @@
 // When the request omits a
 // seed, the server derives one deterministically from the corpus digest, so
 // identical requests produce identical outputs (and cache cleanly).
+//
+// Raw corpus bodies (PUT and append) negotiate their format on the request
+// Content-Type:
+//
+//	text/tab-separated-values  canonical 4-column TSV (the default: also
+//	                           text/plain, application/octet-stream, or
+//	                           no Content-Type at all)
+//	application/x-aol-log      the historical AOL 5-column form
+//	application/json           the {"records": [...]}/{"tsv": "..."} envelope
+//
+// The legacy ?format=aol query parameter is honored for one more release
+// and answered with a "Deprecation: true" response header.
+//
+// Every non-2xx response across every endpoint carries the uniform error
+// envelope {"error", "code", "status", "detail"?} (see errors.go);
+// Config.LegacyErrors trims it back to the historical {"error"} shape.
+//
+// Each corpus version is immutable with its own digest; the ledger charges
+// releases per digest under sequential composition, so appending never
+// resets or launders the spend of prior versions, and releases journaled
+// against old versions replay for free forever. A server-wide component-plan
+// cache (Config.CompCacheSize) makes the re-solve after an append
+// incremental: only connected components the appended rows touched
+// re-solve, the rest are reused byte-identically.
 //
 // Both sanitize endpoints dispatch on ?mechanism= (or the JSON "mechanism"
 // option) through internal/mechanism's registry: "ump" (default), "laplace",
@@ -135,6 +167,16 @@ type Config struct {
 	// not a privacy control: disabled mechanisms charge nothing because they
 	// never run.
 	Mechanisms []string
+	// CompCacheSize bounds the shared component-plan cache that makes
+	// re-solves after corpus appends incremental: solved per-component plans
+	// are keyed by component content digest, so sanitizing a new corpus
+	// version re-solves only the connected components the appended rows
+	// actually changed (default 4096 entries; negative disables).
+	CompCacheSize int
+	// LegacyErrors reverts non-2xx bodies to the pre-envelope {"error": ...}
+	// shape (no code/status/detail fields) for one release while clients
+	// migrate to the structured envelope.
+	LegacyErrors bool
 	// TraceBuffer is the ring capacity of retained request traces served by
 	// GET /v1/debug/traces (default 128).
 	TraceBuffer int
@@ -173,6 +215,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxIngestBytes == 0 {
 		c.MaxIngestBytes = 256 << 20
 	}
+	if c.CompCacheSize == 0 {
+		c.CompCacheSize = 4096
+	}
 	if c.SolveParallelism == 0 {
 		c.SolveParallelism = 1
 	}
@@ -192,11 +237,15 @@ func (c Config) withDefaults() Config {
 
 // Server is the slserve HTTP handler. Create with New, dispose with Close.
 type Server struct {
-	cfg     Config
-	pool    *Pool
-	jobs    *jobStore
-	cache   *planCache
-	warm    *warmPools
+	cfg   Config
+	pool  *Pool
+	jobs  *jobStore
+	cache *planCache
+	warm  *warmPools
+	// comp is the shared component-plan cache behind incremental re-solves;
+	// nil when disabled. Safe to share across corpora and versions — the
+	// component content digest is the reuse identity.
+	comp    *dpslog.CompCache
 	metrics *Metrics
 	tracer  *obs.Tracer
 	logger  *slog.Logger
@@ -235,6 +284,9 @@ func New(cfg Config) (*Server, error) {
 		ready:   make(chan struct{}),
 		gate:    newIngestGate(cfg.MaxIngestBytes),
 	}
+	if cfg.CompCacheSize > 0 {
+		s.comp = dpslog.NewCompCache(cfg.CompCacheSize)
+	}
 	// Every ended span feeds the stage histograms; root spans are already
 	// covered by the request-duration histograms, so only interior stages
 	// are recorded.
@@ -262,6 +314,9 @@ func New(cfg Config) (*Server, error) {
 	s.handle("GET /v1/corpora", s.corpusEnabled(s.handleCorpusList))
 	s.handle("GET /v1/corpora/{name}", s.corpusEnabled(s.handleCorpusGet))
 	s.handle("DELETE /v1/corpora/{name}", s.corpusEnabled(s.handleCorpusDelete))
+	s.handle("POST /v1/corpora/{name}/append", s.corpusEnabled(s.handleCorpusAppend))
+	s.handle("GET /v1/corpora/{name}/versions", s.corpusEnabled(s.handleCorpusVersionList))
+	s.handle("GET /v1/corpora/{name}/versions/{digest}", s.corpusEnabled(s.handleCorpusVersionGet))
 	s.handle("POST /v1/corpora/{name}/sanitize", s.corpusEnabled(s.handleCorpusSanitize))
 	s.handle("GET /v1/corpora/{name}/budget", s.corpusEnabled(s.handleCorpusBudget))
 	s.handle("GET /v1/corpora/{name}/releases", s.corpusEnabled(s.handleCorpusReleases))
@@ -317,7 +372,11 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // the tight general cap — otherwise one multi-GB JSON body could
 // materialize in memory.
 func (s *Server) bodyCap(r *http.Request) int64 {
-	if r.Method == http.MethodPut && strings.HasPrefix(r.URL.Path, "/v1/corpora/") && !isJSONRequest(r) {
+	if !strings.HasPrefix(r.URL.Path, "/v1/corpora/") || isJSONRequest(r) {
+		return s.cfg.MaxBodyBytes
+	}
+	if r.Method == http.MethodPut ||
+		(r.Method == http.MethodPost && strings.HasSuffix(r.URL.Path, "/append")) {
 		return s.cfg.MaxCorpusBytes
 	}
 	return s.cfg.MaxBodyBytes
@@ -408,7 +467,11 @@ type planJSON struct {
 	Lambda              int     `json:"lambda,omitzero"`
 	Iterations          int     `json:"iterations"`
 	Components          int     `json:"components"`
-	NoiseApplied        bool    `json:"noise_applied,omitzero"`
+	// ReusedComponents counts the connected components whose plans were
+	// served from the component cache rather than re-solved — nonzero on
+	// the incremental re-solves that follow a corpus append.
+	ReusedComponents int  `json:"reused_components,omitzero"`
+	NoiseApplied     bool `json:"noise_applied,omitzero"`
 	// Counts are the per-pair output counts over the preprocessed input's
 	// pair order, so clients can re-audit the release with VerifyCounts.
 	Counts []int `json:"counts"`
@@ -466,10 +529,6 @@ type statsRequest struct {
 	TSV     string   `json:"tsv,omitempty"`
 }
 
-type apiError struct {
-	Error string `json:"error"`
-}
-
 // statusClientClosedRequest is the nginx-convention status recorded when
 // the client disconnects before the solve completes; no body reaches the
 // client, but metrics must not count the request as a 200.
@@ -483,10 +542,6 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetEscapeHTML(false)
 	_ = enc.Encode(v)
-}
-
-func writeError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
 }
 
 func isJSONRequest(r *http.Request) bool {
@@ -728,6 +783,11 @@ func (s *Server) runSanitize(ctx context.Context, l *dpslog.Log, opts dpslog.Opt
 	_, wsp := obs.Start(ctx, "warmpool.lookup")
 	san.SetWarmCache(s.warm.get(key))
 	wsp.End()
+	// The component-plan cache makes post-append re-solves incremental:
+	// components untouched by the append are served byte-identically from
+	// cache, only the changed ones re-solve. One cache serves every corpus
+	// and version — the component content digest is the reuse identity.
+	san.SetCompCache(s.comp)
 	res, err := san.SanitizeContext(ctx, l)
 	if err != nil {
 		return nil, err
@@ -751,6 +811,7 @@ func (s *Server) runSanitize(ctx context.Context, l *dpslog.Log, opts dpslog.Opt
 			Lambda:              res.Plan.Lambda,
 			Iterations:          res.Plan.Iterations,
 			Components:          res.Plan.Components,
+			ReusedComponents:    res.Plan.Reused,
 			NoiseApplied:        res.Plan.NoiseApplied,
 			Counts:              res.Plan.Counts,
 		},
@@ -841,6 +902,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	inFlightBytes, inFlightUploads := s.gate.Stats()
+	compHits, compMisses := s.comp.Counters()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.WriteTo(w, Gauges{
 		Workers:               workers,
@@ -850,6 +912,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		CacheEntries:          s.cache.Len(),
 		CacheHits:             hits,
 		CacheMisses:           misses,
+		CompCacheEntries:      s.comp.Len(),
+		CompCacheHits:         compHits,
+		CompCacheMisses:       compMisses,
 		IngestInFlightBytes:   inFlightBytes,
 		IngestInFlightUploads: inFlightUploads,
 		IngestCapacityBytes:   max(s.cfg.MaxIngestBytes, 0),
@@ -882,9 +947,10 @@ func corpusAllow(path string) (allow string, known bool) {
 	switch parts := strings.SplitN(rest, "/", 2); {
 	case len(parts) == 1:
 		return "DELETE, GET, PUT", true
-	case parts[1] == "sanitize":
+	case parts[1] == "sanitize" || parts[1] == "append":
 		return "POST", true
-	case parts[1] == "budget" || parts[1] == "releases":
+	case parts[1] == "budget" || parts[1] == "releases",
+		parts[1] == "versions" || strings.HasPrefix(parts[1], "versions/"):
 		return "GET", true
 	}
 	return "", false
@@ -901,10 +967,10 @@ func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
 	}
 	if known {
 		w.Header().Set("Allow", allow)
-		writeError(w, http.StatusMethodNotAllowed, "%s does not allow %s (allowed: %s)", path, r.Method, allow)
+		s.writeError(w, http.StatusMethodNotAllowed, "%s does not allow %s (allowed: %s)", path, r.Method, allow)
 		return
 	}
-	writeError(w, http.StatusNotFound, "no such endpoint: %s %s", r.Method, path)
+	s.writeError(w, http.StatusNotFound, "no such endpoint: %s %s", r.Method, path)
 }
 
 func (s *Server) handleSanitize(w http.ResponseWriter, r *http.Request) {
@@ -914,17 +980,17 @@ func (s *Server) handleSanitize(w http.ResponseWriter, r *http.Request) {
 	l, opts, err := decodeSanitizeRequest(r)
 	dsp.End()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	// Validate before queueing so configuration mistakes fail fast with 400
 	// instead of consuming a worker slot.
 	if err := opts.Validate(); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	if _, err := s.resolveMechanism(opts); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	_, hsp := obs.Start(ctx, "digest")
@@ -943,16 +1009,16 @@ func (s *Server) handleSanitize(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case errors.Is(err, ErrSaturated):
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, "worker pool saturated; retry or submit an async job to /v1/jobs")
+		s.writeError(w, http.StatusServiceUnavailable, "worker pool saturated; retry or submit an async job to /v1/jobs")
 		return
 	case errors.Is(err, ErrClosed):
-		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		s.writeError(w, http.StatusServiceUnavailable, "server shutting down")
 		return
 	case err != nil: // client went away; the solve finishes in background
 		w.WriteHeader(statusClientClosedRequest)
 		return
 	case runErr != nil:
-		writeError(w, http.StatusUnprocessableEntity, "%v", runErr)
+		s.writeError(w, http.StatusUnprocessableEntity, "%v", runErr)
 		return
 	}
 	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
@@ -973,15 +1039,15 @@ func wantTrace(r *http.Request) bool {
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	l, opts, err := decodeSanitizeRequest(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	if err := opts.Validate(); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	if _, err := s.resolveMechanism(opts); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	job := s.jobs.Create()
@@ -1010,7 +1076,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		// the store doesn't accumulate failures no client holds an ID for.
 		s.jobs.Remove(job.ID)
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, "worker pool saturated")
+		s.writeError(w, http.StatusServiceUnavailable, "worker pool saturated")
 		return
 	}
 	w.Header().Set("Location", "/v1/jobs/"+job.ID)
@@ -1031,7 +1097,7 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	job, ok := s.jobs.Get(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		s.writeError(w, http.StatusNotFound, "unknown job %q", id)
 		return
 	}
 	writeJSON(w, http.StatusOK, job)
@@ -1042,7 +1108,7 @@ func (s *Server) handleLambda(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad JSON body: %v", err)
+		s.writeError(w, http.StatusBadRequest, "bad JSON body: %v", err)
 		return
 	}
 	eps := req.Epsilon
@@ -1051,7 +1117,7 @@ func (s *Server) handleLambda(w http.ResponseWriter, r *http.Request) {
 	}
 	l, err := buildLog(req.Records, req.TSV)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	var (
@@ -1070,16 +1136,16 @@ func (s *Server) handleLambda(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case errors.Is(err, ErrSaturated):
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, "worker pool saturated")
+		s.writeError(w, http.StatusServiceUnavailable, "worker pool saturated")
 		return
 	case errors.Is(err, ErrClosed):
-		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		s.writeError(w, http.StatusServiceUnavailable, "server shutting down")
 		return
 	case err != nil:
 		w.WriteHeader(statusClientClosedRequest)
 		return
 	case runErr != nil:
-		writeError(w, http.StatusBadRequest, "%v", runErr)
+		s.writeError(w, http.StatusBadRequest, "%v", runErr)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -1100,7 +1166,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		dec := json.NewDecoder(r.Body)
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, "bad JSON body: %v", err)
+			s.writeError(w, http.StatusBadRequest, "bad JSON body: %v", err)
 			return
 		}
 		l, err = buildLog(req.Records, req.TSV)
@@ -1108,7 +1174,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		l, err = dpslog.ReadTSV(r.Body)
 	}
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	pre, preStats := dpslog.Preprocess(l)

@@ -189,7 +189,10 @@ func TestReadyzStatefulGatesOnOpen(t *testing.T) {
 // text-format parser: iterations, refactorizations, presolve eliminations
 // and at least one warm-start hit (second solve) and miss (first solve).
 func TestSolverCountersAfterWarmResolve(t *testing.T) {
-	e := newTestEnv(t, Config{CacheSize: -1})
+	// The component cache would serve the identical second solve without
+	// touching the LP at all; disable it so the warm-start path is what
+	// answers the repeat.
+	e := newTestEnv(t, Config{CacheSize: -1, CompCacheSize: -1})
 	for i := 0; i < 2; i++ {
 		resp, raw := e.post(t, "/v1/sanitize?eexp=2&delta=0.5&seed=1", "text/tab-separated-values", e.tsv)
 		if resp.StatusCode != http.StatusOK {

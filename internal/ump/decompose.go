@@ -127,6 +127,7 @@ func stitch(kind Kind, l *searchlog.Log, comps []partition.Component, plans []*P
 		plan.Objective += p.Objective
 		plan.RelaxationObjective += p.RelaxationObjective
 		plan.Iterations += p.Iterations
+		plan.Reused += p.Reused
 		plan.Stats.add(p.Stats)
 	}
 	return plan
@@ -143,7 +144,9 @@ func MaxOutputSize(l *searchlog.Log, params dp.Params, opts Options) (*Plan, err
 		return maxOutputSizeMono(l, params, opts.scoped("mono"))
 	}
 	plans, err := solvePerComponent(comps, opts, func(o Options, ci int, c *partition.Component) (*Plan, error) {
-		return maxOutputSizeMono(c.Log, params, o.scoped(compScope(ci, len(comps))))
+		return o.cachedComponent("oump", params, "", c, func() (*Plan, error) {
+			return maxOutputSizeMono(c.Log, params, o.scoped(compScope(ci, len(comps))))
+		})
 	})
 	if err != nil {
 		return nil, err
@@ -165,7 +168,13 @@ func Diversity(l *searchlog.Log, params dp.Params, opts Options) (*Plan, error) 
 		return diversityMono(l, params, opts)
 	}
 	plans, err := solvePerComponent(comps, opts, func(o Options, _ int, c *partition.Component) (*Plan, error) {
-		return diversityMono(c.Log, params, o)
+		solver := o.Solver
+		if solver == "" {
+			solver = "spe"
+		}
+		return o.cachedComponent("dump", params, solver, c, func() (*Plan, error) {
+			return diversityMono(c.Log, params, o)
+		})
 	})
 	if err != nil {
 		return nil, err
@@ -284,8 +293,13 @@ func FrequentSupport(l *searchlog.Log, params dp.Params, minSupport float64, out
 	// and the fractional bound is never below the integral plan's size, so
 	// the feasibility precheck stays as close to the monolithic one
 	// (outputSize ≤ λ_LP) as an integral allocation permits.
+	// The λ solves are plain per-component O-UMP, so they share the "oump"
+	// component-cache entries with MaxOutputSize — after an append, only the
+	// components the delta touched re-derive their λ.
 	lamPlans, err := solvePerComponent(comps, opts, func(o Options, ci int, c *partition.Component) (*Plan, error) {
-		return maxOutputSizeMono(c.Log, params, o.scoped(compScope(ci, len(comps))))
+		return o.cachedComponent("oump", params, "", c, func() (*Plan, error) {
+			return maxOutputSizeMono(c.Log, params, o.scoped(compScope(ci, len(comps))))
+		})
 	})
 	if err != nil {
 		return nil, err
@@ -325,6 +339,7 @@ func FrequentSupport(l *searchlog.Log, params dp.Params, minSupport float64, out
 	plan := stitch(KindFrequent, l, comps, plans)
 	for _, p := range lamPlans {
 		plan.Stats.add(p.Stats)
+		plan.Reused += p.Reused
 	}
 	// Realized objective at the stitched integral plan, over the global
 	// frequent set and realized |O|.
@@ -360,9 +375,12 @@ func Combined(l *searchlog.Log, params dp.Params, minSupport float64, w Combined
 	if comps == nil {
 		return combinedMono(l, params, minSupport, w, opts.scoped("mono"))
 	}
-	// Phase 1: the λ anchor, from the per-component O-UMP relaxations.
+	// Phase 1: the λ anchor, from the per-component O-UMP relaxations
+	// (cache-shared with MaxOutputSize, like F-UMP's phase 1).
 	lamPlans, err := solvePerComponent(comps, opts, func(o Options, ci int, c *partition.Component) (*Plan, error) {
-		return maxOutputSizeMono(c.Log, params, o.scoped(compScope(ci, len(comps))))
+		return o.cachedComponent("oump", params, "", c, func() (*Plan, error) {
+			return maxOutputSizeMono(c.Log, params, o.scoped(compScope(ci, len(comps))))
+		})
 	})
 	if err != nil {
 		return nil, err
@@ -394,6 +412,7 @@ func Combined(l *searchlog.Log, params dp.Params, minSupport float64, w Combined
 	plan := stitch(KindCombined, l, comps, plans)
 	for _, p := range lamPlans {
 		plan.Stats.add(p.Stats)
+		plan.Reused += p.Reused
 	}
 	dist := SupportDistance(l, minSupport, plan.Counts)
 	plan.Objective = w.SizeWeight*float64(plan.OutputSize)/inSize - w.DistanceWeight*dist
@@ -404,13 +423,17 @@ func Combined(l *searchlog.Log, params dp.Params, minSupport float64, w Combined
 // monolithic path should run instead: decomposition disabled, an empty log,
 // or a single connected component (where the per-component solve would be
 // the monolithic solve anyway — the nil short-circuit keeps that case
-// bit-identical and copy-free).
+// bit-identical and copy-free). With a component cache attached, a single
+// connected component still takes the per-component path: the cache must
+// see the component (a connected log shares the parent *Log, so this stays
+// copy-free) or an append that splits off a new component could never reuse
+// the pre-append solve.
 func decomposeFor(l *searchlog.Log, opts Options) []partition.Component {
 	if opts.NoDecompose {
 		return nil
 	}
 	comps := partition.DecomposeCtx(opts.ctx(), l)
-	if len(comps) <= 1 {
+	if len(comps) == 0 || (len(comps) == 1 && opts.Comp == nil) {
 		return nil
 	}
 	return comps

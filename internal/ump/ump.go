@@ -126,6 +126,13 @@ type Options struct {
 	// warmScope namespaces pool keys by decomposition context (monolithic
 	// vs per-component); set internally by the decompose entry points.
 	warmScope string
+	// Comp, when non-nil, caches per-component plans by component content
+	// digest so a re-solve after an append only pays for the components the
+	// appended rows actually changed (see cache.go). Like Warm it never
+	// changes which plan is produced — a reused plan is byte-identical to
+	// the solve it replaces — and unlike Warm it is safe to share across
+	// corpora: the content digest is the identity.
+	Comp *ComponentCache
 	// NoBoxConstraint drops the x_ij ≤ c_ij cap (ablation only; O-UMP then
 	// scales linearly in the budget instead of reproducing Table 4's
 	// plateaus).
@@ -181,6 +188,9 @@ type Plan struct {
 	// Components is the number of connected components the solve decomposed
 	// into (1 for a monolithic solve or a connected log).
 	Components int
+	// Reused counts the components whose plans were served byte-identically
+	// from an Options.Comp cache instead of re-solving (0 for a cold solve).
+	Reused int
 	// Stats aggregates the solver-depth counters of every LP behind the
 	// plan (zero-valued for purely combinatorial solves such as D-UMP).
 	Stats SolveStats

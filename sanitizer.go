@@ -71,10 +71,22 @@ type WarmCache = mechanism.WarmCache
 // basis wins) semantics, the right default for sequential re-solves.
 func NewWarmCache() *WarmCache { return mechanism.NewWarmCache() }
 
+// CompCache caches solved per-component plans by component content digest,
+// making re-solves after corpus appends incremental: only the connected
+// components the appended rows changed re-solve, and every untouched
+// component's plan is reused byte-identically. See internal/mechanism for
+// the exactness contract.
+type CompCache = mechanism.CompCache
+
+// NewCompCache creates a component-plan cache bounded to capacity entries
+// (≤ 0 selects a default).
+func NewCompCache(capacity int) *CompCache { return mechanism.NewCompCache(capacity) }
+
 // Sanitizer runs the paper's Algorithm 1 with a fixed configuration.
 type Sanitizer struct {
 	opts Options
 	warm *WarmCache
+	comp *CompCache
 }
 
 // New validates the options and returns a Sanitizer. The Sanitizer is the
@@ -102,6 +114,11 @@ func (s *Sanitizer) Options() Options { return s.opts }
 // keep one cache per corpus (keyed by Digest, as internal/server does).
 func (s *Sanitizer) SetWarmCache(w *WarmCache) { s.warm = w }
 
+// SetCompCache attaches a component-plan cache to the sanitizer. Pass nil
+// to detach. Unlike a WarmCache it is safe to share across corpora and
+// versions: the component content digest is the reuse identity.
+func (s *Sanitizer) SetCompCache(c *CompCache) { s.comp = c }
+
 // Sanitize runs the full pipeline on the input log: preprocess (Theorem 1
 // Condition 1), solve the configured utility-maximizing problem (Conditions
 // 2/3 as constraints), optionally noise the counts (§4.2), audit the final
@@ -118,6 +135,7 @@ func (s *Sanitizer) Sanitize(in *Log) (*Result, error) {
 func (s *Sanitizer) SanitizeContext(ctx context.Context, in *Log) (*Result, error) {
 	opts := s.opts
 	opts.Warm = s.warm
+	opts.Comp = s.comp
 	return mechanism.RunUMP(ctx, in, opts)
 }
 
